@@ -1,0 +1,78 @@
+// Command corpusgen generates a synthetic TREC9-like collection — documents,
+// judged original queries, and the derived query set of the paper's §6.1
+// generator — and writes it in the library's JSON collection format for
+// offline inspection or reuse (spritebench can run experiments against it
+// via -collection).
+//
+// Usage:
+//
+//	corpusgen [flags] -out collection.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spritedht/sprite/internal/central"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/querygen"
+)
+
+func main() {
+	var (
+		docs    = flag.Int("docs", 2000, "number of documents")
+		topics  = flag.Int("topics", 12, "latent topics")
+		queries = flag.Int("queries", 63, "original judged queries")
+		perOrig = flag.Int("per-original", 9, "derived queries per original (0 skips generation)")
+		overlap = flag.Float64("overlap", 0.7, "derived-query term overlap O")
+		seed    = flag.Int64("seed", 17, "random seed")
+		out     = flag.String("out", "", "output path (default stdout)")
+		pretty  = flag.Bool("pretty", false, "indent the JSON output")
+	)
+	flag.Parse()
+
+	cfg := corpus.SynthConfig{
+		NumDocs: *docs, NumTopics: *topics, NumQueries: *queries, Seed: *seed,
+	}
+	col, err := corpus.Synthesize(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := querygen.Generate(col, central.New(col.Corpus), querygen.Config{
+		PerOriginal: *perOrig, Overlap: *overlap, Seed: *seed + 6,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Emit the full generated query set (originals + derived) in place of
+	// the originals, preserving topics via the origin mapping.
+	full := &corpus.Collection{
+		Corpus:     col.Corpus,
+		Queries:    gen.Queries,
+		DocTopic:   col.DocTopic,
+		QueryTopic: make(map[string]int, len(gen.Queries)),
+	}
+	for _, q := range gen.Queries {
+		full.QueryTopic[q.ID] = col.QueryTopic[gen.Origin[q.ID]]
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := corpus.WriteCollection(w, full, cfg.FillDefaults(), *pretty); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "corpusgen: %d documents, %d queries\n", full.Corpus.N(), len(full.Queries))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corpusgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,226 @@
+// Command spritebench regenerates every figure of the SPRITE paper's
+// evaluation (§6.3) plus the supplementary systems-level experiments indexed
+// in DESIGN.md, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	spritebench [flags] <experiment>...
+//
+// Experiments: fig4a fig4b fig4c chord cost ablation churn config all
+//
+// Flags scale the setup; the defaults are the paper's configuration at the
+// laptop scale documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/spritedht/sprite/internal/core"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/eval"
+	"github.com/spritedht/sprite/internal/querygen"
+)
+
+func main() {
+	var (
+		docs     = flag.Int("docs", 2000, "corpus size (documents)")
+		topics   = flag.Int("topics", 12, "latent topics in the synthetic corpus")
+		queries  = flag.Int("queries", 63, "original judged queries (paper: 63)")
+		perOrig  = flag.Int("per-original", 9, "derived queries per original (paper: 9)")
+		overlap  = flag.Float64("overlap", 0.7, "query-generator term overlap O (paper: 0.7)")
+		peers    = flag.Int("peers", 64, "DHT peers")
+		topK     = flag.Int("topk", 20, "answers retrieved per query (paper: 20)")
+		iters    = flag.Int("iterations", 3, "learning iterations for fig4a (paper: 3)")
+		seed     = flag.Int64("seed", 17, "master random seed")
+		failFrac = flag.Float64("fail", 0.25, "fraction of peers failed in the churn experiment")
+		replicas = flag.Int("replicas", 2, "successor replicas in the churn experiment")
+		colPath  = flag.String("collection", "", "run against an external judged collection (JSON, as emitted by corpusgen) instead of synthesizing one")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of tables")
+		repeats  = flag.Int("repeats", 5, "independent replications for fig4a-replicated")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost config all\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := eval.Config{
+		Corpus: corpus.SynthConfig{
+			NumDocs:    *docs,
+			NumTopics:  *topics,
+			NumQueries: *queries,
+			Seed:       *seed,
+		},
+		SkipQueryGen: *colPath != "",
+		QueryGen: querygen.Config{
+			PerOriginal: *perOrig,
+			Overlap:     *overlap,
+			Seed:        *seed + 6,
+		},
+		Peers:              *peers,
+		Core:               core.Config{},
+		TopK:               *topK,
+		LearningIterations: *iters,
+		Seed:               *seed + 14,
+	}
+
+	if *colPath != "" {
+		f, err := os.Open(*colPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spritebench:", err)
+			os.Exit(1)
+		}
+		col, err := corpus.ReadCollection(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spritebench:", err)
+			os.Exit(1)
+		}
+		cfg.Collection = col
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, exp := range args {
+		if exp == "all" {
+			args = []string{"config", "fig4a", "fig4b", "fig4c", "chord", "cost", "ablation", "churn", "expansion", "maintenance", "load", "learncost"}
+			break
+		}
+	}
+
+	for _, exp := range args {
+		start := time.Now()
+		if err := run(exp, cfg, *failFrac, *replicas, *repeats, *asCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "spritebench: %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+		if !*asCSV {
+			fmt.Printf("[%s completed in %v]\n\n", exp, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// renderable is any experiment result printable as a table or CSV.
+type renderable interface {
+	Table() string
+	CSV() string
+}
+
+func emit(r renderable, asCSV bool) {
+	if asCSV {
+		fmt.Print(r.CSV())
+	} else {
+		fmt.Print(r.Table())
+	}
+}
+
+func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats int, asCSV bool) error {
+	switch exp {
+	case "config":
+		printConfig(cfg)
+		return nil
+	case "fig4a":
+		res, err := eval.RunFig4a(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "fig4a-replicated":
+		res, err := eval.RunFig4aReplicated(cfg, repeats)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "fig4b":
+		for _, v := range []eval.Fig4bVariant{eval.WithoutRepeats, eval.WithZipf} {
+			res, err := eval.RunFig4b(cfg, v)
+			if err != nil {
+				return err
+			}
+			emit(res, asCSV)
+			if !asCSV {
+				fmt.Println()
+			}
+		}
+	case "fig4c":
+		res, err := eval.RunFig4c(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "chord":
+		res, err := eval.RunChordHops([]int{16, 64, 256, 1024}, 200, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "cost":
+		res, err := eval.RunInsertCost(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "ablation":
+		res, err := eval.RunScoreAblation(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "churn":
+		res, err := eval.RunChurn(cfg, failFrac, replicas)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "expansion":
+		res, err := eval.RunExpansion(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "maintenance":
+		res, err := eval.RunMaintenance(cfg, failFrac, replicas)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "load":
+		res, err := eval.RunLoadBalance(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	case "learncost":
+		res, err := eval.RunLearnCost(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res, asCSV)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printConfig(cfg eval.Config) {
+	cc := cfg.Corpus.FillDefaults()
+	qc := cfg.QueryGen.FillDefaults()
+	cr := cfg.Core.FillDefaults()
+	fmt.Println("Experimental setup (cf. paper §6.2)")
+	fmt.Printf("  corpus:    %d docs, %d topics, doc length %d-%d tokens\n",
+		cc.NumDocs, cc.NumTopics, cc.DocLenMin, cc.DocLenMax)
+	fmt.Printf("  queries:   %d originals x (1+%d) = %d total, overlap O=%.0f%%\n",
+		cc.NumQueries, qc.PerOriginal, cc.NumQueries*(1+qc.PerOriginal), qc.Overlap*100)
+	fmt.Printf("  network:   %d peers (Chord, MD5 128-bit IDs)\n", cfg.Peers)
+	fmt.Printf("  sprite:    %d initial terms, %d per iteration, cap %d, history %d\n",
+		cr.InitialTerms, cr.TermsPerIteration, cr.MaxIndexTerms, cr.HistoryCap)
+	fmt.Printf("  retrieval: top-%d answers, %d learning iterations\n",
+		cfg.TopK, cfg.LearningIterations)
+}

@@ -1,0 +1,289 @@
+// Command spritesim is an interactive SPRITE simulator: it builds a ring of
+// peers and accepts commands to share documents, issue queries, run learning
+// iterations, inject failures, and inspect peer state — a REPL over the same
+// public API downstream programs use.
+//
+// Usage:
+//
+//	spritesim [-peers N] [-replicas R] [-seed S] [-script file]
+//
+// Commands (also shown by "help"):
+//
+//	share <peer> <docID> <text...>      share a document
+//	search <peer> <k> <query...>        keyword search, top-k
+//	learn                               run one learning iteration
+//	terms <docID>                       show a document's index terms
+//	fail <peer> / recover <peer>        crash / revive a peer
+//	stabilize                           repair the overlay after churn
+//	peers                               list peers
+//	stats                               network traffic and index footprint
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/spritedht/sprite"
+)
+
+func main() {
+	var (
+		peers    = flag.Int("peers", 16, "number of peers in the ring")
+		replicas = flag.Int("replicas", 0, "successor replicas per index entry")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		script   = flag.String("script", "", "read commands from file instead of stdin")
+	)
+	flag.Parse()
+
+	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spritesim:", err)
+		os.Exit(1)
+	}
+
+	var in io.Reader = os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spritesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	fmt.Printf("spritesim: %d peers ready (type \"help\")\n", *peers)
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !interactive {
+			fmt.Println(">", line)
+		}
+		if done := execute(net, line); done {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "spritesim:", err)
+		os.Exit(1)
+	}
+}
+
+// execute runs one command line; it returns true when the session should end.
+func execute(net *sprite.Network, line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	fail := func(format string, a ...any) {
+		fmt.Printf("error: "+format+"\n", a...)
+	}
+	switch cmd {
+	case "help":
+		fmt.Print(helpText)
+	case "quit", "exit":
+		return true
+	case "peers":
+		for _, p := range net.Peers() {
+			fmt.Println(" ", p)
+		}
+	case "share":
+		if len(args) < 3 {
+			fail("usage: share <peer> <docID> <text...>")
+			return false
+		}
+		if err := net.Share(args[0], args[1], strings.Join(args[2:], " ")); err != nil {
+			fail("%v", err)
+			return false
+		}
+		terms, _ := net.IndexedTerms(args[1])
+		fmt.Printf("shared %s (initial index terms: %s)\n", args[1], strings.Join(terms, ", "))
+	case "search":
+		if len(args) < 3 {
+			fail("usage: search <peer> <k> <query...>")
+			return false
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil || k < 1 {
+			fail("bad k %q", args[1])
+			return false
+		}
+		results, err := net.Search(args[0], strings.Join(args[2:], " "), k)
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		if len(results) == 0 {
+			fmt.Println("no results")
+			return false
+		}
+		for i, r := range results {
+			fmt.Printf("%2d. %-20s score=%.4f owner=%s\n", i+1, r.DocID, r.Score, r.Owner)
+		}
+	case "unshare":
+		if len(args) != 1 {
+			fail("usage: unshare <docID>")
+			return false
+		}
+		if err := net.Unshare(args[0]); err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("%s withdrawn from the network\n", args[0])
+	case "refresh":
+		moved, err := net.Refresh()
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("refresh migrated %d index entries\n", moved)
+	case "expand":
+		if len(args) < 3 {
+			fail("usage: expand <peer> <k> <query...>")
+			return false
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil || k < 1 {
+			fail("bad k %q", args[1])
+			return false
+		}
+		results, expansion, err := net.SearchExpanded(args[0], strings.Join(args[2:], " "), k, sprite.Expansion{})
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		if len(expansion) > 0 {
+			fmt.Printf("expanded with: %s\n", strings.Join(expansion, ", "))
+		}
+		if len(results) == 0 {
+			fmt.Println("no results")
+			return false
+		}
+		for i, r := range results {
+			fmt.Printf("%2d. %-20s score=%.4f owner=%s\n", i+1, r.DocID, r.Score, r.Owner)
+		}
+	case "learn":
+		changes, err := net.Learn()
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("learning iteration applied %d index changes\n", changes)
+	case "terms":
+		if len(args) != 1 {
+			fail("usage: terms <docID>")
+			return false
+		}
+		terms, err := net.IndexedTerms(args[0])
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("%s: %s\n", args[0], strings.Join(terms, ", "))
+	case "fail":
+		if len(args) != 1 {
+			fail("usage: fail <peer>")
+			return false
+		}
+		net.FailPeer(args[0])
+		fmt.Printf("%s is down\n", args[0])
+	case "recover":
+		if len(args) != 1 {
+			fail("usage: recover <peer>")
+			return false
+		}
+		net.RecoverPeer(args[0])
+		fmt.Printf("%s is back\n", args[0])
+	case "stabilize":
+		rounds := net.Stabilize(100)
+		fmt.Printf("overlay stabilized in %d rounds\n", rounds)
+	case "save":
+		if len(args) != 1 {
+			fail("usage: save <file>")
+			return false
+		}
+		f, err := os.Create(args[0])
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		err = net.Save(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("state saved to %s\n", args[0])
+	case "load":
+		if len(args) != 1 {
+			fail("usage: load <file>")
+			return false
+		}
+		f, err := os.Open(args[0])
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		err = net.Load(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("state loaded from %s\n", args[0])
+	case "stats":
+		s := net.Stats()
+		fmt.Printf("messages=%d bytes=%d postings=%d alive=%d\n", s.Messages, s.Bytes, s.Postings, s.Peers)
+		for _, t := range sortedKeys(s.ByType) {
+			fmt.Printf("  %-24s %d\n", t, s.ByType[t])
+		}
+	default:
+		fail("unknown command %q (try \"help\")", cmd)
+	}
+	return false
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+const helpText = `commands:
+  share <peer> <docID> <text...>   share a document from a peer
+  unshare <docID>                  withdraw a document
+  search <peer> <k> <query...>     keyword search, top-k results
+  expand <peer> <k> <query...>     search with query expansion
+  refresh                          re-publish all index entries (heal churn)
+  learn                            run one learning iteration over all docs
+  terms <docID>                    show a document's current index terms
+  fail <peer> | recover <peer>     crash / revive a peer
+  stabilize                        repair the overlay after churn
+  peers                            list peer names
+  save <file> | load <file>        checkpoint / restore network state
+  stats                            traffic counters and index footprint
+  quit                             exit
+`

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spritedht/sprite"
+)
+
+// capture runs execute() with stdout redirected and returns the printed
+// output plus the done flag.
+func capture(t *testing.T, net *sprite.Network, line string) (string, bool) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := execute(net, line)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), done
+}
+
+func testNet(t *testing.T) *sprite.Network {
+	t.Helper()
+	net, err := sprite.New(sprite.Options{Peers: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestExecuteShareAndSearch(t *testing.T) {
+	net := testNet(t)
+	out, done := capture(t, net, "share peer0 d1 consensus leader election protocols")
+	if done || !strings.Contains(out, "shared d1") {
+		t.Fatalf("share output: %q", out)
+	}
+	out, _ = capture(t, net, "search peer2 5 leader election")
+	if !strings.Contains(out, "d1") {
+		t.Fatalf("search output: %q", out)
+	}
+	out, _ = capture(t, net, "search peer2 5 nonexistentterm")
+	if !strings.Contains(out, "no results") {
+		t.Fatalf("miss output: %q", out)
+	}
+}
+
+func TestExecuteTermsLearnStats(t *testing.T) {
+	net := testNet(t)
+	capture(t, net, "share peer0 d1 alpha beta gamma")
+	out, _ := capture(t, net, "terms d1")
+	if !strings.Contains(out, "alpha") {
+		t.Fatalf("terms output: %q", out)
+	}
+	out, _ = capture(t, net, "learn")
+	if !strings.Contains(out, "learning iteration") {
+		t.Fatalf("learn output: %q", out)
+	}
+	out, _ = capture(t, net, "stats")
+	if !strings.Contains(out, "postings=") {
+		t.Fatalf("stats output: %q", out)
+	}
+}
+
+func TestExecuteUnshareRefreshExpand(t *testing.T) {
+	net := testNet(t)
+	capture(t, net, "share peer0 d1 quorum ballot acceptor consensus")
+	out, _ := capture(t, net, "expand peer1 5 quorum")
+	if !strings.Contains(out, "d1") {
+		t.Fatalf("expand output: %q", out)
+	}
+	out, _ = capture(t, net, "refresh")
+	if !strings.Contains(out, "migrated") {
+		t.Fatalf("refresh output: %q", out)
+	}
+	out, _ = capture(t, net, "unshare d1")
+	if !strings.Contains(out, "withdrawn") {
+		t.Fatalf("unshare output: %q", out)
+	}
+	out, _ = capture(t, net, "unshare d1")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("double unshare output: %q", out)
+	}
+}
+
+func TestExecuteFailRecoverStabilize(t *testing.T) {
+	net := testNet(t)
+	out, _ := capture(t, net, "fail peer3")
+	if !strings.Contains(out, "down") {
+		t.Fatalf("fail output: %q", out)
+	}
+	out, _ = capture(t, net, "recover peer3")
+	if !strings.Contains(out, "back") {
+		t.Fatalf("recover output: %q", out)
+	}
+	out, _ = capture(t, net, "stabilize")
+	if !strings.Contains(out, "stabilized") {
+		t.Fatalf("stabilize output: %q", out)
+	}
+}
+
+func TestExecuteSaveLoad(t *testing.T) {
+	net := testNet(t)
+	capture(t, net, "share peer0 d1 durable checkpoint state")
+	path := filepath.Join(t.TempDir(), "state.bin")
+	out, _ := capture(t, net, "save "+path)
+	if !strings.Contains(out, "saved") {
+		t.Fatalf("save output: %q", out)
+	}
+	capture(t, net, "unshare d1")
+	out, _ = capture(t, net, "load "+path)
+	if !strings.Contains(out, "loaded") {
+		t.Fatalf("load output: %q", out)
+	}
+	out, _ = capture(t, net, "search peer1 5 durable checkpoint")
+	if !strings.Contains(out, "d1") {
+		t.Fatalf("post-load search output: %q", out)
+	}
+}
+
+func TestExecuteErrorsAndQuit(t *testing.T) {
+	net := testNet(t)
+	for _, bad := range []string{
+		"share onlytwo args",
+		"search peer0 notanumber query",
+		"search peer0 5",
+		"terms",
+		"fail",
+		"recover",
+		"unshare",
+		"save",
+		"load /nonexistent/dir/x.bin",
+		"bogus command",
+	} {
+		out, done := capture(t, net, bad)
+		if done {
+			t.Fatalf("%q terminated the session", bad)
+		}
+		if !strings.Contains(out, "error") {
+			t.Fatalf("%q did not report an error: %q", bad, out)
+		}
+	}
+	if _, done := capture(t, net, "quit"); !done {
+		t.Fatal("quit did not end the session")
+	}
+	if _, done := capture(t, net, "exit"); !done {
+		t.Fatal("exit did not end the session")
+	}
+	out, _ := capture(t, net, "help")
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("help output: %q", out)
+	}
+	out, _ = capture(t, net, "peers")
+	if !strings.Contains(out, "peer0") {
+		t.Fatalf("peers output: %q", out)
+	}
+}

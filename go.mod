@@ -1,0 +1,3 @@
+module github.com/spritedht/sprite
+
+go 1.22

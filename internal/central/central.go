@@ -1,0 +1,72 @@
+// Package central implements the centralized text-retrieval baseline of the
+// SPRITE evaluation (§6): an ideal system with perfect global knowledge —
+// every term of every document indexed, the exact document frequency n_k,
+// and the exact corpus size N — ranking with the classic TF·IDF weighting.
+// The paper reports every distributed system's precision and recall as a
+// ratio over this system; it also anchors the query generator's Phase 2
+// (relevant-document derivation over ranked lists).
+package central
+
+import (
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+)
+
+// System is the centralized retrieval system over a fixed corpus.
+type System struct {
+	c  *corpus.Corpus
+	ix *index.Inverted
+}
+
+// New indexes every term of every document — exactly what a distributed
+// system cannot afford (§1) and the reason SPRITE exists.
+func New(c *corpus.Corpus) *System {
+	ix := index.NewInverted()
+	for _, d := range c.Docs() {
+		for t, f := range d.TF {
+			ix.Add(t, index.Posting{Doc: d.ID, Owner: "central", Freq: f, DocLen: d.Length})
+		}
+	}
+	return &System{c: c, ix: ix}
+}
+
+// Corpus returns the underlying corpus.
+func (s *System) Corpus() *corpus.Corpus { return s.c }
+
+// Rank scores every document matching at least one query term and returns
+// the full descending ranked list. Weights use the exact corpus statistics:
+// w_ik = ntf_ik · log(N/n_k).
+func (s *System) Rank(terms []string) ir.RankedList {
+	n := s.c.N()
+	acc := ir.NewAccumulator()
+	// Query term frequencies (queries may repeat a term).
+	qtf := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qtf[t]++
+	}
+	for t, f := range qtf {
+		df := s.c.DocFreq(t)
+		if df == 0 {
+			continue
+		}
+		wq := ir.QueryWeight(f, len(terms), n, df)
+		if wq == 0 {
+			continue
+		}
+		for _, p := range s.ix.Postings(t) {
+			wd := ir.Weight(p.NormFreq(), n, df)
+			acc.Accumulate(p.Doc, wq*wd, p.DocLen)
+		}
+	}
+	return acc.Ranked()
+}
+
+// Search returns the top-k ranked documents for the query terms.
+func (s *System) Search(terms []string, k int) ir.RankedList {
+	return s.Rank(terms).Top(k)
+}
+
+// Index exposes the underlying inverted index (read-mostly; used by cost
+// accounting to compare full indexing against selective indexing).
+func (s *System) Index() *index.Inverted { return s.ix }

@@ -1,0 +1,14 @@
+package chord
+
+import "encoding/gob"
+
+// The overlay's message payloads are registered with gob so that the same
+// protocol runs unchanged over internal/nettransport's TCP frames. The
+// in-process simulator passes payloads by value and never touches these
+// registrations.
+func init() {
+	gob.Register(nextHopReq{})
+	gob.Register(nextHopResp{})
+	gob.Register(stateResp{})
+	gob.Register(Ref{})
+}

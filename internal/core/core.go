@@ -1,0 +1,320 @@
+// Package core implements SPRITE — Selective PRogressive Index Tuning by
+// Examples (Li, Jagadish, Tan; ICDE 2007) — on top of the Chord overlay.
+//
+// Every peer plays two roles (§3). As an *owner peer* it shares documents:
+// it selects a small set of global index terms per document (initially the
+// most frequent terms, §5.2), publishes them into the DHT, and periodically
+// *learns* better terms from the history of queries cached at indexing peers
+// (§5.3, Algorithm 1). As an *indexing peer* it maintains inverted lists for
+// the terms the overlay assigns to it, plus a bounded history of recent
+// queries mentioning those terms.
+//
+// Query processing (§4) hashes each keyword to its indexing peer, pulls the
+// postings (term frequency, document length, indexed document frequency),
+// and lets the querying peer consolidate TF·IDF partial scores with the Lee
+// et al. similarity. The corpus size N is unknowable in a P2P setting, so a
+// fixed large surrogate is used; indexed document frequency n'_k plays the
+// role of document frequency.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// Config holds SPRITE's tunables, with the paper's §6.2 defaults.
+type Config struct {
+	// InitialTerms is F, the number of most-frequent terms published when a
+	// document is first shared. Paper default: 5.
+	InitialTerms int
+	// TermsPerIteration is the number of new terms each learning iteration
+	// may add (or, at the cap, replace). Paper default: 5.
+	TermsPerIteration int
+	// MaxIndexTerms caps the number of global index terms per document
+	// ("we limit the maximum number of terms to be indexed to a small value
+	// (say, 30)", §5). Once reached, learning only replaces terms.
+	MaxIndexTerms int
+	// HistoryCap bounds each indexing peer's cached query history ("each
+	// indexing peer maintains only the most recently issued queries", §3).
+	HistoryCap int
+	// ReplicationFactor is the number of successor peers each index entry is
+	// replicated to (§7). 0 disables replication.
+	ReplicationFactor int
+	// SurrogateN is the fixed large N used in IDF computations (§4).
+	SurrogateN int
+	// HotTermDF enables the §7 load-balancing advisory: when a poll reveals
+	// that one of a document's index terms has an indexed document frequency
+	// of at least HotTermDF, the owner drops the term — its IDF is so low it
+	// contributes almost nothing to similarity — and the freed slot goes to
+	// the next best term. 0 disables the advisory.
+	HotTermDF int
+	// Score selects the learning score function. The zero value is the
+	// paper's Score(t,D) = qScore·log₁₀(QF); the alternatives exist for the
+	// ablation study of this design choice (see DESIGN.md).
+	Score ScoreVariant
+}
+
+// ScoreVariant enumerates learning score functions for the ablation study of
+// §5.3's combined formula.
+type ScoreVariant int
+
+const (
+	// ScoreQScoreLogQF is the paper's formula: qScore · log₁₀(QF). The
+	// logarithm damps QF so that high-quality (high-qScore) queries dominate
+	// noisy popular terms.
+	ScoreQScoreLogQF ScoreVariant = iota
+	// ScoreQScoreOnly ranks by max qScore alone (ignores how often a term is
+	// queried).
+	ScoreQScoreOnly
+	// ScoreQFOnly ranks by query frequency alone (ignores query quality).
+	ScoreQFOnly
+	// ScoreQScoreTimesQF multiplies without the logarithm (popularity
+	// dominates).
+	ScoreQScoreTimesQF
+)
+
+// String implements fmt.Stringer for experiment reports.
+func (v ScoreVariant) String() string {
+	switch v {
+	case ScoreQScoreLogQF:
+		return "qscore*logQF"
+	case ScoreQScoreOnly:
+		return "qscore-only"
+	case ScoreQFOnly:
+		return "qf-only"
+	case ScoreQScoreTimesQF:
+		return "qscore*QF"
+	}
+	return fmt.Sprintf("ScoreVariant(%d)", int(v))
+}
+
+// FillDefaults returns the config with zero fields replaced by the paper's
+// defaults.
+func (c Config) FillDefaults() Config {
+	if c.InitialTerms == 0 {
+		c.InitialTerms = 5
+	}
+	if c.TermsPerIteration == 0 {
+		c.TermsPerIteration = 5
+	}
+	if c.MaxIndexTerms == 0 {
+		c.MaxIndexTerms = 30
+	}
+	if c.HistoryCap == 0 {
+		c.HistoryCap = 4096
+	}
+	if c.SurrogateN == 0 {
+		c.SurrogateN = ir.LargeN
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.InitialTerms < 1:
+		return fmt.Errorf("core: InitialTerms = %d, need >= 1", c.InitialTerms)
+	case c.TermsPerIteration < 0:
+		return fmt.Errorf("core: TermsPerIteration = %d, need >= 0", c.TermsPerIteration)
+	case c.MaxIndexTerms < c.InitialTerms:
+		return fmt.Errorf("core: MaxIndexTerms = %d smaller than InitialTerms = %d", c.MaxIndexTerms, c.InitialTerms)
+	case c.HistoryCap < 1:
+		return fmt.Errorf("core: HistoryCap = %d, need >= 1", c.HistoryCap)
+	case c.ReplicationFactor < 0:
+		return fmt.Errorf("core: ReplicationFactor = %d, need >= 0", c.ReplicationFactor)
+	case c.SurrogateN < 2:
+		return fmt.Errorf("core: SurrogateN = %d, need >= 2", c.SurrogateN)
+	case c.HotTermDF < 0:
+		return fmt.Errorf("core: HotTermDF = %d, need >= 0", c.HotTermDF)
+	}
+	return nil
+}
+
+// Network is a running SPRITE deployment over a Chord ring. It is the
+// package's entry point: share documents, insert queries, run learning
+// iterations, and search.
+type Network struct {
+	cfg   Config
+	ring  *chord.Ring
+	peers map[simnet.Addr]*Peer
+	// order lists peers sorted by address for deterministic iteration.
+	order []*Peer
+	// ownerOf maps each shared document to its owner peer.
+	ownerOf map[index.DocID]*Peer
+	// docOrder preserves share order so learning sweeps are deterministic.
+	docOrder []index.DocID
+}
+
+// NewNetwork attaches SPRITE peers to every node currently in the ring. The
+// ring should already be built (or joined and stabilized).
+func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
+	cfg = cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:     cfg,
+		ring:    ring,
+		peers:   make(map[simnet.Addr]*Peer),
+		ownerOf: make(map[index.DocID]*Peer),
+	}
+	for _, node := range ring.Nodes() {
+		p := newPeer(n, node)
+		n.peers[node.Addr()] = p
+		n.order = append(n.order, p)
+		node.SetAppHandler(p)
+	}
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i].Addr() < n.order[j].Addr() })
+	return n, nil
+}
+
+// Config returns the active configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Ring returns the underlying Chord ring.
+func (n *Network) Ring() *chord.Ring { return n.ring }
+
+// Peers returns all SPRITE peers sorted by address.
+func (n *Network) Peers() []*Peer {
+	out := make([]*Peer, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Peer returns the peer at addr.
+func (n *Network) Peer(addr simnet.Addr) (*Peer, bool) {
+	p, ok := n.peers[addr]
+	return p, ok
+}
+
+// Adopt attaches SPRITE peer state to a node that joined the ring after the
+// network was created, so the newcomer can serve application messages
+// (publishes, query caching, polls). Adopting an already-known node returns
+// its existing peer.
+func (n *Network) Adopt(node *chord.Node) *Peer {
+	if p, ok := n.peers[node.Addr()]; ok {
+		return p
+	}
+	p := newPeer(n, node)
+	n.peers[node.Addr()] = p
+	n.order = append(n.order, p)
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i].Addr() < n.order[j].Addr() })
+	node.SetAppHandler(p)
+	return p
+}
+
+// Share registers doc at the owner peer and publishes its initial global
+// index terms (the top-F most frequent, §5.2).
+func (n *Network) Share(owner simnet.Addr, doc *corpus.Document) error {
+	p, ok := n.peers[owner]
+	if !ok {
+		return fmt.Errorf("core: unknown peer %q", owner)
+	}
+	if prev, shared := n.ownerOf[doc.ID]; shared {
+		return fmt.Errorf("core: document %q already shared by %q", doc.ID, prev.Addr())
+	}
+	if err := p.share(doc); err != nil {
+		return err
+	}
+	n.ownerOf[doc.ID] = p
+	n.docOrder = append(n.docOrder, doc.ID)
+	return nil
+}
+
+// Owner returns the owner peer of a shared document.
+func (n *Network) Owner(doc index.DocID) (*Peer, bool) {
+	p, ok := n.ownerOf[doc]
+	return p, ok
+}
+
+// Documents returns the IDs of all shared documents in share order.
+func (n *Network) Documents() []index.DocID {
+	out := make([]index.DocID, len(n.docOrder))
+	copy(out, n.docOrder)
+	return out
+}
+
+// InsertQuery caches the query's keywords at the indexing peers responsible
+// for them without retrieving results — the §6.2 training step ("For each
+// query in the training set, the keywords are inserted into SPRITE").
+func (n *Network) InsertQuery(from simnet.Addr, terms []string) error {
+	p, ok := n.peers[from]
+	if !ok {
+		return fmt.Errorf("core: unknown peer %q", from)
+	}
+	return p.insertQuery(terms)
+}
+
+// Search executes a keyword query from the given peer and returns the top-k
+// ranked documents (§4). Terms whose indexing peer is unreachable are
+// discarded from the computation rather than failing the query (§7). The
+// query is cached in the contacted indexing peers' histories, feeding future
+// learning.
+func (n *Network) Search(from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
+	p, ok := n.peers[from]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %q", from)
+	}
+	return p.search(terms, k, true), nil
+}
+
+// Probe is Search without the history side effect: the query is processed
+// but not cached at indexing peers. The experiment harness uses it so that
+// measurement runs do not leak the testing queries into the learning state.
+func (n *Network) Probe(from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
+	p, ok := n.peers[from]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %q", from)
+	}
+	return p.search(terms, k, false), nil
+}
+
+// LearnAll runs one learning iteration (§5.3, Algorithm 1) for every shared
+// document, in share order. It returns the total number of index-term
+// changes (additions plus replacements) applied across the network.
+func (n *Network) LearnAll() (changes int, err error) {
+	for _, id := range n.docOrder {
+		p := n.ownerOf[id]
+		ch, lerr := p.learnDoc(id)
+		if lerr != nil {
+			return changes, fmt.Errorf("core: learning %s: %w", id, lerr)
+		}
+		changes += ch
+	}
+	return changes, nil
+}
+
+// LearnDoc runs one learning iteration for a single document.
+func (n *Network) LearnDoc(doc index.DocID) (int, error) {
+	p, ok := n.ownerOf[doc]
+	if !ok {
+		return 0, fmt.Errorf("core: document %q not shared", doc)
+	}
+	return p.learnDoc(doc)
+}
+
+// IndexedTerms returns the current global index terms of a shared document,
+// sorted.
+func (n *Network) IndexedTerms(doc index.DocID) ([]string, error) {
+	p, ok := n.ownerOf[doc]
+	if !ok {
+		return nil, fmt.Errorf("core: document %q not shared", doc)
+	}
+	return p.indexedTerms(doc), nil
+}
+
+// TotalPostings sums the postings stored across all indexing peers' primary
+// indexes — the global index footprint SPRITE's selective indexing bounds.
+func (n *Network) TotalPostings() int {
+	total := 0
+	for _, p := range n.order {
+		total += p.indexing.ix.NumPostings()
+	}
+	return total
+}

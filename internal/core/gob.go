@@ -1,0 +1,19 @@
+package core
+
+import "encoding/gob"
+
+// SPRITE's message payloads are registered with gob so the protocol runs
+// unchanged over internal/nettransport's TCP frames.
+func init() {
+	gob.Register(publishReq{})
+	gob.Register(unpublishReq{})
+	gob.Register(getPostingsReq{})
+	gob.Register(getPostingsResp{})
+	gob.Register(cacheQueryReq{})
+	gob.Register(pollReq{})
+	gob.Register(pollResp{})
+	gob.Register(replicaReq{})
+	gob.Register(replicaDropReq{})
+	gob.Register(docTermsReq{})
+	gob.Register(docTermsResp{})
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// This file implements index maintenance: un-sharing documents and the
+// owner's periodic refresh. The paper's §1 observes that owners must
+// "periodically probe the indexing peers to ensure that they are still
+// alive"; refresh is that probe made effectful — it re-publishes every index
+// term through a fresh DHT lookup, so entries migrate to whichever peer
+// currently owns the term's key (after churn, joins, or recoveries).
+
+// Unshare withdraws a document from the network: every published index term
+// is removed from its indexing peer (and replicas), and the owner forgets
+// the document's learning state. Terms whose indexing peer is unreachable
+// are skipped — their entries die with the peer.
+func (n *Network) Unshare(doc index.DocID) error {
+	p, ok := n.ownerOf[doc]
+	if !ok {
+		return fmt.Errorf("core: document %q not shared", doc)
+	}
+	if err := p.unshare(doc); err != nil {
+		return err
+	}
+	delete(n.ownerOf, doc)
+	for i, id := range n.docOrder {
+		if id == doc {
+			n.docOrder = append(n.docOrder[:i], n.docOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (p *Peer) unshare(docID index.DocID) error {
+	p.mu.Lock()
+	st := p.owned[docID]
+	p.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("core: peer %s does not own %q", p.Addr(), docID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, term := range sortedIndexedTerms(st) {
+		// Best-effort: a dead indexing peer takes its entries with it.
+		if err := p.unpublishTerm(st, term); err != nil {
+			delete(st.indexed, term)
+			delete(st.since, term)
+		}
+	}
+	p.mu.Lock()
+	delete(p.owned, docID)
+	p.mu.Unlock()
+	return nil
+}
+
+// RefreshDoc re-publishes every current index term of a document through a
+// fresh lookup. After overlay changes (node joins, failures, recoveries)
+// the peer responsible for a term's key may have changed; refresh moves the
+// posting to the current owner, restoring findability without replication.
+// It returns the number of terms whose indexing peer changed.
+func (n *Network) RefreshDoc(doc index.DocID) (int, error) {
+	p, ok := n.ownerOf[doc]
+	if !ok {
+		return 0, fmt.Errorf("core: document %q not shared", doc)
+	}
+	return p.refresh(doc)
+}
+
+// RefreshAll refreshes every shared document in share order and returns the
+// total number of migrated postings.
+func (n *Network) RefreshAll() (int, error) {
+	moved := 0
+	for _, id := range n.docOrder {
+		m, err := n.ownerOf[id].refresh(id)
+		if err != nil {
+			return moved, fmt.Errorf("core: refresh %s: %w", id, err)
+		}
+		moved += m
+	}
+	return moved, nil
+}
+
+func (p *Peer) refresh(docID index.DocID) (int, error) {
+	p.mu.Lock()
+	st := p.owned[docID]
+	p.mu.Unlock()
+	if st == nil {
+		return 0, fmt.Errorf("core: peer %s does not own %q", p.Addr(), docID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	moved := 0
+	for _, term := range sortedIndexedTerms(st) {
+		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if err != nil {
+			continue // no live owner for this key right now
+		}
+		posting := index.Posting{
+			Doc:    docID,
+			Owner:  string(p.Addr()),
+			Freq:   st.doc.TF[term],
+			DocLen: st.doc.Length,
+		}
+		if _, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+			Type:    msgPublish,
+			Payload: publishReq{Term: term, Posting: posting},
+			Size:    len(term) + posting.WireSize(),
+		}); err != nil {
+			continue
+		}
+		// The publish is idempotent at the destination; a move is counted
+		// when the responsible peer differs from the last known address.
+		if last, known := st.publishedAt[term]; known && last != ref.Addr {
+			moved++
+		}
+		if st.publishedAt == nil {
+			st.publishedAt = make(map[string]simnet.Addr)
+		}
+		st.publishedAt[term] = ref.Addr
+	}
+	return moved, nil
+}
+
+func sortedIndexedTerms(st *docState) []string {
+	out := make([]string, 0, len(st.indexed))
+	for t := range st.indexed {
+		out = append(out, t)
+	}
+	insertionSort(out)
+	return out
+}

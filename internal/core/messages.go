@@ -1,0 +1,162 @@
+package core
+
+import (
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// SPRITE's application-level message types, dispatched by chord.Node to the
+// owning Peer. Sizes are simulated wire sizes for bandwidth accounting.
+const (
+	// msgPublish carries one (term, posting) pair from an owner peer to the
+	// indexing peer responsible for the term.
+	msgPublish = "sprite.publish"
+	// msgUnpublish removes a (term, doc) posting — learning retired the term.
+	msgUnpublish = "sprite.unpublish"
+	// msgGetPostings retrieves a term's inverted list during query
+	// processing; it carries the full query so the indexing peer can cache
+	// it in its history (§3).
+	msgGetPostings = "sprite.get_postings"
+	// msgCacheQuery inserts a query into an indexing peer's history without
+	// retrieving postings (the training-set insertion of §6.2).
+	msgCacheQuery = "sprite.cache_query"
+	// msgPoll is the owner peer's periodic index-update poll: it announces
+	// all global index terms of a document and asks for the new queries for
+	// which this peer holds the closest term (§3).
+	msgPoll = "sprite.poll"
+	// msgReplica pushes a copy of an index entry to a successor peer (§7).
+	msgReplica = "sprite.replica"
+	// msgReplicaDrop removes a replicated entry.
+	msgReplicaDrop = "sprite.replica_drop"
+)
+
+type publishReq struct {
+	Term    string
+	Posting index.Posting
+}
+
+type unpublishReq struct {
+	Term string
+	Doc  index.DocID
+}
+
+type getPostingsReq struct {
+	Term string
+	// Query is the complete keyword set of the query being processed; the
+	// indexing peer caches it for future learning when Record is set.
+	Query []string
+	// Record controls whether the indexing peer adds Query to its history.
+	// Normal query processing records; measurement probes do not.
+	Record bool
+}
+
+type getPostingsResp struct {
+	Postings []index.Posting
+	// IndexedDF is n'_k — the number of documents that chose Term as a
+	// global index term (§4).
+	IndexedDF int
+	// FromReplica reports that the primary had no entries and a successor
+	// replica answered instead (§7).
+	FromReplica bool
+}
+
+type cacheQueryReq struct {
+	Query []string
+}
+
+type pollReq struct {
+	Term string
+	Doc  index.DocID
+	// DocTerms lists all current global index terms of the document, so the
+	// indexing peer can decide for which cached queries it is the
+	// closest-term peer (§3's de-duplication).
+	DocTerms []string
+	// Since is the history watermark from the previous poll; only newer
+	// queries are returned (Algorithm 1's incremental query set).
+	Since uint64
+}
+
+type pollResp struct {
+	Queries  [][]string
+	NewSince uint64
+	// IndexedDF is the polled term's current indexed document frequency at
+	// this peer — the signal behind the §7 hot-term advisory: a very high
+	// value means the term's IDF is negligible and owners are better off
+	// spending the index slot elsewhere.
+	IndexedDF int
+}
+
+type replicaReq struct {
+	Term    string
+	Posting index.Posting
+}
+
+type replicaDropReq struct {
+	Term string
+	Doc  index.DocID
+}
+
+// wire-size helpers (rough but consistent, for bandwidth accounting).
+
+func sizeTerms(terms []string) int {
+	n := 0
+	for _, t := range terms {
+		n += len(t) + 1
+	}
+	return n
+}
+
+func sizePostings(ps []index.Posting) int {
+	n := 0
+	for _, p := range ps {
+		n += p.WireSize()
+	}
+	return n
+}
+
+// queryHash returns the canonical ring position of a query's keyword set.
+// The paper hashes every cached query (precomputable offline) so that the
+// single indexing peer holding the closest term — by hash-space distance —
+// returns it during polling, avoiding duplicate transmissions (§3).
+func queryHash(terms []string) chordid.ID {
+	q := canonicalQuery(terms)
+	return chordid.HashKey(q)
+}
+
+func canonicalQuery(terms []string) string {
+	sorted := append([]string(nil), terms...)
+	insertionSort(sorted)
+	out := ""
+	for i, t := range sorted {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}
+
+// insertionSort keeps the hot path allocation-free for the short slices
+// queries are (typically 3–6 terms).
+func insertionSort(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// closestTerm returns the term among candidates whose hash is closest to the
+// query hash by clockwise ring distance, ties broken by term string so every
+// peer reaches the same answer independently.
+func closestTerm(qh chordid.ID, candidates []string) string {
+	best := ""
+	var bestDist chordid.ID
+	for _, t := range candidates {
+		d := qh.Distance(chordid.HashKey(t))
+		if best == "" || d.Cmp(bestDist) < 0 || (d.Cmp(bestDist) == 0 && t < best) {
+			best, bestDist = t, d
+		}
+	}
+	return best
+}

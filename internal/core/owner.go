@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// This file implements the owner-peer role: initial term selection (§5.2),
+// the periodic learning iteration (§5.3, Algorithm 1), and query processing
+// from the querying peer's side (§4).
+
+// docState is the owner's per-document learning state. Per Algorithm 1, the
+// owner does not retain past queries — only, per term of the document, the
+// cumulative query frequency and the maximum query score seen so far, which
+// together make Score computable from each iteration's incremental query set
+// alone.
+type docState struct {
+	// mu serializes learning, refresh, unshare, and term inspection for
+	// this document. It is never held across another peer's handler that
+	// takes it back (handlers only touch indexingState), so lock ordering
+	// is trivially acyclic.
+	mu  sync.Mutex
+	doc *corpus.Document
+	// indexed is the current set of global index terms.
+	indexed map[string]bool
+	// stats holds QF and max-qScore per document term that appeared in any
+	// seen query ("At every owner peer, for each term in a document, two
+	// values are stored: qScore and QF", §5.1).
+	stats map[string]*termStat
+	// since is the per-term poll watermark into each indexing peer's
+	// history: only newer queries are pulled (the incremental query set Q′).
+	since map[string]uint64
+	// publishedAt remembers which peer last accepted each term's posting, so
+	// refresh can detect ownership migration after churn.
+	publishedAt map[string]simnet.Addr
+	// banned holds terms retired by the §7 hot-term advisory; they are never
+	// re-selected for this document ("The document owner peers can then
+	// discard the term and pick an analogously important term to index").
+	banned map[string]bool
+}
+
+type termStat struct {
+	qf    int     // cumulative query frequency QF(t)
+	maxQS float64 // largest qScore over all queries containing t
+}
+
+// score computes the learning rank score under the configured variant. The
+// paper's combined formula is Score(t, D) = qScore · log₁₀(QF) (§5.3; the
+// worked example in Fig. 2(b) uses base-10 logarithms: 0.75·log 20 = 0.975).
+func (ts *termStat) score(v ScoreVariant) float64 {
+	if ts.qf <= 0 {
+		return 0
+	}
+	switch v {
+	case ScoreQScoreOnly:
+		return ts.maxQS
+	case ScoreQFOnly:
+		return float64(ts.qf)
+	case ScoreQScoreTimesQF:
+		return ts.maxQS * float64(ts.qf)
+	default:
+		return ts.maxQS * math.Log10(float64(ts.qf))
+	}
+}
+
+// qScore is the query-document similarity used for learning:
+// qScore(Q, D) = |Q ∩ D| / |Q| (§5.3). The conventional IR formula is
+// deliberately not used here — when selecting descriptive queries for a
+// document, a term occurring in many queries is more (not less) important.
+func qScore(queryTerms []string, doc *corpus.Document) float64 {
+	if len(queryTerms) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, t := range queryTerms {
+		if doc.Contains(t) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(queryTerms))
+}
+
+// share performs initial term selection and publication (§5.2): the top-F
+// most frequent terms of the (already preprocessed) document become its
+// first global index terms.
+func (p *Peer) share(doc *corpus.Document) error {
+	st := &docState{
+		doc:     doc,
+		indexed: make(map[string]bool),
+		stats:   make(map[string]*termStat),
+		since:   make(map[string]uint64),
+	}
+	for _, term := range doc.TopTerms(p.net.cfg.InitialTerms) {
+		if err := p.publishTerm(st, term); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.owned[doc.ID] = st
+	p.mu.Unlock()
+	return nil
+}
+
+// publishTerm routes a (term → posting) publication through the DHT to the
+// term's indexing peer and records it in the document's indexed set.
+func (p *Peer) publishTerm(st *docState, term string) error {
+	ref, _, err := p.node.Lookup(chordid.HashKey(term))
+	if err != nil {
+		return fmt.Errorf("core: publish %q: %w", term, err)
+	}
+	posting := index.Posting{
+		Doc:    st.doc.ID,
+		Owner:  string(p.Addr()),
+		Freq:   st.doc.TF[term],
+		DocLen: st.doc.Length,
+	}
+	_, err = p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+		Type:    msgPublish,
+		Payload: publishReq{Term: term, Posting: posting},
+		Size:    len(term) + posting.WireSize(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: publish %q to %s: %w", term, ref.Addr, err)
+	}
+	st.indexed[term] = true
+	if st.publishedAt == nil {
+		st.publishedAt = make(map[string]simnet.Addr)
+	}
+	st.publishedAt[term] = ref.Addr
+	return nil
+}
+
+// unpublishTerm removes a retired term's posting from its indexing peer.
+func (p *Peer) unpublishTerm(st *docState, term string) error {
+	delete(st.indexed, term)
+	delete(st.since, term)
+	delete(st.publishedAt, term)
+	ref, _, err := p.node.Lookup(chordid.HashKey(term))
+	if err != nil {
+		return fmt.Errorf("core: unpublish %q: %w", term, err)
+	}
+	_, err = p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+		Type:    msgUnpublish,
+		Payload: unpublishReq{Term: term, Doc: st.doc.ID},
+		Size:    len(term) + len(st.doc.ID),
+	})
+	if err != nil {
+		return fmt.Errorf("core: unpublish %q from %s: %w", term, ref.Addr, err)
+	}
+	return nil
+}
+
+// indexedTerms returns the document's current global index terms, sorted.
+func (p *Peer) indexedTerms(doc index.DocID) []string {
+	p.mu.Lock()
+	st := p.owned[doc]
+	p.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.indexed))
+	for t := range st.indexed {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// insertQuery caches the keywords at every responsible indexing peer without
+// retrieving postings.
+func (p *Peer) insertQuery(terms []string) error {
+	var firstErr error
+	for _, term := range distinctTerms(terms) {
+		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		_, err = p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+			Type:    msgCacheQuery,
+			Payload: cacheQueryReq{Query: terms},
+			Size:    sizeTerms(terms),
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// search implements §4's query processing from the querying peer: hash each
+// keyword, fetch postings from the responsible indexing peers, consolidate
+// per-document partial scores, and rank with the Lee et al. similarity.
+// Unreachable terms are skipped (§7's degraded mode).
+func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
+	qtf := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qtf[t]++
+	}
+	n := p.net.cfg.SurrogateN
+	acc := ir.NewAccumulator()
+	for _, term := range distinctTerms(terms) {
+		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if err != nil {
+			continue
+		}
+		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+			Type:    msgGetPostings,
+			Payload: getPostingsReq{Term: term, Query: terms, Record: record},
+			Size:    len(term) + sizeTerms(terms),
+		})
+		if err != nil {
+			continue
+		}
+		resp := reply.Payload.(getPostingsResp)
+		if resp.IndexedDF == 0 {
+			continue
+		}
+		wq := ir.QueryWeight(qtf[term], len(terms), n, resp.IndexedDF)
+		for _, posting := range resp.Postings {
+			wd := ir.Weight(posting.NormFreq(), n, resp.IndexedDF)
+			acc.Accumulate(posting.Doc, wq*wd, posting.DocLen)
+		}
+	}
+	return acc.Ranked().Top(k)
+}
+
+// learnDoc runs one learning iteration for a document (§5.3, Algorithm 1):
+//
+//  1. Poll the indexing peer of every current index term for the incremental
+//     query set Q′ (each query returned by exactly one peer).
+//  2. Fold Q′ into the per-term running statistics (max qScore, cumulative
+//     QF) and recompute Score(t) = qScore·log₁₀(QF) for the rank list RL.
+//  3. Publish up to TermsPerIteration new high-Score terms; once the
+//     MaxIndexTerms cap is reached, replace the lowest-scoring indexed terms
+//     instead (Fig. 2(a)'s insertion + replacement behaviour).
+//
+// It returns the number of index changes (publishes + replacements).
+func (p *Peer) learnDoc(docID index.DocID) (int, error) {
+	p.mu.Lock()
+	st := p.owned[docID]
+	p.mu.Unlock()
+	if st == nil {
+		return 0, fmt.Errorf("core: peer %s does not own %q", p.Addr(), docID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	// Step 1: pull the incremental query set.
+	docTerms := make([]string, 0, len(st.indexed))
+	for t := range st.indexed {
+		docTerms = append(docTerms, t)
+	}
+	sort.Strings(docTerms)
+
+	var incremental [][]string
+	var hot []string
+	for _, term := range docTerms {
+		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if err != nil {
+			continue // indexing peer unreachable; learn from the rest
+		}
+		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+			Type: msgPoll,
+			Payload: pollReq{
+				Term:     term,
+				Doc:      docID,
+				DocTerms: docTerms,
+				Since:    st.since[term],
+			},
+			Size: len(term) + sizeTerms(docTerms) + 8,
+		})
+		if err != nil {
+			continue
+		}
+		resp := reply.Payload.(pollResp)
+		st.since[term] = resp.NewSince
+		if p.net.cfg.HotTermDF > 0 && resp.IndexedDF >= p.net.cfg.HotTermDF {
+			hot = append(hot, term)
+		}
+		incremental = append(incremental, resp.Queries...)
+	}
+
+	// §7 hot-term advisory: drop terms whose indexed document frequency is
+	// so high that their IDF — and hence their contribution to similarity —
+	// is negligible, while their maintenance load on the indexing peer is
+	// maximal. The freed slots are refilled by this iteration's selection.
+	for _, term := range hot {
+		if len(st.indexed) <= 1 {
+			break // never strip a document's last index term
+		}
+		if st.banned == nil {
+			st.banned = make(map[string]bool)
+		}
+		st.banned[term] = true
+		// Best-effort: if the indexing peer died between the poll and the
+		// removal, the local retirement still stands and the orphaned entry
+		// dies with the peer.
+		if err := p.unpublishTerm(st, term); err != nil {
+			continue
+		}
+	}
+
+	// Step 2: fold Q′ into the running statistics (Algorithm 1 lines 4–16).
+	for _, q := range incremental {
+		qs := qScore(q, st.doc)
+		for _, t := range distinctTerms(q) {
+			if !st.doc.Contains(t) {
+				continue
+			}
+			ts := st.stats[t]
+			if ts == nil {
+				ts = &termStat{}
+				st.stats[t] = ts
+			}
+			ts.qf++
+			if qs > ts.maxQS {
+				ts.maxQS = qs
+			}
+		}
+	}
+
+	// Step 3: rebuild the rank list and apply additions/replacements.
+	return p.applyRankList(st)
+}
+
+// rankedTerm pairs a term with its learning rank key.
+type rankedTerm struct {
+	term  string
+	score float64
+	qs    float64
+	tf    int
+}
+
+func (p *Peer) rankList(st *docState) []rankedTerm {
+	variant := p.net.cfg.Score
+	rl := make([]rankedTerm, 0, len(st.stats))
+	for t, ts := range st.stats {
+		rl = append(rl, rankedTerm{term: t, score: ts.score(variant), qs: ts.maxQS, tf: st.doc.TF[t]})
+	}
+	// Sort by Score; ties (notably QF=1 ⇒ Score=0) break by qScore, then
+	// document term frequency, then term, keeping selection deterministic.
+	sort.Slice(rl, func(i, j int) bool {
+		a, b := rl[i], rl[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.qs != b.qs {
+			return a.qs > b.qs
+		}
+		if a.tf != b.tf {
+			return a.tf > b.tf
+		}
+		return a.term < b.term
+	})
+	return rl
+}
+
+func (p *Peer) applyRankList(st *docState) (int, error) {
+	rl := p.rankList(st)
+	budget := p.net.cfg.TermsPerIteration
+	cap := p.net.cfg.MaxIndexTerms
+	changes := 0
+
+	// indexedScore returns the replacement-priority score of a currently
+	// indexed term: learned terms use Score; never-queried terms (initial
+	// frequency picks the learner knows nothing about) rank below everything
+	// and are the first to be replaced — cf. Fig. 1, where frequent-but-
+	// unqueried term c is not worth indexing.
+	indexedScore := func(t string) (float64, float64) {
+		if ts, ok := st.stats[t]; ok {
+			return ts.score(p.net.cfg.Score), ts.maxQS
+		}
+		return -1, -1
+	}
+
+	for _, cand := range rl {
+		if budget == 0 {
+			break
+		}
+		if st.indexed[cand.term] || st.banned[cand.term] {
+			continue
+		}
+		if len(st.indexed) < cap {
+			if err := p.publishTerm(st, cand.term); err != nil {
+				return changes, err
+			}
+			changes++
+			budget--
+			continue
+		}
+		// At the cap: find the weakest indexed term and replace it if the
+		// candidate ranks strictly higher.
+		worst, worstScore, worstQS := "", math.Inf(1), math.Inf(1)
+		for t := range st.indexed {
+			s, q := indexedScore(t)
+			if s < worstScore || (s == worstScore && q < worstQS) ||
+				(s == worstScore && q == worstQS && t > worst) {
+				worst, worstScore, worstQS = t, s, q
+			}
+		}
+		if cand.score > worstScore || (cand.score == worstScore && cand.qs > worstQS) {
+			if err := p.unpublishTerm(st, worst); err != nil {
+				return changes, err
+			}
+			if err := p.publishTerm(st, cand.term); err != nil {
+				return changes, err
+			}
+			changes++
+			budget--
+		} else {
+			// Candidates are sorted descending; nothing further can win.
+			break
+		}
+	}
+
+	// If learning produced fewer candidates than the iteration budget, fill
+	// the remainder with the next most frequent unindexed terms — the
+	// paper's initial-guess selector (§5.2) reapplied. This keeps the number
+	// of indexed terms at the configured level (§6.2 fixes it at
+	// F + iterations·TermsPerIteration), so a document with a thin query
+	// history degrades gracefully to the static frequency scheme instead of
+	// being under-indexed.
+	if budget > 0 && len(st.indexed) < cap {
+		for _, term := range st.doc.TopTerms(len(st.doc.TF)) {
+			if budget == 0 || len(st.indexed) >= cap {
+				break
+			}
+			if st.indexed[term] || st.banned[term] {
+				continue
+			}
+			if err := p.publishTerm(st, term); err != nil {
+				return changes, err
+			}
+			changes++
+			budget--
+		}
+	}
+	return changes, nil
+}
+
+func distinctTerms(terms []string) []string {
+	seen := make(map[string]bool, len(terms))
+	out := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

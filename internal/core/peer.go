@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// Peer is one SPRITE participant: a Chord node plus indexing-peer state (the
+// inverted lists and query history for terms the overlay assigns to it) and
+// owner-peer state (the documents it shares and their learning statistics).
+type Peer struct {
+	net  *Network
+	node *chord.Node
+
+	indexing indexingState
+
+	mu    sync.Mutex
+	owned map[index.DocID]*docState
+}
+
+func newPeer(n *Network, node *chord.Node) *Peer {
+	return &Peer{
+		net:  n,
+		node: node,
+		indexing: indexingState{
+			ix:         index.NewInverted(),
+			replicas:   index.NewInverted(),
+			historyCap: n.cfg.HistoryCap,
+		},
+		owned: make(map[index.DocID]*docState),
+	}
+}
+
+// Addr returns the peer's network address.
+func (p *Peer) Addr() simnet.Addr { return p.node.Addr() }
+
+// Node returns the peer's Chord node.
+func (p *Peer) Node() *chord.Node { return p.node }
+
+// Index returns the peer's primary inverted index (indexing-peer role).
+// Exposed read-only for experiments and tests.
+func (p *Peer) Index() *index.Inverted { return p.indexing.ix }
+
+// HistoryLen returns the number of queries currently cached at this peer.
+func (p *Peer) HistoryLen() int {
+	p.indexing.mu.Lock()
+	defer p.indexing.mu.Unlock()
+	return len(p.indexing.history)
+}
+
+// HandleMessage implements simnet.Handler for SPRITE's application messages.
+func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Message, error) {
+	switch msg.Type {
+	case msgPublish:
+		req := msg.Payload.(publishReq)
+		p.indexing.publish(req.Term, req.Posting)
+		p.replicateOut(req.Term, req.Posting)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgUnpublish:
+		req := msg.Payload.(unpublishReq)
+		p.indexing.unpublish(req.Term, req.Doc)
+		p.replicateDrop(req.Term, req.Doc)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgGetPostings:
+		req := msg.Payload.(getPostingsReq)
+		if req.Record {
+			p.indexing.cacheQuery(req.Query)
+		}
+		resp := p.indexing.postings(req.Term)
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: sizePostings(resp.Postings) + 8}, nil
+
+	case msgCacheQuery:
+		req := msg.Payload.(cacheQueryReq)
+		p.indexing.cacheQuery(req.Query)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgPoll:
+		req := msg.Payload.(pollReq)
+		resp := p.indexing.poll(req)
+		size := 8
+		for _, q := range resp.Queries {
+			size += sizeTerms(q)
+		}
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: size}, nil
+
+	case msgReplica:
+		req := msg.Payload.(replicaReq)
+		p.indexing.addReplica(req.Term, req.Posting)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgReplicaDrop:
+		req := msg.Payload.(replicaDropReq)
+		p.indexing.dropReplica(req.Term, req.Doc)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgDocTerms:
+		req := msg.Payload.(docTermsReq)
+		resp := p.handleDocTerms(req)
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: 8 * len(resp.TF)}, nil
+	}
+	return simnet.Message{}, fmt.Errorf("core: peer %s: unknown message type %q", p.Addr(), msg.Type)
+}
+
+// replicateOut pushes a freshly published entry to this peer's first
+// ReplicationFactor successors (§7: "we can replicate the indexes of a peer
+// in its successor peers").
+func (p *Peer) replicateOut(term string, posting index.Posting) {
+	r := p.net.cfg.ReplicationFactor
+	if r <= 0 {
+		return
+	}
+	for i, succ := range p.node.SuccessorList() {
+		if i >= r {
+			break
+		}
+		if succ.Addr == p.Addr() {
+			continue
+		}
+		p.net.ring.Net().Call(p.Addr(), succ.Addr, simnet.Message{
+			Type:    msgReplica,
+			Payload: replicaReq{Term: term, Posting: posting},
+			Size:    len(term) + posting.WireSize(),
+		})
+	}
+}
+
+func (p *Peer) replicateDrop(term string, doc index.DocID) {
+	r := p.net.cfg.ReplicationFactor
+	if r <= 0 {
+		return
+	}
+	for i, succ := range p.node.SuccessorList() {
+		if i >= r {
+			break
+		}
+		if succ.Addr == p.Addr() {
+			continue
+		}
+		p.net.ring.Net().Call(p.Addr(), succ.Addr, simnet.Message{
+			Type:    msgReplicaDrop,
+			Payload: replicaDropReq{Term: term, Doc: doc},
+			Size:    len(term) + len(doc),
+		})
+	}
+}
+
+// indexingState is the indexing-peer role's state: primary inverted lists,
+// successor replicas held on behalf of other peers, and the query history.
+type indexingState struct {
+	mu         sync.Mutex
+	ix         *index.Inverted
+	replicas   *index.Inverted
+	history    []storedQuery
+	historyCap int
+	seq        uint64
+}
+
+// storedQuery is one cached query: its keyword set, canonical key (for
+// dedup), precomputed hash (§3: "every cached query is hashed also, which
+// can be precomputed offline"), and arrival sequence number.
+type storedQuery struct {
+	terms []string
+	key   string
+	hash  chordid.ID
+	seq   uint64
+}
+
+func (s *indexingState) publish(term string, p index.Posting) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ix.Add(term, p)
+}
+
+func (s *indexingState) unpublish(term string, doc index.DocID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ix.Remove(term, doc)
+}
+
+func (s *indexingState) addReplica(term string, p index.Posting) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replicas.Add(term, p)
+}
+
+func (s *indexingState) dropReplica(term string, doc index.DocID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replicas.Remove(term, doc)
+}
+
+// postings serves a term's inverted list, falling back to successor replicas
+// when the primary list is empty — the failover path that makes peer crashes
+// survivable (§7).
+func (s *indexingState) postings(term string) getPostingsResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.ix.Postings(term)
+	if len(ps) > 0 {
+		return getPostingsResp{Postings: ps, IndexedDF: len(ps)}
+	}
+	if rps := s.replicas.Postings(term); len(rps) > 0 {
+		return getPostingsResp{Postings: rps, IndexedDF: len(rps), FromReplica: true}
+	}
+	return getPostingsResp{}
+}
+
+// cacheQuery records a query issuance in the bounded history. Repeats are
+// stored as separate entries — the paper's history is "the most recently
+// issued queries" (§3), and QF deliberately counts every issuance, which is
+// exactly what makes popular queries weigh more under skewed workloads
+// (the Fig. 4(b) "w-zipf" effect). The capacity bound evicts the oldest
+// issuance.
+func (s *indexingState) cacheQuery(terms []string) {
+	if len(terms) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	sq := storedQuery{
+		terms: append([]string(nil), terms...),
+		key:   canonicalQuery(terms),
+		hash:  queryHash(terms),
+		seq:   s.seq,
+	}
+	if len(s.history) >= s.historyCap {
+		// Evict the oldest issuance.
+		oldest := 0
+		for i := range s.history {
+			if s.history[i].seq < s.history[oldest].seq {
+				oldest = i
+			}
+		}
+		s.history[oldest] = sq
+		return
+	}
+	s.history = append(s.history, sq)
+}
+
+// poll answers an owner's index-update poll: among cached queries newer than
+// the watermark that mention req.Term, return those for which req.Term is
+// the closest of the document's global index terms to the query hash —
+// guaranteeing each query is shipped to the owner by exactly one indexing
+// peer (§3).
+func (s *indexingState) poll(req pollReq) pollResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := pollResp{NewSince: s.seq, IndexedDF: s.ix.DocFreq(req.Term)}
+	for _, sq := range s.history {
+		if sq.seq <= req.Since {
+			continue
+		}
+		if !containsTerm(sq.terms, req.Term) {
+			continue
+		}
+		// Only document index terms that occur in the query can have the
+		// query cached at their indexing peers, so the closest-term election
+		// runs over that intersection; electing an absent term would leave
+		// the query unreturned by everyone.
+		var candidates []string
+		for _, dt := range req.DocTerms {
+			if containsTerm(sq.terms, dt) {
+				candidates = append(candidates, dt)
+			}
+		}
+		if closestTerm(sq.hash, candidates) != req.Term {
+			continue
+		}
+		resp.Queries = append(resp.Queries, append([]string(nil), sq.terms...))
+	}
+	// Deterministic order for the owner's incremental processing.
+	sort.Slice(resp.Queries, func(i, j int) bool {
+		return canonicalQuery(resp.Queries[i]) < canonicalQuery(resp.Queries[j])
+	})
+	return resp
+}
+
+func containsTerm(terms []string, t string) bool {
+	for _, x := range terms {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCollection hardens the external-collection parser: arbitrary bytes
+// must either parse into a structurally valid collection or fail with an
+// error — never panic, never yield a collection that violates the corpus
+// invariants consumers rely on.
+func FuzzReadCollection(f *testing.F) {
+	f.Add(`{"documents":[{"id":"d1","tf":{"a":2,"b":1}}],"queries":[{"id":"q","terms":["a"],"relevant":["d1"]}]}`)
+	f.Add(`{"documents":[{"id":"d","tf":{"x":1}}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Add(`{"documents":[{"id":"d","tf":{"x":-3}}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		col, err := ReadCollection(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Structural invariants of a successfully parsed collection.
+		if col.Corpus.N() == 0 {
+			t.Fatal("parsed collection with zero documents")
+		}
+		for _, d := range col.Corpus.Docs() {
+			if d.ID == "" || len(d.TF) == 0 {
+				t.Fatalf("invalid document survived validation: %+v", d)
+			}
+		}
+		for _, q := range col.Queries {
+			if q.ID == "" || len(q.Terms) == 0 {
+				t.Fatalf("invalid query survived validation: %+v", q)
+			}
+			for id := range q.Relevant {
+				if _, ok := col.Corpus.Doc(id); !ok {
+					t.Fatalf("query %s judges unknown doc %s", q.ID, id)
+				}
+			}
+		}
+	})
+}

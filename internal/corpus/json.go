@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// This file defines the on-disk JSON format for judged collections, so
+// experiments can run against externally supplied corpora (real datasets
+// preprocessed elsewhere) as well as synthesized ones, and so synthesized
+// collections can be inspected and versioned. cmd/corpusgen emits this
+// format; ReadCollection consumes it.
+
+// collectionJSON is the serialized layout.
+type collectionJSON struct {
+	Config    SynthConfig `json:"config,omitempty"`
+	Documents []docJSON   `json:"documents"`
+	Queries   []queryJSON `json:"queries"`
+}
+
+type docJSON struct {
+	ID     string         `json:"id"`
+	Topic  int            `json:"topic"`
+	Length int            `json:"length"`
+	TF     map[string]int `json:"tf"`
+}
+
+type queryJSON struct {
+	ID       string   `json:"id"`
+	Topic    int      `json:"topic"`
+	Origin   string   `json:"origin,omitempty"`
+	Terms    []string `json:"terms"`
+	Relevant []string `json:"relevant"`
+}
+
+// WriteCollection serializes a collection (and optionally the generator
+// config that produced it) as JSON. Pass pretty=true for indented output.
+func WriteCollection(w io.Writer, col *Collection, cfg SynthConfig, pretty bool) error {
+	out := collectionJSON{Config: cfg}
+	for _, d := range col.Corpus.Docs() {
+		out.Documents = append(out.Documents, docJSON{
+			ID:     string(d.ID),
+			Topic:  col.DocTopic[d.ID],
+			Length: d.Length,
+			TF:     d.TF,
+		})
+	}
+	for _, q := range col.Queries {
+		jq := queryJSON{ID: q.ID, Topic: col.QueryTopic[q.ID], Terms: q.Terms}
+		for id := range q.Relevant {
+			jq.Relevant = append(jq.Relevant, string(id))
+		}
+		sort.Strings(jq.Relevant)
+		out.Queries = append(out.Queries, jq)
+	}
+	enc := json.NewEncoder(w)
+	if pretty {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("corpus: write collection: %w", err)
+	}
+	return nil
+}
+
+// ReadCollection parses a collection previously written by WriteCollection
+// (or hand-authored in the same format). Documents must have non-empty IDs
+// and term maps; queries must reference existing documents in their
+// judgments.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	var in collectionJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("corpus: read collection: %w", err)
+	}
+	if len(in.Documents) == 0 {
+		return nil, fmt.Errorf("corpus: read collection: no documents")
+	}
+	docs := make([]*Document, 0, len(in.Documents))
+	docTopic := make(map[index.DocID]int, len(in.Documents))
+	for i, jd := range in.Documents {
+		if jd.ID == "" {
+			return nil, fmt.Errorf("corpus: read collection: document %d has empty id", i)
+		}
+		if len(jd.TF) == 0 {
+			return nil, fmt.Errorf("corpus: read collection: document %q has no terms", jd.ID)
+		}
+		d := NewDocument(index.DocID(jd.ID), jd.TF)
+		docs = append(docs, d)
+		docTopic[d.ID] = jd.Topic
+	}
+	c, err := New(docs)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: read collection: %w", err)
+	}
+
+	col := &Collection{
+		Corpus:     c,
+		DocTopic:   docTopic,
+		QueryTopic: make(map[string]int, len(in.Queries)),
+	}
+	for i, jq := range in.Queries {
+		if jq.ID == "" {
+			return nil, fmt.Errorf("corpus: read collection: query %d has empty id", i)
+		}
+		if len(jq.Terms) == 0 {
+			return nil, fmt.Errorf("corpus: read collection: query %q has no terms", jq.ID)
+		}
+		q := &Query{ID: jq.ID, Terms: jq.Terms, Relevant: make(map[index.DocID]bool, len(jq.Relevant))}
+		for _, id := range jq.Relevant {
+			if _, ok := c.Doc(index.DocID(id)); !ok {
+				return nil, fmt.Errorf("corpus: read collection: query %q judges unknown document %q", jq.ID, id)
+			}
+			q.Relevant[index.DocID(id)] = true
+		}
+		col.Queries = append(col.Queries, q)
+		col.QueryTopic[q.ID] = jq.Topic
+	}
+	return col, nil
+}

@@ -1,0 +1,366 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// SynthConfig parameterizes the synthetic TREC9-like collection. The
+// defaults (see FillDefaults) produce a laptop-scale corpus with the
+// statistical properties the SPRITE evaluation relies on: Zipf-skewed term
+// frequencies, topical locality between queries and their relevant
+// documents, and expert-style relevance judgments that are correlated with —
+// but not identical to — TF·IDF rankings.
+type SynthConfig struct {
+	NumDocs   int // documents in the corpus (paper: 348,565; default 2000)
+	NumTopics int // latent topics (default 12)
+
+	VocabPerTopic   int // topic-specific vocabulary size (default 200)
+	BackgroundVocab int // shared vocabulary size (default 900)
+
+	DocLenMin, DocLenMax int // tokens per document after preprocessing
+
+	TopicTermProb     float64 // fraction of tokens drawn from the primary topic
+	SecondaryProb     float64 // probability a document mixes in a second topic
+	SecondaryTermProb float64 // fraction of tokens from the secondary topic, when present
+
+	ZipfSkew      float64 // Zipf exponent for document token draws (default 0.7)
+	QueryZipfSkew float64 // flatter exponent for query term draws (default 0.5)
+
+	NumQueries           int  // "original" queries with judgments (paper: 63)
+	QueryLenMin          int  // terms per original query (default 3)
+	QueryLenMax          int  // (default 6)
+	RelevanceMinMatch    int  // query terms a doc must contain to be judged relevant (default 2)
+	RelevanceTopicBounce bool // if true, docs with the query's topic as secondary also qualify
+	// PoolDepth mirrors TREC pooling: assessors only judge documents that
+	// surface in the top results of real retrieval runs, so a document is
+	// eligible for a relevance judgment only if a full-knowledge TF·IDF
+	// ranking places it within the top PoolDepth for the query. Default 100;
+	// set negative to disable pooling entirely.
+	PoolDepth int
+	Seed      int64 // RNG seed; same seed → identical collection
+}
+
+// FillDefaults replaces zero fields with the documented defaults and returns
+// the result.
+func (c SynthConfig) FillDefaults() SynthConfig {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.NumDocs, 2000)
+	def(&c.NumTopics, 12)
+	def(&c.VocabPerTopic, 200)
+	def(&c.BackgroundVocab, 900)
+	def(&c.DocLenMin, 80)
+	def(&c.DocLenMax, 180)
+	deff(&c.TopicTermProb, 0.65)
+	deff(&c.SecondaryProb, 0.30)
+	deff(&c.SecondaryTermProb, 0.18)
+	deff(&c.ZipfSkew, 0.7)
+	deff(&c.QueryZipfSkew, 0.5)
+	def(&c.NumQueries, 63)
+	def(&c.QueryLenMin, 3)
+	def(&c.QueryLenMax, 6)
+	def(&c.RelevanceMinMatch, 2)
+	def(&c.PoolDepth, 100)
+	return c
+}
+
+// Validate rejects configurations that cannot produce a well-formed
+// collection.
+func (c SynthConfig) Validate() error {
+	switch {
+	case c.NumDocs < 1:
+		return fmt.Errorf("corpus: NumDocs = %d, need >= 1", c.NumDocs)
+	case c.NumTopics < 1:
+		return fmt.Errorf("corpus: NumTopics = %d, need >= 1", c.NumTopics)
+	case c.VocabPerTopic < c.QueryLenMax:
+		return fmt.Errorf("corpus: VocabPerTopic = %d smaller than QueryLenMax = %d", c.VocabPerTopic, c.QueryLenMax)
+	case c.DocLenMin < 1 || c.DocLenMax < c.DocLenMin:
+		return fmt.Errorf("corpus: bad doc length range [%d,%d]", c.DocLenMin, c.DocLenMax)
+	case c.QueryLenMin < 1 || c.QueryLenMax < c.QueryLenMin:
+		return fmt.Errorf("corpus: bad query length range [%d,%d]", c.QueryLenMin, c.QueryLenMax)
+	case c.TopicTermProb < 0 || c.TopicTermProb > 1:
+		return fmt.Errorf("corpus: TopicTermProb = %v out of [0,1]", c.TopicTermProb)
+	}
+	return nil
+}
+
+// Collection is the output of Synthesize: a corpus plus the original query
+// set with relevance judgments, mirroring "the TREC9 dataset and its
+// queries" (§6.1).
+type Collection struct {
+	Corpus  *Corpus
+	Queries []*Query
+	// Topic assignment per document, exported so experiments and tests can
+	// inspect the latent structure (e.g. to group queries for the Fig. 4(c)
+	// pattern-change scenario).
+	DocTopic map[index.DocID]int
+	// QueryTopic records each original query's latent topic.
+	QueryTopic map[string]int
+}
+
+// Synthesize generates a document collection and judged query set. It is
+// deterministic in cfg.Seed.
+func Synthesize(cfg SynthConfig) (*Collection, error) {
+	cfg = cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Vocabulary. Terms are emitted in post-pipeline (stemmed) form; names
+	// are chosen to be stable under Porter stemming.
+	topicVocab := make([][]string, cfg.NumTopics)
+	for z := range topicVocab {
+		topicVocab[z] = make([]string, cfg.VocabPerTopic)
+		for i := range topicVocab[z] {
+			topicVocab[z][i] = fmt.Sprintf("top%02dw%03d", z, i)
+		}
+	}
+	background := make([]string, cfg.BackgroundVocab)
+	for i := range background {
+		background[i] = fmt.Sprintf("bgw%04d", i)
+	}
+
+	docZipf := newZipfSampler(cfg.VocabPerTopic, cfg.ZipfSkew)
+	bgZipf := newZipfSampler(cfg.BackgroundVocab, cfg.ZipfSkew)
+	queryZipf := newZipfSampler(cfg.VocabPerTopic, cfg.QueryZipfSkew)
+
+	// Documents.
+	docs := make([]*Document, cfg.NumDocs)
+	docTopic := make(map[index.DocID]int, cfg.NumDocs)
+	docSecondary := make(map[index.DocID]int, cfg.NumDocs)
+	for i := range docs {
+		id := index.DocID(fmt.Sprintf("doc%05d", i))
+		primary := rng.Intn(cfg.NumTopics)
+		secondary := -1
+		if cfg.NumTopics > 1 && rng.Float64() < cfg.SecondaryProb {
+			for {
+				secondary = rng.Intn(cfg.NumTopics)
+				if secondary != primary {
+					break
+				}
+			}
+		}
+		length := cfg.DocLenMin + rng.Intn(cfg.DocLenMax-cfg.DocLenMin+1)
+		tf := make(map[string]int)
+		for tok := 0; tok < length; tok++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.TopicTermProb:
+				tf[topicVocab[primary][docZipf.sample(rng)]]++
+			case secondary >= 0 && r < cfg.TopicTermProb+cfg.SecondaryTermProb:
+				tf[topicVocab[secondary][docZipf.sample(rng)]]++
+			default:
+				tf[background[bgZipf.sample(rng)]]++
+			}
+		}
+		docs[i] = NewDocument(id, tf)
+		docTopic[id] = primary
+		docSecondary[id] = secondary
+	}
+
+	c, err := New(docs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group documents by primary topic for seed-document selection.
+	byTopic := make([][]*Document, cfg.NumTopics)
+	for _, d := range docs {
+		z := docTopic[d.ID]
+		byTopic[z] = append(byTopic[z], d)
+	}
+
+	// Original queries. Real judged queries (TREC/OHSUMED) are authored to
+	// retrieve particular documents, so their keywords are *salient in the
+	// relevant documents* without necessarily being those documents' most
+	// frequent terms. We reproduce that: each query picks a seed document of
+	// its topic and samples keywords from the seed's topic-term distribution,
+	// weighted by within-document frequency.
+	queries := make([]*Query, 0, cfg.NumQueries)
+	queryTopic := make(map[string]int, cfg.NumQueries)
+	for qi := 0; qi < cfg.NumQueries; qi++ {
+		z := qi % cfg.NumTopics // spread queries across topics
+		qlen := cfg.QueryLenMin + rng.Intn(cfg.QueryLenMax-cfg.QueryLenMin+1)
+		var terms []string
+		if seeds := byTopic[z]; len(seeds) > 0 {
+			seed := seeds[rng.Intn(len(seeds))]
+			terms = sampleSeedTerms(seed, topicPrefix(z), qlen, rng)
+		}
+		// Top up from the topic vocabulary if the seed was too small.
+		seen := make(map[string]bool, qlen)
+		for _, t := range terms {
+			seen[t] = true
+		}
+		for len(terms) < qlen {
+			t := topicVocab[z][queryZipf.sample(rng)]
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, t)
+			}
+		}
+		q := &Query{
+			ID:       fmt.Sprintf("orig%03d", qi),
+			Terms:    terms,
+			Relevant: make(map[index.DocID]bool),
+		}
+		minMatch := cfg.RelevanceMinMatch
+		if minMatch > len(terms) {
+			minMatch = len(terms)
+		}
+		pool := judgmentPool(c, terms, cfg.PoolDepth)
+		for _, d := range docs {
+			if pool != nil && !pool[d.ID] {
+				continue
+			}
+			onTopic := docTopic[d.ID] == z ||
+				(cfg.RelevanceTopicBounce && docSecondary[d.ID] == z)
+			if !onTopic {
+				continue
+			}
+			match := 0
+			for _, t := range terms {
+				if d.Contains(t) {
+					match++
+				}
+			}
+			if match >= minMatch {
+				q.Relevant[d.ID] = true
+			}
+		}
+		queries = append(queries, q)
+		queryTopic[q.ID] = z
+	}
+
+	return &Collection{
+		Corpus:     c,
+		Queries:    queries,
+		DocTopic:   docTopic,
+		QueryTopic: queryTopic,
+	}, nil
+}
+
+// topicPrefix returns the term-name prefix of topic z's vocabulary.
+func topicPrefix(z int) string { return fmt.Sprintf("top%02dw", z) }
+
+// sampleSeedTerms draws up to n distinct topic terms from the seed
+// document's term distribution, weighted by within-document frequency. Only
+// terms of the given topic (by vocabulary prefix) are eligible, so queries
+// stay topically coherent.
+func sampleSeedTerms(seed *Document, prefix string, n int, rng *rand.Rand) []string {
+	type wt struct {
+		term string
+		freq int
+	}
+	var pool []wt
+	total := 0
+	for t, f := range seed.TF {
+		if len(t) >= len(prefix) && t[:len(prefix)] == prefix {
+			pool = append(pool, wt{t, f})
+			total += f
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].term < pool[j].term })
+	var out []string
+	for len(out) < n && len(pool) > 0 && total > 0 {
+		x := rng.Intn(total)
+		pick := -1
+		for i, w := range pool {
+			x -= w.freq
+			if x < 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = len(pool) - 1
+		}
+		out = append(out, pool[pick].term)
+		total -= pool[pick].freq
+		pool = append(pool[:pick], pool[pick+1:]...)
+	}
+	return out
+}
+
+// judgmentPool returns the set of documents a TREC-style assessor would see
+// for the query: the top depth documents of a full-knowledge TF·IDF ranking
+// over the corpus. A nil return means pooling is disabled (depth < 0) and
+// every document is eligible for judgment.
+func judgmentPool(c *Corpus, terms []string, depth int) map[index.DocID]bool {
+	if depth < 0 {
+		return nil
+	}
+	n := c.N()
+	type scored struct {
+		id    index.DocID
+		score float64
+	}
+	acc := make(map[index.DocID]float64)
+	for _, t := range terms {
+		df := c.DocFreq(t)
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(float64(n) / float64(df))
+		wq := idf / float64(len(terms))
+		for _, d := range c.Docs() {
+			if f := d.TF[t]; f > 0 && d.Length > 0 {
+				acc[d.ID] += wq * (float64(f) / float64(d.Length)) * idf
+			}
+		}
+	}
+	list := make([]scored, 0, len(acc))
+	for id, dot := range acc {
+		d, _ := c.Doc(id)
+		list = append(list, scored{id: id, score: dot / math.Sqrt(float64(d.Length))})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].score != list[j].score {
+			return list[i].score > list[j].score
+		}
+		return list[i].id < list[j].id
+	})
+	if depth > len(list) {
+		depth = len(list)
+	}
+	pool := make(map[index.DocID]bool, depth)
+	for _, s := range list[:depth] {
+		pool[s.id] = true
+	}
+	return pool
+}
+
+// zipfSampler draws ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^skew, via inverse-CDF binary search. It is deterministic given
+// the caller's rng.
+type zipfSampler struct {
+	cum []float64 // cumulative weights, cum[n-1] == total
+}
+
+func newZipfSampler(n int, skew float64) *zipfSampler {
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), skew)
+		cum[r] = total
+	}
+	return &zipfSampler{cum: cum}
+}
+
+func (z *zipfSampler) sample(rng *rand.Rand) int {
+	x := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, x)
+}

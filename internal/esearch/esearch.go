@@ -1,0 +1,80 @@
+// Package esearch implements the "basic eSearch" baseline of the SPRITE
+// evaluation (§2, §6; Tang & Dwarkadas, NSDI'04): each document is indexed
+// on a fixed number of its most frequent terms, selected once and never
+// revised. It is the strongest *static* distributed scheme the paper
+// compares against; the gap between it and SPRITE isolates the value of
+// learning from queries.
+//
+// Retrieval uses exactly the same machinery as SPRITE's querying peers —
+// indexed document frequency as the IDF surrogate, a fixed large N, and the
+// Lee et al. similarity — so the only variable between the systems is *which*
+// terms get indexed. The index itself is kept in-process: the paper's
+// quality comparison does not depend on eSearch's message routing, and the
+// insert-cost benchmarks account for its DHT traffic analytically (one
+// publication per selected term, identical to SPRITE's per-term cost).
+package esearch
+
+import (
+	"fmt"
+
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+)
+
+// System is a static top-k selective index over a corpus.
+type System struct {
+	ix *index.Inverted
+	k  int
+	n  int
+}
+
+// New indexes the top-k most frequent terms of every document in c.
+// SurrogateN is the fixed large N used for IDF; pass 0 for ir.LargeN.
+func New(c *corpus.Corpus, k int, surrogateN int) (*System, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("esearch: k = %d, need >= 1", k)
+	}
+	if surrogateN == 0 {
+		surrogateN = ir.LargeN
+	}
+	if surrogateN < 2 {
+		return nil, fmt.Errorf("esearch: surrogate N = %d, need >= 2", surrogateN)
+	}
+	ix := index.NewInverted()
+	for _, d := range c.Docs() {
+		for _, t := range d.TopTerms(k) {
+			ix.Add(t, index.Posting{Doc: d.ID, Owner: "esearch", Freq: d.TF[t], DocLen: d.Length})
+		}
+	}
+	return &System{ix: ix, k: k, n: surrogateN}, nil
+}
+
+// K returns the per-document term budget.
+func (s *System) K() int { return s.k }
+
+// Index exposes the underlying inverted index for inspection.
+func (s *System) Index() *index.Inverted { return s.ix }
+
+// Search returns the top-k ranked documents for the query, scored the same
+// way SPRITE's querying peers score (§4), with the indexed document
+// frequency as n'_k.
+func (s *System) Search(terms []string, topK int) ir.RankedList {
+	qtf := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qtf[t]++
+	}
+	acc := ir.NewAccumulator()
+	for t, f := range qtf {
+		df := s.ix.DocFreq(t)
+		if df == 0 {
+			continue
+		}
+		wq := ir.QueryWeight(f, len(terms), s.n, df)
+		for _, p := range s.ix.Postings(t) {
+			wd := ir.Weight(p.NormFreq(), s.n, df)
+			acc.Accumulate(p.Doc, wq*wd, p.DocLen)
+		}
+	}
+	return acc.Ranked().Top(topK)
+}

@@ -1,0 +1,104 @@
+package esearch
+
+import (
+	"testing"
+
+	"github.com/spritedht/sprite/internal/corpus"
+)
+
+func testCorpus() *corpus.Corpus {
+	return corpus.MustNew([]*corpus.Document{
+		corpus.NewDocument("d1", map[string]int{"alpha": 9, "beta": 8, "gamma": 2, "delta": 1}),
+		corpus.NewDocument("d2", map[string]int{"alpha": 3, "epsilon": 7, "zeta": 5}),
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testCorpus(), 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(testCorpus(), 2, 1); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	s, err := New(testCorpus(), 2, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.K() != 2 {
+		t.Fatalf("K = %d", s.K())
+	}
+}
+
+func TestIndexesOnlyTopK(t *testing.T) {
+	s, err := New(testCorpus(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1's top-2: alpha, beta. gamma/delta must not be indexed.
+	if !s.Index().Has("alpha") || !s.Index().Has("beta") {
+		t.Fatal("top terms not indexed")
+	}
+	if s.Index().Has("gamma") || s.Index().Has("delta") {
+		t.Fatal("non-top terms leaked into index")
+	}
+	if got := s.Index().NumPostings(); got != 4 {
+		t.Fatalf("postings = %d, want 4 (2 docs × top-2)", got)
+	}
+}
+
+func TestStaticSchemeMissesLowFrequencyTerms(t *testing.T) {
+	// The defining weakness of the static scheme (§6.3): a query on a term
+	// the document contains, but which is not among its top-k, misses it.
+	s, err := New(testCorpus(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl := s.Search([]string{"gamma"}, 10); len(rl) != 0 {
+		t.Fatalf("gamma (rank 3 in d1) should be unfindable, got %v", rl)
+	}
+	// alpha is rank 1 in d1 but only rank 3 in d2 — at k=2 the static index
+	// finds d1 and misses d2 entirely.
+	if rl := s.Search([]string{"alpha"}, 10); len(rl) != 1 || rl[0].Doc != "d1" {
+		t.Fatalf("alpha at k=2 should match only d1, got %v", rl)
+	}
+	s3, err := New(testCorpus(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl := s3.Search([]string{"alpha"}, 10); len(rl) != 2 {
+		t.Fatalf("alpha at k=3 should match both docs, got %v", rl)
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	s, err := New(testCorpus(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := s.Search([]string{"alpha"}, 10)
+	if len(rl) != 2 || rl[0].Doc != "d1" {
+		t.Fatalf("ranking = %v, want d1 first (higher normalized tf)", rl)
+	}
+}
+
+func TestSearchTopKTruncation(t *testing.T) {
+	s, err := New(testCorpus(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl := s.Search([]string{"alpha"}, 1); len(rl) != 1 {
+		t.Fatalf("Search(k=1) = %v", rl)
+	}
+}
+
+func TestLargerKIndexesMore(t *testing.T) {
+	s2, _ := New(testCorpus(), 2, 0)
+	s4, _ := New(testCorpus(), 4, 0)
+	if s4.Index().NumPostings() <= s2.Index().NumPostings() {
+		t.Fatal("larger k did not grow the index")
+	}
+	// With k=4 every term of d1 is indexed, so gamma becomes findable.
+	if rl := s4.Search([]string{"gamma"}, 10); len(rl) != 1 {
+		t.Fatalf("gamma should be findable at k=4, got %v", rl)
+	}
+}

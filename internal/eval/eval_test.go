@@ -1,0 +1,631 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/spritedht/sprite/internal/core"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/querygen"
+)
+
+// tiny returns a configuration small enough for unit tests but large enough
+// for the learning dynamics to be visible.
+func tiny() Config {
+	cfg := DefaultConfig()
+	cfg.Corpus = corpus.SynthConfig{NumDocs: 300, NumTopics: 4, NumQueries: 12, Seed: 17}
+	cfg.QueryGen = querygen.Config{PerOriginal: 4, Seed: 23}
+	cfg.Peers = 16
+	return cfg
+}
+
+func TestSetupSplitsQueries(t *testing.T) {
+	env, err := Setup(tiny())
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	total := len(env.Train) + len(env.Test)
+	if total != len(env.Gen.Queries) {
+		t.Fatalf("split lost queries: %d + %d != %d", len(env.Train), len(env.Test), len(env.Gen.Queries))
+	}
+	if len(env.Train) == 0 || len(env.Test) == 0 {
+		t.Fatal("degenerate split")
+	}
+	diff := len(env.Train) - len(env.Test)
+	if diff < -1 || diff > 1 {
+		t.Fatalf("split not even: %d vs %d", len(env.Train), len(env.Test))
+	}
+	// No query in both sets.
+	seen := map[string]bool{}
+	for _, q := range env.Train {
+		seen[q.ID] = true
+	}
+	for _, q := range env.Test {
+		if seen[q.ID] {
+			t.Fatalf("query %s in both train and test", q.ID)
+		}
+	}
+}
+
+func TestSetupDeterministic(t *testing.T) {
+	a, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("train sizes differ across identical configs")
+	}
+	for i := range a.Train {
+		if a.Train[i].ID != b.Train[i].ID {
+			t.Fatal("train order differs across identical configs")
+		}
+	}
+}
+
+func TestDeploymentShareAndMeasure(t *testing.T) {
+	env, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := env.NewDeployment(env.Cfg.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.InsertQueries(env.Train); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.ShareAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dep.Net.Documents()); got != 300 {
+		t.Fatalf("shared %d docs, want 300", got)
+	}
+	m := Measure(dep.SpriteSearcher(), env.Test, 20)
+	if m.Precision <= 0 || m.Precision > 1 {
+		t.Fatalf("precision out of range: %v", m.Precision)
+	}
+	central := Measure(env.CentralSearcher(), env.Test, 20)
+	if central.Precision < m.Precision {
+		t.Fatalf("centralized (%v) worse than SPRITE (%v) before learning", central.Precision, m.Precision)
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	env, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := env.NewDeployment(env.Cfg.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.ShareAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := 0
+	for _, p := range dep.Net.Peers() {
+		before += p.HistoryLen()
+	}
+	Measure(dep.SpriteSearcher(), env.Test, 20)
+	after := 0
+	for _, p := range dep.Net.Peers() {
+		after += p.HistoryLen()
+	}
+	if after != before {
+		t.Fatalf("probing leaked %d queries into histories", after-before)
+	}
+}
+
+func TestLearningImprovesRetrieval(t *testing.T) {
+	// The central claim of the paper, as an executable assertion: learning
+	// iterations improve precision and recall relative to the unlearned
+	// (5-term) index.
+	env, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := env.NewDeployment(env.Cfg.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.InsertQueries(env.Train); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.ShareAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := Measure(dep.SpriteSearcher(), env.Test, 20)
+	if err := dep.Learn(3); err != nil {
+		t.Fatal(err)
+	}
+	after := Measure(dep.SpriteSearcher(), env.Test, 20)
+	if after.Precision <= before.Precision {
+		t.Fatalf("precision did not improve: %.3f -> %.3f", before.Precision, after.Precision)
+	}
+	if after.Recall <= before.Recall {
+		t.Fatalf("recall did not improve: %.3f -> %.3f", before.Recall, after.Recall)
+	}
+}
+
+func TestRunFig4aShape(t *testing.T) {
+	res, err := RunFig4a(tiny())
+	if err != nil {
+		t.Fatalf("RunFig4a: %v", err)
+	}
+	if len(res.Ks) != 6 || len(res.Sprite) != 6 || len(res.ESearch) != 6 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	for i := range res.Ks {
+		if res.Sprite[i].Precision <= 0 || res.Sprite[i].Precision > 1.2 {
+			t.Fatalf("sprite ratio out of plausible range at K=%d: %v", res.Ks[i], res.Sprite[i])
+		}
+	}
+	// The paper's headline: SPRITE outperforms the static scheme at larger
+	// answer counts (K >= 15).
+	for i, k := range res.Ks {
+		if k >= 15 && res.Sprite[i].Precision < res.ESearch[i].Precision {
+			t.Errorf("K=%d: SPRITE (%.3f) below eSearch (%.3f)", k,
+				res.Sprite[i].Precision, res.ESearch[i].Precision)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunFig4bShape(t *testing.T) {
+	res, err := RunFig4b(tiny(), WithoutRepeats)
+	if err != nil {
+		t.Fatalf("RunFig4b: %v", err)
+	}
+	if len(res.Terms) != 6 {
+		t.Fatalf("checkpoints = %v", res.Terms)
+	}
+	// At 5 terms no learning has happened: the systems must coincide.
+	if d := res.Sprite[0].Precision - res.ESearch[0].Precision; d < -1e-9 || d > 1e-9 {
+		t.Fatalf("at 5 terms SPRITE (%.4f) != eSearch (%.4f)", res.Sprite[0].Precision, res.ESearch[0].Precision)
+	}
+	// SPRITE must not lose to eSearch at any larger budget.
+	for i := 1; i < len(res.Terms); i++ {
+		if res.Sprite[i].Precision < res.ESearch[i].Precision {
+			t.Errorf("terms=%d: SPRITE (%.3f) below eSearch (%.3f)",
+				res.Terms[i], res.Sprite[i].Precision, res.ESearch[i].Precision)
+		}
+	}
+	// More terms must not hurt SPRITE substantially (monotone-ish growth).
+	if res.Sprite[5].Precision+0.05 < res.Sprite[0].Precision {
+		t.Errorf("precision decreased with more terms: %v", res.Sprite)
+	}
+}
+
+func TestRunFig4bZipfVariant(t *testing.T) {
+	res, err := RunFig4b(tiny(), WithZipf)
+	if err != nil {
+		t.Fatalf("RunFig4b zipf: %v", err)
+	}
+	if res.Variant != WithZipf {
+		t.Fatalf("variant = %q", res.Variant)
+	}
+	if _, err := RunFig4b(tiny(), Fig4bVariant("bogus")); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}
+
+func TestRunFig4cShape(t *testing.T) {
+	res, err := RunFig4c(tiny())
+	if err != nil {
+		t.Fatalf("RunFig4c: %v", err)
+	}
+	if len(res.Iterations) != 10 || res.SwitchAt != 6 {
+		t.Fatalf("unexpected shape: %+v", res.Iterations)
+	}
+	// Learning improves within the first phase.
+	if res.Sprite[4].Precision <= res.Sprite[0].Precision {
+		t.Errorf("no improvement across first phase: %.3f -> %.3f",
+			res.Sprite[0].Precision, res.Sprite[4].Precision)
+	}
+	// Recovery: by the end of phase 2, SPRITE exceeds its value at the
+	// switch point.
+	if res.Sprite[9].Precision <= res.Sprite[5].Precision {
+		t.Errorf("no recovery after pattern change: %.3f -> %.3f",
+			res.Sprite[5].Precision, res.Sprite[9].Precision)
+	}
+}
+
+func TestRunChordHops(t *testing.T) {
+	res, err := RunChordHops([]int{8, 32}, 50, 1)
+	if err != nil {
+		t.Fatalf("RunChordHops: %v", err)
+	}
+	for i := range res.Sizes {
+		if res.AvgHops[i] > res.Log2N[i]+2 {
+			t.Errorf("N=%d: avg hops %.2f above log2N+2", res.Sizes[i], res.AvgHops[i])
+		}
+	}
+	if res.AvgHops[1] <= res.AvgHops[0] {
+		t.Error("hops did not grow with network size")
+	}
+}
+
+func TestRunInsertCost(t *testing.T) {
+	cfg := tiny()
+	cfg.Corpus.NumDocs = 100
+	res, err := RunInsertCost(cfg)
+	if err != nil {
+		t.Fatalf("RunInsertCost: %v", err)
+	}
+	if res.MsgRatio <= 2 {
+		t.Fatalf("full indexing only %.1fx costlier — selective indexing should be much cheaper", res.MsgRatio)
+	}
+	if res.FullPostings <= res.SelectivePostings {
+		t.Fatal("full indexing stored fewer postings than selective")
+	}
+}
+
+func TestRunScoreAblation(t *testing.T) {
+	cfg := tiny()
+	res, err := RunScoreAblation(cfg)
+	if err != nil {
+		t.Fatalf("RunScoreAblation: %v", err)
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("variants = %v", res.Variants)
+	}
+	for i, m := range res.Metrics {
+		if m.Precision <= 0 {
+			t.Errorf("variant %v produced zero precision", res.Variants[i])
+		}
+	}
+}
+
+func TestRunChurn(t *testing.T) {
+	cfg := tiny()
+	res, err := RunChurn(cfg, 0.25, 2)
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if res.PostingsLost <= 0 {
+		t.Fatal("no postings reported lost at 25% failures")
+	}
+	// Replication must not be worse than no replication.
+	if res.Replicated.Precision+1e-9 < res.NoReplication.Precision {
+		t.Errorf("replication hurt precision: %.3f vs %.3f",
+			res.Replicated.Precision, res.NoReplication.Precision)
+	}
+	if _, err := RunChurn(cfg, 1.5, 2); err == nil {
+		t.Fatal("failFraction > 1 accepted")
+	}
+}
+
+func TestMeasureAtConsistency(t *testing.T) {
+	// MeasureAt's prefix evaluation must agree with Measure at each depth.
+	env, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := env.CentralSearcher()
+	multi := MeasureAt(s, env.Test, []int{5, 20})
+	single5 := Measure(s, env.Test, 5)
+	if multi[5] != single5 {
+		t.Fatalf("MeasureAt[5] = %+v, Measure(5) = %+v", multi[5], single5)
+	}
+}
+
+func TestInsertZipfStreamEdgeCases(t *testing.T) {
+	env, err := Setup(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := env.NewDeployment(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.InsertZipfQueryStream(nil, 100, 0.5, 1); err != nil {
+		t.Fatalf("empty query set: %v", err)
+	}
+	if err := dep.InsertZipfQueryStream(env.Train, 0, 0.5, 1); err != nil {
+		t.Fatalf("zero volume: %v", err)
+	}
+	if err := dep.InsertZipfQueryStream(env.Train[:3], 50, 0.5, 1); err != nil {
+		t.Fatalf("zipf stream: %v", err)
+	}
+	total := 0
+	for _, p := range dep.Net.Peers() {
+		total += p.HistoryLen()
+	}
+	if total == 0 {
+		t.Fatal("zipf stream cached nothing")
+	}
+}
+
+func TestRunExpansion(t *testing.T) {
+	res, err := RunExpansion(tiny())
+	if err != nil {
+		t.Fatalf("RunExpansion: %v", err)
+	}
+	if len(res.Depths) != 4 || res.Depths[0] != 0 {
+		t.Fatalf("depths = %v", res.Depths)
+	}
+	if res.ExtraMessages[0] != 0 {
+		t.Fatalf("baseline extra messages = %v, want 0", res.ExtraMessages[0])
+	}
+	for i := 1; i < len(res.Depths); i++ {
+		if res.ExtraMessages[i] <= 0 {
+			t.Errorf("expansion depth %d reported no extra messages", res.Depths[i])
+		}
+		if res.Metrics[i].Precision <= 0 {
+			t.Errorf("expansion depth %d produced zero precision", res.Depths[i])
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunMaintenance(t *testing.T) {
+	res, err := RunMaintenance(tiny(), 0.25, 2)
+	if err != nil {
+		t.Fatalf("RunMaintenance: %v", err)
+	}
+	// Losing index entries must not improve recall (precision can rise on
+	// small corpora — shorter result lists are purer — so recall is the
+	// monotone signal for data loss).
+	if res.Degraded.Recall > res.Healthy.Recall+1e-9 {
+		t.Errorf("degraded recall %v above healthy %v", res.Degraded.Recall, res.Healthy.Recall)
+	}
+	// Refresh must restore recall to (at least) the healthy level: every
+	// entry is re-published to a live peer.
+	if res.AfterRefresh.Recall+1e-9 < res.Healthy.Recall {
+		t.Errorf("refresh did not restore recall: healthy %v, after refresh %v",
+			res.Healthy.Recall, res.AfterRefresh.Recall)
+	}
+	if res.RefreshMoved == 0 {
+		t.Error("refresh moved no postings despite 25% failures")
+	}
+	if res.RefreshMsgs == 0 {
+		t.Error("refresh reported zero message cost")
+	}
+	if _, err := RunMaintenance(tiny(), -0.1, 2); err == nil {
+		t.Error("negative failFraction accepted")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]float64{5, 5, 5, 5}); g > 1e-9 {
+		t.Fatalf("uniform gini = %v, want 0", g)
+	}
+	// All mass on one peer of n → gini = (n-1)/n.
+	if g := gini([]float64{0, 0, 0, 12}); math.Abs(g-0.75) > 1e-9 {
+		t.Fatalf("concentrated gini = %v, want 0.75", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("empty gini = %v", g)
+	}
+	if g := gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("zero-mass gini = %v", g)
+	}
+	// More skew → larger gini.
+	if gini([]float64{1, 1, 1, 9}) <= gini([]float64{2, 2, 3, 5}) {
+		t.Fatal("gini not monotone in skew")
+	}
+}
+
+func TestRunLoadBalance(t *testing.T) {
+	res, err := RunLoadBalance(tiny())
+	if err != nil {
+		t.Fatalf("RunLoadBalance: %v", err)
+	}
+	if res.PostingsMax <= 0 || res.PostingsMean <= 0 {
+		t.Fatalf("degenerate storage stats: %+v", res)
+	}
+	if res.PostingsGini < 0 || res.PostingsGini > 1 {
+		t.Fatalf("gini out of range: %v", res.PostingsGini)
+	}
+	if res.TrafficMax <= 0 {
+		t.Fatal("no query traffic recorded")
+	}
+	// The advisory must not make the worst-loaded peer worse.
+	if res.WithAdvisory.PostingsMax > res.PostingsMax {
+		t.Errorf("advisory increased max load: %d -> %d",
+			res.PostingsMax, res.WithAdvisory.PostingsMax)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestSetupWithExternalCollection(t *testing.T) {
+	// Build a collection, serialize it, reload it, and run Setup against it
+	// with SkipQueryGen — the cmd/corpusgen → spritebench -collection path.
+	col, err := corpus.Synthesize(corpus.SynthConfig{
+		NumDocs: 150, NumTopics: 3, NumQueries: 9, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := corpus.WriteCollection(&buf, col, corpus.SynthConfig{}, false); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := corpus.ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := tiny()
+	cfg.Collection = loaded
+	cfg.SkipQueryGen = true
+	env, err := Setup(cfg)
+	if err != nil {
+		t.Fatalf("Setup with external collection: %v", err)
+	}
+	if env.Col != loaded {
+		t.Fatal("Setup synthesized instead of using the provided collection")
+	}
+	if len(env.Gen.Queries) != len(loaded.Queries) {
+		t.Fatalf("SkipQueryGen ignored: %d queries vs %d", len(env.Gen.Queries), len(loaded.Queries))
+	}
+	for _, q := range env.Gen.Queries {
+		if env.Gen.Origin[q.ID] != q.ID {
+			t.Fatalf("external query %s has synthetic origin %s", q.ID, env.Gen.Origin[q.ID])
+		}
+	}
+	// And the whole experiment must run on it.
+	dep, err := env.NewDeployment(cfg.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.InsertQueries(env.Train); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.ShareAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(dep.SpriteSearcher(), env.Test, 10)
+	if m.Precision <= 0 {
+		t.Fatalf("no retrieval quality on external collection: %+v", m)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	// Light-weight structural checks: every CSV has its header and one line
+	// per data row, with the right column count.
+	checkCSV := func(name, csv string, wantRows, wantCols int) {
+		t.Helper()
+		lines := strings.Split(strings.TrimSpace(csv), "\n")
+		if len(lines) != wantRows+1 {
+			t.Fatalf("%s: %d lines, want %d", name, len(lines), wantRows+1)
+		}
+		for i, line := range lines {
+			if got := len(strings.Split(line, ",")); got != wantCols {
+				t.Fatalf("%s line %d: %d columns, want %d: %q", name, i, got, wantCols, line)
+			}
+		}
+	}
+
+	a := &Fig4aResult{Ks: []int{5, 10}, Sprite: make([]ir.Metrics, 2), ESearch: make([]ir.Metrics, 2)}
+	checkCSV("fig4a", a.CSV(), 2, 5)
+
+	b := &Fig4bResult{Variant: WithZipf, Terms: []int{5, 10, 15},
+		Sprite: make([]ir.Metrics, 3), ESearch: make([]ir.Metrics, 3)}
+	checkCSV("fig4b", b.CSV(), 3, 6)
+
+	c := &Fig4cResult{Iterations: []int{1, 2}, SwitchAt: 2,
+		Sprite: make([]ir.Metrics, 2), ESearch: make([]ir.Metrics, 2)}
+	checkCSV("fig4c", c.CSV(), 2, 6)
+	if !strings.Contains(c.CSV(), "2,1,") {
+		t.Fatal("fig4c switch iteration not marked")
+	}
+
+	h := &ChordHopsResult{Sizes: []int{16}, AvgHops: []float64{1.5}, MaxHops: []int{3}, Log2N: []float64{4}}
+	checkCSV("chord", h.CSV(), 1, 4)
+
+	cost := &InsertCostResult{}
+	checkCSV("cost", cost.CSV(), 2, 3)
+
+	abl := &AblationResult{Variants: []core.ScoreVariant{core.ScoreQScoreLogQF}, Metrics: make([]ir.Metrics, 1)}
+	checkCSV("ablation", abl.CSV(), 1, 3)
+
+	ch := &ChurnResult{Replicas: 2}
+	checkCSV("churn", ch.CSV(), 3, 3)
+
+	m := &MaintenanceResult{Replicas: 2}
+	checkCSV("maintenance", m.CSV(), 4, 3)
+
+	e := &ExpansionResult{Depths: []int{0, 2}, Metrics: make([]ir.Metrics, 2), ExtraMessages: []float64{0, 30}}
+	checkCSV("expansion", e.CSV(), 2, 4)
+
+	l := &LoadResult{}
+	checkCSV("load", l.CSV(), 3, 4)
+}
+
+func TestMeanStd(t *testing.T) {
+	m, sd := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 || math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("meanStd = %v, %v; want 5, 2", m, sd)
+	}
+	m, sd = meanStd([]float64{3})
+	if m != 3 || sd != 0 {
+		t.Fatalf("single sample: %v, %v", m, sd)
+	}
+	if m, sd := meanStd(nil); m != 0 || sd != 0 {
+		t.Fatalf("empty: %v, %v", m, sd)
+	}
+}
+
+func TestRunFig4aReplicated(t *testing.T) {
+	cfg := tiny()
+	agg, err := RunFig4aReplicated(cfg, 3)
+	if err != nil {
+		t.Fatalf("RunFig4aReplicated: %v", err)
+	}
+	if agg.Seeds != 3 || len(agg.Ks) != 6 {
+		t.Fatalf("shape: %+v", agg)
+	}
+	// Means must be plausible ratios; stds must be non-negative and small
+	// relative to the means (the replications share the generator family).
+	for i := range agg.Ks {
+		if agg.SpriteMean[i] <= 0 || agg.SpriteMean[i] > 1.2 {
+			t.Fatalf("sprite mean out of range at K=%d: %v", agg.Ks[i], agg.SpriteMean[i])
+		}
+		if agg.SpriteStd[i] < 0 || agg.SpriteStd[i] > 0.5 {
+			t.Fatalf("sprite std implausible at K=%d: %v", agg.Ks[i], agg.SpriteStd[i])
+		}
+	}
+	// Seeds must actually differ: at least one K should show nonzero spread.
+	spread := 0.0
+	for _, sd := range agg.SpriteStd {
+		spread += sd
+	}
+	if spread == 0 {
+		t.Fatal("replications produced identical results — seeds not varied")
+	}
+	if agg.Table() == "" || agg.CSV() == "" {
+		t.Fatal("empty rendering")
+	}
+	if _, err := RunFig4aReplicated(cfg, 0); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+}
+
+func TestRunLearnCost(t *testing.T) {
+	res, err := RunLearnCost(tiny())
+	if err != nil {
+		t.Fatalf("RunLearnCost: %v", err)
+	}
+	if len(res.Iterations) != 5 {
+		t.Fatalf("iterations = %v", res.Iterations)
+	}
+	for i := range res.Iterations {
+		if res.MsgsPerDoc[i] <= 0 {
+			t.Fatalf("iteration %d reported no traffic", res.Iterations[i])
+		}
+	}
+	// Index grows monotonically toward the cap.
+	for i := 1; i < len(res.TermsPerDoc); i++ {
+		if res.TermsPerDoc[i]+1e-9 < res.TermsPerDoc[i-1] {
+			t.Fatalf("terms/doc shrank: %v", res.TermsPerDoc)
+		}
+	}
+	// Full-term maintenance must dwarf SPRITE's worst iteration.
+	worst := 0.0
+	for _, m := range res.MsgsPerDoc {
+		if m > worst {
+			worst = m
+		}
+	}
+	if res.FullMsgsPerDoc < 2*worst {
+		t.Fatalf("full maintenance (%.1f) not clearly above SPRITE (%.1f)",
+			res.FullMsgsPerDoc, worst)
+	}
+	if res.Table() == "" || res.CSV() == "" {
+		t.Fatal("empty rendering")
+	}
+}

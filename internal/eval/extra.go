@@ -1,0 +1,314 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/core"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// This file implements the supplementary systems-level experiments indexed
+// in DESIGN.md: they validate the substrate (chord-hops) and quantify the
+// cost and robustness arguments the paper makes qualitatively (§1, §7), plus
+// an ablation of the §5.3 score formula.
+
+// ChordHopsResult reports average and maximum lookup hops per network size.
+type ChordHopsResult struct {
+	Sizes   []int
+	AvgHops []float64
+	MaxHops []int
+	Log2N   []float64
+}
+
+// RunChordHops measures iterative-lookup hop counts across ring sizes,
+// validating the O(log N) routing bound the overlay inherits from Chord.
+func RunChordHops(sizes []int, trials int, seed int64) (*ChordHopsResult, error) {
+	res := &ChordHopsResult{}
+	for _, size := range sizes {
+		net := simnet.New(seed)
+		ring := chord.NewRing(net, chord.Config{})
+		if _, err := ring.AddNodes("n", size); err != nil {
+			return nil, err
+		}
+		ring.Build()
+		nodes := ring.Nodes()
+		rng := rand.New(rand.NewSource(seed + int64(size)))
+		total, maxHops := 0, 0
+		for i := 0; i < trials; i++ {
+			key := chordid.HashKey(fmt.Sprintf("k-%d-%d", size, i))
+			from := nodes[rng.Intn(len(nodes))]
+			_, hops, err := from.Lookup(key)
+			if err != nil {
+				return nil, err
+			}
+			total += hops
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+		res.Sizes = append(res.Sizes, size)
+		res.AvgHops = append(res.AvgHops, float64(total)/float64(trials))
+		res.MaxHops = append(res.MaxHops, maxHops)
+		res.Log2N = append(res.Log2N, math.Log2(float64(size)))
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *ChordHopsResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chord lookup hops vs network size (expect avg <= log2 N)\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-10s %-10s\n", "N", "avg", "max", "log2N")
+	for i := range r.Sizes {
+		fmt.Fprintf(&b, "%-8d %-10.2f %-10d %-10.2f\n", r.Sizes[i], r.AvgHops[i], r.MaxHops[i], r.Log2N[i])
+	}
+	return b.String()
+}
+
+// InsertCostResult compares the DHT traffic of publishing documents under
+// selective indexing (SPRITE's ≤30-term budget) against indexing every term
+// — the §1 argument for why full distributed indexing is impractical.
+type InsertCostResult struct {
+	Docs              int
+	SelectiveMsgs     int64 // chord + publish messages, selective (initial share)
+	SelectivePostings int
+	FullMsgs          int64 // same, publishing every distinct term
+	FullPostings      int
+	MsgRatio          float64
+}
+
+// RunInsertCost shares the corpus twice on identical fresh networks: once
+// with the configured initial-term budget and once publishing every distinct
+// term of every document.
+func RunInsertCost(cfg Config) (*InsertCostResult, error) {
+	cfg = cfg.fillDefaults()
+	env, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(coreCfg core.Config) (int64, int, error) {
+		dep, err := env.NewDeployment(coreCfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		dep.Sim.ResetStats()
+		if err := dep.ShareAll(); err != nil {
+			return 0, 0, err
+		}
+		return dep.Sim.Stats().Calls, dep.Net.TotalPostings(), nil
+	}
+
+	selMsgs, selPost, err := run(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+
+	// Full indexing: the per-document budget covers every distinct term.
+	maxTerms := 0
+	for _, d := range env.Col.Corpus.Docs() {
+		if len(d.TF) > maxTerms {
+			maxTerms = len(d.TF)
+		}
+	}
+	fullCfg := cfg.Core
+	fullCfg.InitialTerms = maxTerms
+	fullCfg.MaxIndexTerms = maxTerms
+	fullMsgs, fullPost, err := run(fullCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &InsertCostResult{
+		Docs:              env.Col.Corpus.N(),
+		SelectiveMsgs:     selMsgs,
+		SelectivePostings: selPost,
+		FullMsgs:          fullMsgs,
+		FullPostings:      fullPost,
+	}
+	if selMsgs > 0 {
+		res.MsgRatio = float64(fullMsgs) / float64(selMsgs)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *InsertCostResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Index construction cost: selective (SPRITE) vs full-term indexing\n")
+	fmt.Fprintf(&b, "%-12s %-16s %-16s\n", "", "messages", "postings")
+	fmt.Fprintf(&b, "%-12s %-16d %-16d\n", "selective", r.SelectiveMsgs, r.SelectivePostings)
+	fmt.Fprintf(&b, "%-12s %-16d %-16d\n", "full", r.FullMsgs, r.FullPostings)
+	fmt.Fprintf(&b, "full/selective message ratio: %.1fx over %d documents\n", r.MsgRatio, r.Docs)
+	return b.String()
+}
+
+// AblationResult reports retrieval quality (ratio to centralized) for each
+// learning score variant.
+type AblationResult struct {
+	Variants []core.ScoreVariant
+	Metrics  []ir.Metrics // ratio to centralized at cfg.TopK
+}
+
+// RunScoreAblation runs the default experiment once per score variant,
+// probing precision/recall at cfg.TopK. It quantifies the paper's §5.3
+// argument that qScore and QF must be combined, with the logarithm damping
+// QF. The budget is deliberately scarce (one iteration, 3 additions, cap 8)
+// — with a loose budget every learnable candidate fits eventually and the
+// ranking function cannot matter; only under scarcity do the variants
+// separate.
+func RunScoreAblation(cfg Config) (*AblationResult, error) {
+	cfg = cfg.fillDefaults()
+	env, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	centralAbs := Measure(env.CentralSearcher(), env.Test, cfg.TopK)
+
+	res := &AblationResult{}
+	for _, v := range []core.ScoreVariant{
+		core.ScoreQScoreLogQF, core.ScoreQScoreOnly, core.ScoreQFOnly, core.ScoreQScoreTimesQF,
+	} {
+		coreCfg := cfg.Core
+		coreCfg.Score = v
+		coreCfg.InitialTerms = 5
+		coreCfg.TermsPerIteration = 3
+		coreCfg.MaxIndexTerms = 8
+		dep, err := env.NewDeployment(coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dep.InsertQueries(env.Train); err != nil {
+			return nil, err
+		}
+		if err := dep.ShareAll(); err != nil {
+			return nil, err
+		}
+		// A single iteration with a 3-term budget: only the variant's top-3
+		// candidates are admitted, so the ranking function is decisive.
+		if err := dep.Learn(1); err != nil {
+			return nil, err
+		}
+		abs := Measure(dep.SpriteSearcher(), env.Test, cfg.TopK)
+		res.Variants = append(res.Variants, v)
+		res.Metrics = append(res.Metrics, ir.Ratio(abs, centralAbs))
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *AblationResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Score-function ablation (ratio to centralized)\n")
+	fmt.Fprintf(&b, "%-16s %-12s %-12s\n", "variant", "precision", "recall")
+	for i, v := range r.Variants {
+		fmt.Fprintf(&b, "%-16s %-12.3f %-12.3f\n", v, r.Metrics[i].Precision, r.Metrics[i].Recall)
+	}
+	return b.String()
+}
+
+// ChurnResult reports retrieval quality before and after failing a fraction
+// of peers, with and without successor replication (§7).
+type ChurnResult struct {
+	FailedFraction float64
+	Baseline       ir.Metrics // ratio to centralized, healthy network
+	NoReplication  ir.Metrics // after failures, ReplicationFactor = 0
+	Replicated     ir.Metrics // after failures, ReplicationFactor > 0
+	Replicas       int
+	// PostingsLost is the fraction of primary index postings stored on the
+	// failed peers — the state replication must cover.
+	PostingsLost float64
+}
+
+// RunChurn builds two identical deployments (replication off/on), trains and
+// learns, fails the given fraction of peers, and probes retrieval quality.
+// Documents owned by failed peers remain judged (their owners are gone, but
+// their index entries — and with replication, the replicas — survive at
+// other peers).
+func RunChurn(cfg Config, failFraction float64, replicas int) (*ChurnResult, error) {
+	cfg = cfg.fillDefaults()
+	if failFraction < 0 || failFraction >= 1 {
+		return nil, fmt.Errorf("eval: failFraction %v out of [0,1)", failFraction)
+	}
+	env, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	centralAbs := Measure(env.CentralSearcher(), env.Test, cfg.TopK)
+
+	build := func(reps int) (*Deployment, error) {
+		coreCfg := cfg.Core
+		coreCfg.ReplicationFactor = reps
+		dep, err := env.NewDeployment(coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dep.InsertQueries(env.Train); err != nil {
+			return nil, err
+		}
+		if err := dep.ShareAll(); err != nil {
+			return nil, err
+		}
+		if err := dep.Learn(cfg.LearningIterations); err != nil {
+			return nil, err
+		}
+		return dep, nil
+	}
+
+	failPeers := func(dep *Deployment) {
+		nodes := dep.Ring.Nodes()
+		rng := rand.New(rand.NewSource(cfg.Seed + 99))
+		toFail := int(failFraction * float64(len(nodes)))
+		for _, i := range rng.Perm(len(nodes))[:toFail] {
+			dep.Ring.Fail(nodes[i])
+		}
+	}
+
+	res := &ChurnResult{FailedFraction: failFraction, Replicas: replicas}
+
+	noRep, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = ir.Ratio(Measure(noRep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+	failPeers(noRep)
+	res.NoReplication = ir.Ratio(Measure(noRep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+	total, lost := 0, 0
+	for _, p := range noRep.Net.Peers() {
+		n := p.Index().NumPostings()
+		total += n
+		if !noRep.Sim.Alive(p.Addr()) {
+			lost += n
+		}
+	}
+	if total > 0 {
+		res.PostingsLost = float64(lost) / float64(total)
+	}
+
+	rep, err := build(replicas)
+	if err != nil {
+		return nil, err
+	}
+	failPeers(rep)
+	res.Replicated = ir.Ratio(Measure(rep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *ChurnResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Churn: %.0f%% of peers failed, %.0f%% of postings lost (ratios to centralized)\n",
+		r.FailedFraction*100, r.PostingsLost*100)
+	fmt.Fprintf(&b, "%-24s %-12s %-12s\n", "configuration", "precision", "recall")
+	fmt.Fprintf(&b, "%-24s %-12.3f %-12.3f\n", "healthy network", r.Baseline.Precision, r.Baseline.Recall)
+	fmt.Fprintf(&b, "%-24s %-12.3f %-12.3f\n", "failed, no replication", r.NoReplication.Precision, r.NoReplication.Recall)
+	fmt.Fprintf(&b, "%-24s %-12.3f %-12.3f\n",
+		fmt.Sprintf("failed, %d replicas", r.Replicas), r.Replicated.Precision, r.Replicated.Recall)
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LearnCostResult quantifies the §1 maintenance-cost argument over time: the
+// DHT traffic of each learning iteration (polls + publications + removals),
+// per document, as the index grows from the initial F terms toward the cap.
+// The comparison column is the analytic cost of maintaining a full-term
+// index at the same cadence — each of a document's distinct terms polled
+// once per period at the measured average routing cost.
+type LearnCostResult struct {
+	Iterations []int
+	// MsgsPerDoc is the measured SPRITE traffic per document per iteration.
+	MsgsPerDoc []float64
+	// TermsPerDoc is the average number of indexed terms after the iteration.
+	TermsPerDoc []float64
+	// FullMsgsPerDoc is the analytic per-document cost of polling every
+	// distinct term at the same routing cost.
+	FullMsgsPerDoc float64
+	// AvgHops is the measured mean routing cost per DHT operation.
+	AvgHops float64
+}
+
+// RunLearnCost trains the default deployment and measures the message cost
+// of each of the first five learning iterations.
+func RunLearnCost(cfg Config) (*LearnCostResult, error) {
+	cfg = cfg.fillDefaults()
+	cfg.Core.TermsPerIteration = 5
+	cfg.Core.MaxIndexTerms = 30
+	env, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := env.NewDeployment(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	if err := dep.InsertQueries(env.Train); err != nil {
+		return nil, err
+	}
+	if err := dep.ShareAll(); err != nil {
+		return nil, err
+	}
+	docs := float64(env.Col.Corpus.N())
+
+	res := &LearnCostResult{}
+	var totalHops, hopOps int64
+	for iter := 1; iter <= 5; iter++ {
+		dep.Sim.ResetStats()
+		if err := dep.Learn(1); err != nil {
+			return nil, err
+		}
+		stats := dep.Sim.Stats()
+		res.Iterations = append(res.Iterations, iter)
+		res.MsgsPerDoc = append(res.MsgsPerDoc, float64(stats.Calls)/docs)
+		totalHops += stats.CallsByType["chord.next_hop"]
+		hopOps += stats.CallsByType["sprite.poll"] + stats.CallsByType["sprite.publish"] + stats.CallsByType["sprite.unpublish"]
+
+		terms := 0
+		for _, id := range dep.Net.Documents() {
+			ts, err := dep.Net.IndexedTerms(id)
+			if err != nil {
+				return nil, err
+			}
+			terms += len(ts)
+		}
+		res.TermsPerDoc = append(res.TermsPerDoc, float64(terms)/docs)
+	}
+	if hopOps > 0 {
+		res.AvgHops = float64(totalHops) / float64(hopOps)
+	}
+
+	// Analytic full-index maintenance: every distinct term of every document
+	// polled once per period, each poll costing (avg hops + 1) messages.
+	distinct := 0
+	for _, d := range env.Col.Corpus.Docs() {
+		distinct += len(d.TF)
+	}
+	res.FullMsgsPerDoc = float64(distinct) / docs * (res.AvgHops + 1)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *LearnCostResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Learning/maintenance traffic per document per iteration (§1 cost argument)\n")
+	fmt.Fprintf(&b, "%-10s %-14s %-14s\n", "iteration", "msgs/doc", "terms/doc")
+	for i, iter := range r.Iterations {
+		fmt.Fprintf(&b, "%-10d %-14.1f %-14.1f\n", iter, r.MsgsPerDoc[i], r.TermsPerDoc[i])
+	}
+	fmt.Fprintf(&b, "full-term index maintenance (analytic): %.1f msgs/doc/period at %.1f avg hops\n",
+		r.FullMsgsPerDoc, r.AvgHops)
+	return b.String()
+}
+
+// CSV renders the result.
+func (r *LearnCostResult) CSV() string {
+	rows := make([][]string, 0, len(r.Iterations))
+	for i, iter := range r.Iterations {
+		rows = append(rows, []string{
+			fmt.Sprint(iter),
+			fmt.Sprintf("%.2f", r.MsgsPerDoc[i]),
+			fmt.Sprintf("%.2f", r.TermsPerDoc[i]),
+		})
+	}
+	return csvRows("iteration,msgs_per_doc,terms_per_doc", rows)
+}

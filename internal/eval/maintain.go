@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/spritedht/sprite/internal/ir"
+)
+
+// MaintenanceResult compares the two recovery mechanisms the paper offers
+// for peer failure (§1's owner probing made effectful, and §7's successor
+// replication) on the same churn event.
+type MaintenanceResult struct {
+	FailedFraction float64
+	Healthy        ir.Metrics // ratio to centralized before failures
+	Degraded       ir.Metrics // after failures, no recovery
+	AfterRefresh   ir.Metrics // after failures + owner RefreshAll
+	Replicated     ir.Metrics // after failures, with successor replication
+	RefreshMoved   int        // postings migrated by RefreshAll
+	RefreshMsgs    int64      // messages RefreshAll cost
+	Replicas       int
+}
+
+// RunMaintenance trains and learns a deployment, fails a fraction of peers,
+// and measures retrieval quality (a) degraded, (b) after the owners run a
+// refresh sweep (entries migrate to the failover peers), and (c) on an
+// identical deployment that had successor replication on from the start.
+func RunMaintenance(cfg Config, failFraction float64, replicas int) (*MaintenanceResult, error) {
+	cfg = cfg.fillDefaults()
+	if failFraction < 0 || failFraction >= 1 {
+		return nil, fmt.Errorf("eval: failFraction %v out of [0,1)", failFraction)
+	}
+	env, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	centralAbs := Measure(env.CentralSearcher(), env.Test, cfg.TopK)
+
+	build := func(reps int) (*Deployment, error) {
+		coreCfg := cfg.Core
+		coreCfg.ReplicationFactor = reps
+		dep, err := env.NewDeployment(coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dep.InsertQueries(env.Train); err != nil {
+			return nil, err
+		}
+		if err := dep.ShareAll(); err != nil {
+			return nil, err
+		}
+		if err := dep.Learn(cfg.LearningIterations); err != nil {
+			return nil, err
+		}
+		return dep, nil
+	}
+	fail := func(dep *Deployment) {
+		nodes := dep.Ring.Nodes()
+		rng := rand.New(rand.NewSource(cfg.Seed + 77))
+		for _, i := range rng.Perm(len(nodes))[:int(failFraction*float64(len(nodes)))] {
+			dep.Ring.Fail(nodes[i])
+		}
+	}
+
+	res := &MaintenanceResult{FailedFraction: failFraction, Replicas: replicas}
+
+	plain, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	res.Healthy = ir.Ratio(Measure(plain.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+	fail(plain)
+	res.Degraded = ir.Ratio(Measure(plain.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+
+	before := plain.Sim.Stats().Calls
+	moved, err := plain.Net.RefreshAll()
+	if err != nil {
+		return nil, err
+	}
+	res.RefreshMoved = moved
+	res.RefreshMsgs = plain.Sim.Stats().Calls - before
+	res.AfterRefresh = ir.Ratio(Measure(plain.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+
+	rep, err := build(replicas)
+	if err != nil {
+		return nil, err
+	}
+	fail(rep)
+	res.Replicated = ir.Ratio(Measure(rep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *MaintenanceResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery after failing %.0f%% of peers (ratios to centralized)\n", r.FailedFraction*100)
+	fmt.Fprintf(&b, "%-26s %-12s %-12s\n", "state", "precision", "recall")
+	fmt.Fprintf(&b, "%-26s %-12.3f %-12.3f\n", "healthy", r.Healthy.Precision, r.Healthy.Recall)
+	fmt.Fprintf(&b, "%-26s %-12.3f %-12.3f\n", "degraded (no recovery)", r.Degraded.Precision, r.Degraded.Recall)
+	fmt.Fprintf(&b, "%-26s %-12.3f %-12.3f   (%d postings moved, %d msgs)\n",
+		"after owner refresh", r.AfterRefresh.Precision, r.AfterRefresh.Recall, r.RefreshMoved, r.RefreshMsgs)
+	fmt.Fprintf(&b, "%-26s %-12.3f %-12.3f\n",
+		fmt.Sprintf("%d replicas (no refresh)", r.Replicas), r.Replicated.Precision, r.Replicated.Recall)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders every experiment result as CSV, for plotting pipelines.
+// Each CSV carries a header row; ratios are emitted with 4 decimals.
+
+func csvRows(header string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// CSV renders Figure 4(a) as rows of K and the four ratios.
+func (r *Fig4aResult) CSV() string {
+	rows := make([][]string, 0, len(r.Ks))
+	for i, k := range r.Ks {
+		rows = append(rows, []string{
+			fmt.Sprint(k),
+			f4(r.Sprite[i].Precision), f4(r.ESearch[i].Precision),
+			f4(r.Sprite[i].Recall), f4(r.ESearch[i].Recall),
+		})
+	}
+	return csvRows("k,sprite_precision,esearch_precision,sprite_recall,esearch_recall", rows)
+}
+
+// CSV renders Figure 4(b) rows with the workload variant as a column.
+func (r *Fig4bResult) CSV() string {
+	rows := make([][]string, 0, len(r.Terms))
+	for i, terms := range r.Terms {
+		rows = append(rows, []string{
+			string(r.Variant), fmt.Sprint(terms),
+			f4(r.Sprite[i].Precision), f4(r.ESearch[i].Precision),
+			f4(r.Sprite[i].Recall), f4(r.ESearch[i].Recall),
+		})
+	}
+	return csvRows("variant,terms,sprite_precision,esearch_precision,sprite_recall,esearch_recall", rows)
+}
+
+// CSV renders Figure 4(c) rows; the switch iteration is marked.
+func (r *Fig4cResult) CSV() string {
+	rows := make([][]string, 0, len(r.Iterations))
+	for i, iter := range r.Iterations {
+		change := "0"
+		if iter == r.SwitchAt {
+			change = "1"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(iter), change,
+			f4(r.Sprite[i].Precision), f4(r.ESearch[i].Precision),
+			f4(r.Sprite[i].Recall), f4(r.ESearch[i].Recall),
+		})
+	}
+	return csvRows("iteration,pattern_change,sprite_precision,esearch_precision,sprite_recall,esearch_recall", rows)
+}
+
+// CSV renders the hop-count experiment.
+func (r *ChordHopsResult) CSV() string {
+	rows := make([][]string, 0, len(r.Sizes))
+	for i := range r.Sizes {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Sizes[i]), f4(r.AvgHops[i]),
+			fmt.Sprint(r.MaxHops[i]), f4(r.Log2N[i]),
+		})
+	}
+	return csvRows("n,avg_hops,max_hops,log2_n", rows)
+}
+
+// CSV renders the insert-cost experiment.
+func (r *InsertCostResult) CSV() string {
+	return csvRows("scheme,messages,postings", [][]string{
+		{"selective", fmt.Sprint(r.SelectiveMsgs), fmt.Sprint(r.SelectivePostings)},
+		{"full", fmt.Sprint(r.FullMsgs), fmt.Sprint(r.FullPostings)},
+	})
+}
+
+// CSV renders the score ablation.
+func (r *AblationResult) CSV() string {
+	rows := make([][]string, 0, len(r.Variants))
+	for i, v := range r.Variants {
+		rows = append(rows, []string{v.String(), f4(r.Metrics[i].Precision), f4(r.Metrics[i].Recall)})
+	}
+	return csvRows("variant,precision,recall", rows)
+}
+
+// CSV renders the churn experiment.
+func (r *ChurnResult) CSV() string {
+	return csvRows("state,precision,recall", [][]string{
+		{"healthy", f4(r.Baseline.Precision), f4(r.Baseline.Recall)},
+		{"failed_no_replication", f4(r.NoReplication.Precision), f4(r.NoReplication.Recall)},
+		{fmt.Sprintf("failed_%d_replicas", r.Replicas), f4(r.Replicated.Precision), f4(r.Replicated.Recall)},
+	})
+}
+
+// CSV renders the maintenance experiment.
+func (r *MaintenanceResult) CSV() string {
+	return csvRows("state,precision,recall", [][]string{
+		{"healthy", f4(r.Healthy.Precision), f4(r.Healthy.Recall)},
+		{"degraded", f4(r.Degraded.Precision), f4(r.Degraded.Recall)},
+		{"after_refresh", f4(r.AfterRefresh.Precision), f4(r.AfterRefresh.Recall)},
+		{fmt.Sprintf("replicated_%d", r.Replicas), f4(r.Replicated.Precision), f4(r.Replicated.Recall)},
+	})
+}
+
+// CSV renders the expansion experiment.
+func (r *ExpansionResult) CSV() string {
+	rows := make([][]string, 0, len(r.Depths))
+	for i, d := range r.Depths {
+		rows = append(rows, []string{
+			fmt.Sprint(d), f4(r.Metrics[i].Precision), f4(r.Metrics[i].Recall),
+			fmt.Sprintf("%.1f", r.ExtraMessages[i]),
+		})
+	}
+	return csvRows("expansion_terms,precision,recall,extra_msgs_per_query", rows)
+}
+
+// CSV renders the load-distribution experiment.
+func (r *LoadResult) CSV() string {
+	return csvRows("metric,max,mean,gini", [][]string{
+		{"postings", fmt.Sprint(r.PostingsMax), fmt.Sprintf("%.1f", r.PostingsMean), f4(r.PostingsGini)},
+		{"query_rpcs", fmt.Sprint(r.TrafficMax), fmt.Sprintf("%.1f", r.TrafficMean), f4(r.TrafficGini)},
+		{"postings_with_advisory", fmt.Sprint(r.WithAdvisory.PostingsMax), "", f4(r.WithAdvisory.PostingsGini)},
+	})
+}

@@ -1,0 +1,169 @@
+// Package index provides the inverted-index structures shared by every
+// retrieval system in this repository: the centralized baseline, eSearch,
+// and SPRITE's indexing peers all store postings in the shape defined here.
+//
+// A posting carries exactly the metadata the SPRITE paper says an indexing
+// peer keeps per term (§5.1): the owning document, the owner peer's address,
+// the term's frequency in the document, and the document length. Document
+// length travels with the posting so the querying peer can normalize term
+// frequency and apply the Lee et al. similarity denominator without any
+// extra round trip (§4).
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DocID identifies a document globally. Owner peers assign them; they are
+// opaque to indexing peers.
+type DocID string
+
+// Posting is one inverted-list entry: term t occurs Freq times in document
+// Doc of length DocLen, owned by the peer at Owner.
+type Posting struct {
+	Doc    DocID
+	Owner  string // owner peer address ("IP address" in the paper)
+	Freq   int    // raw term frequency in the document
+	DocLen int    // total number of terms in the document
+}
+
+// NormFreq returns the length-normalized term frequency t_ik used in the
+// TF·IDF weight (§4).
+func (p Posting) NormFreq() float64 {
+	if p.DocLen == 0 {
+		return 0
+	}
+	return float64(p.Freq) / float64(p.DocLen)
+}
+
+// WireSize is the simulated size of a posting in bytes (doc id, owner
+// address, two varints), used for bandwidth accounting.
+func (p Posting) WireSize() int {
+	return len(p.Doc) + len(p.Owner) + 8
+}
+
+// Inverted is an in-memory inverted index: term → postings list. The zero
+// value is not ready to use; create with NewInverted.
+type Inverted struct {
+	lists map[string][]Posting
+	docs  map[DocID]bool
+}
+
+// NewInverted returns an empty index.
+func NewInverted() *Inverted {
+	return &Inverted{
+		lists: make(map[string][]Posting),
+		docs:  make(map[DocID]bool),
+	}
+}
+
+// Add appends a posting for term. Adding the same (term, doc) pair twice
+// replaces the earlier posting — publishing is idempotent, as required for
+// SPRITE's periodic index refresh (§3).
+func (ix *Inverted) Add(term string, p Posting) {
+	list := ix.lists[term]
+	for i := range list {
+		if list[i].Doc == p.Doc {
+			list[i] = p
+			ix.docs[p.Doc] = true
+			return
+		}
+	}
+	ix.lists[term] = append(list, p)
+	ix.docs[p.Doc] = true
+}
+
+// Remove deletes the posting for (term, doc) if present and reports whether
+// it was found. SPRITE's learning removes obsolete terms this way (§5.3).
+func (ix *Inverted) Remove(term string, doc DocID) bool {
+	list := ix.lists[term]
+	for i := range list {
+		if list[i].Doc == doc {
+			ix.lists[term] = append(list[:i], list[i+1:]...)
+			if len(ix.lists[term]) == 0 {
+				delete(ix.lists, term)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveDoc deletes every posting belonging to doc (un-sharing a document).
+// It returns the number of postings removed.
+func (ix *Inverted) RemoveDoc(doc DocID) int {
+	removed := 0
+	for term, list := range ix.lists {
+		kept := list[:0]
+		for _, p := range list {
+			if p.Doc == doc {
+				removed++
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.lists, term)
+		} else {
+			ix.lists[term] = kept
+		}
+	}
+	delete(ix.docs, doc)
+	return removed
+}
+
+// Postings returns the postings list for term (nil if the term is not
+// indexed). The returned slice is a copy; callers may retain it.
+func (ix *Inverted) Postings(term string) []Posting {
+	list := ix.lists[term]
+	if list == nil {
+		return nil
+	}
+	out := make([]Posting, len(list))
+	copy(out, list)
+	return out
+}
+
+// DocFreq returns the number of documents in whose postings list term
+// appears. For SPRITE's indexing peers this is the *indexed document
+// frequency* n'_k of §4 — the count of documents that chose the term as a
+// global index term, not the corpus-wide document frequency.
+func (ix *Inverted) DocFreq(term string) int { return len(ix.lists[term]) }
+
+// Has reports whether term has at least one posting.
+func (ix *Inverted) Has(term string) bool { return len(ix.lists[term]) > 0 }
+
+// Terms returns all indexed terms in sorted order.
+func (ix *Inverted) Terms() []string {
+	out := make([]string, 0, len(ix.lists))
+	for t := range ix.lists {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumTerms returns the number of distinct indexed terms.
+func (ix *Inverted) NumTerms() int { return len(ix.lists) }
+
+// NumDocs returns the number of distinct documents with at least one posting
+// ever added (documents fully removed via RemoveDoc are not counted).
+func (ix *Inverted) NumDocs() int { return len(ix.docs) }
+
+// NumPostings returns the total number of postings across all terms — the
+// index's storage footprint, the quantity SPRITE's selective indexing is
+// designed to shrink (§1).
+func (ix *Inverted) NumPostings() int {
+	n := 0
+	for _, list := range ix.lists {
+		n += len(list)
+	}
+	return n
+}
+
+// String summarizes the index for logs.
+func (ix *Inverted) String() string {
+	return fmt.Sprintf("inverted{terms=%d docs=%d postings=%d}",
+		ix.NumTerms(), ix.NumDocs(), ix.NumPostings())
+}

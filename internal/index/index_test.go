@@ -1,0 +1,200 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func post(doc string, freq, dlen int) Posting {
+	return Posting{Doc: DocID(doc), Owner: "peer-" + doc, Freq: freq, DocLen: dlen}
+}
+
+func TestAddAndPostings(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("chord", post("d1", 3, 100))
+	ix.Add("chord", post("d2", 1, 50))
+	got := ix.Postings("chord")
+	if len(got) != 2 {
+		t.Fatalf("postings = %v", got)
+	}
+	if got[0].Doc != "d1" || got[0].Freq != 3 {
+		t.Fatalf("first posting = %+v", got[0])
+	}
+}
+
+func TestAddIsIdempotentPerDoc(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("term", post("d1", 3, 100))
+	ix.Add("term", post("d1", 5, 120)) // republish with fresh metadata
+	got := ix.Postings("term")
+	if len(got) != 1 {
+		t.Fatalf("republish duplicated the posting: %v", got)
+	}
+	if got[0].Freq != 5 || got[0].DocLen != 120 {
+		t.Fatalf("republish did not refresh metadata: %+v", got[0])
+	}
+}
+
+func TestPostingsReturnsCopy(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("t", post("d1", 1, 10))
+	p := ix.Postings("t")
+	p[0].Freq = 999
+	if ix.Postings("t")[0].Freq != 1 {
+		t.Fatal("Postings leaked internal storage")
+	}
+}
+
+func TestPostingsMissingTerm(t *testing.T) {
+	ix := NewInverted()
+	if got := ix.Postings("ghost"); got != nil {
+		t.Fatalf("Postings(missing) = %v, want nil", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("t", post("d1", 1, 10))
+	ix.Add("t", post("d2", 2, 20))
+	if !ix.Remove("t", "d1") {
+		t.Fatal("Remove reported not found")
+	}
+	if ix.Remove("t", "d1") {
+		t.Fatal("second Remove reported found")
+	}
+	if got := ix.DocFreq("t"); got != 1 {
+		t.Fatalf("DocFreq = %d after removal, want 1", got)
+	}
+	if !ix.Remove("t", "d2") {
+		t.Fatal("Remove d2 failed")
+	}
+	if ix.Has("t") {
+		t.Fatal("term with no postings still present")
+	}
+}
+
+func TestRemoveDoc(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("a", post("d1", 1, 10))
+	ix.Add("b", post("d1", 2, 10))
+	ix.Add("b", post("d2", 1, 20))
+	if got := ix.RemoveDoc("d1"); got != 2 {
+		t.Fatalf("RemoveDoc removed %d postings, want 2", got)
+	}
+	if ix.Has("a") {
+		t.Fatal("term a should be gone")
+	}
+	if ix.DocFreq("b") != 1 {
+		t.Fatal("term b should retain d2")
+	}
+	if ix.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d, want 1", ix.NumDocs())
+	}
+}
+
+func TestDocFreqIsIndexedDocumentFrequency(t *testing.T) {
+	// DocFreq counts only documents that published the term, which is the
+	// paper's n'_k — distinct from corpus-wide document frequency.
+	ix := NewInverted()
+	for i := 0; i < 7; i++ {
+		ix.Add("popular", post(fmt.Sprintf("d%d", i), 1, 10))
+	}
+	if got := ix.DocFreq("popular"); got != 7 {
+		t.Fatalf("DocFreq = %d, want 7", got)
+	}
+	if got := ix.DocFreq("unindexed"); got != 0 {
+		t.Fatalf("DocFreq(missing) = %d, want 0", got)
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	ix := NewInverted()
+	for _, term := range []string{"zebra", "apple", "mango"} {
+		ix.Add(term, post("d1", 1, 3))
+	}
+	got := ix.Terms()
+	want := []string{"apple", "mango", "zebra"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Terms() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("a", post("d1", 1, 10))
+	ix.Add("a", post("d2", 1, 10))
+	ix.Add("b", post("d1", 1, 10))
+	if ix.NumTerms() != 2 || ix.NumDocs() != 2 || ix.NumPostings() != 3 {
+		t.Fatalf("counts: %s", ix)
+	}
+}
+
+func TestNormFreq(t *testing.T) {
+	p := post("d", 5, 100)
+	if got := p.NormFreq(); got != 0.05 {
+		t.Fatalf("NormFreq = %v, want 0.05", got)
+	}
+	zero := post("d", 5, 0)
+	if got := zero.NormFreq(); got != 0 {
+		t.Fatalf("NormFreq with zero length = %v, want 0", got)
+	}
+}
+
+func TestWireSizePositive(t *testing.T) {
+	if post("doc-1", 1, 10).WireSize() <= 0 {
+		t.Fatal("WireSize must be positive")
+	}
+}
+
+// Property: after any sequence of adds, NumPostings equals the sum of
+// DocFreq over all terms, and every posting is retrievable.
+func TestInvariantPostingsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewInverted()
+		type key struct{ term, doc string }
+		want := map[key]Posting{}
+		for i := 0; i < 200; i++ {
+			term := fmt.Sprintf("t%d", rng.Intn(20))
+			doc := fmt.Sprintf("d%d", rng.Intn(30))
+			p := Posting{Doc: DocID(doc), Owner: "o", Freq: rng.Intn(10) + 1, DocLen: 50}
+			if rng.Intn(4) == 0 {
+				ix.Remove(term, DocID(doc))
+				delete(want, key{term, doc})
+			} else {
+				ix.Add(term, p)
+				want[key{term, doc}] = p
+			}
+		}
+		total := 0
+		for _, term := range ix.Terms() {
+			total += ix.DocFreq(term)
+		}
+		if total != ix.NumPostings() {
+			return false
+		}
+		if total != len(want) {
+			return false
+		}
+		for k, p := range want {
+			found := false
+			for _, got := range ix.Postings(k.term) {
+				if got == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

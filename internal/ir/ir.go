@@ -1,0 +1,236 @@
+// Package ir implements the information-retrieval mathematics of the SPRITE
+// paper (§4 and §6): TF·IDF term weighting, the simplified vector-space
+// similarity of Lee, Chuang and Seamons ("Document ranking and the
+// vector-space model", IEEE Software 1997 — the paper's formula (2)), ranked
+// lists, and the precision/recall evaluation metrics.
+package ir
+
+import (
+	"math"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// LargeN is the surrogate corpus size used by distributed rankers. The paper
+// observes (§4) that the true N cannot be known in a P2P network, but any
+// sufficiently large constant preserves the ranking as long as every peer
+// uses the same value.
+const LargeN = 1 << 30
+
+// Weight returns the TF·IDF weight w_ik = ntf · log(N/df) (§4). A zero df
+// yields weight 0 (the term matches no document and contributes nothing).
+func Weight(normFreq float64, n, df int) float64 {
+	if df <= 0 || n <= 0 {
+		return 0
+	}
+	return normFreq * math.Log(float64(n)/float64(df))
+}
+
+// QueryWeight returns the weight of a query term: the query's term frequency
+// normalized by query length, times the same IDF factor. Queries are short,
+// so tf is almost always 1/|Q|.
+func QueryWeight(freqInQuery, queryLen, n, df int) float64 {
+	if queryLen == 0 {
+		return 0
+	}
+	return Weight(float64(freqInQuery)/float64(queryLen), n, df)
+}
+
+// Similarity computes the Lee et al. "second method" similarity (§4):
+//
+//	sim(Q, D) = Σ_j w_Q,j · w_D,j / sqrt(|D|)
+//
+// where |D| is the number of terms in the document. dot is the accumulated
+// numerator; docLen is |D|.
+func Similarity(dot float64, docLen int) float64 {
+	if docLen <= 0 {
+		return 0
+	}
+	return dot / math.Sqrt(float64(docLen))
+}
+
+// Hit is one entry of a ranked list.
+type Hit struct {
+	Doc   index.DocID
+	Score float64
+}
+
+// RankedList is a descending-score list of hits. Ties break by DocID so
+// rankings are deterministic across runs and platforms.
+type RankedList []Hit
+
+// Sort orders the list by descending score, then ascending DocID.
+func (rl RankedList) Sort() {
+	sort.Slice(rl, func(i, j int) bool {
+		if rl[i].Score != rl[j].Score {
+			return rl[i].Score > rl[j].Score
+		}
+		return rl[i].Doc < rl[j].Doc
+	})
+}
+
+// Top returns the first k hits (or fewer if the list is shorter). The list
+// must already be sorted.
+func (rl RankedList) Top(k int) RankedList {
+	if k > len(rl) {
+		k = len(rl)
+	}
+	return rl[:k]
+}
+
+// Docs returns just the document IDs, in rank order.
+func (rl RankedList) Docs() []index.DocID {
+	out := make([]index.DocID, len(rl))
+	for i, h := range rl {
+		out[i] = h.Doc
+	}
+	return out
+}
+
+// Rank returns the 0-based rank of doc, or -1 if absent.
+func (rl RankedList) Rank(doc index.DocID) int {
+	for i, h := range rl {
+		if h.Doc == doc {
+			return i
+		}
+	}
+	return -1
+}
+
+// Accumulator consolidates per-term partial scores into document scores —
+// the querying peer's job in SPRITE (§3: "index entries for the same
+// document are consolidated"). Document lengths arrive with postings.
+type Accumulator struct {
+	dot    map[index.DocID]float64
+	docLen map[index.DocID]int
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		dot:    make(map[index.DocID]float64),
+		docLen: make(map[index.DocID]int),
+	}
+}
+
+// Accumulate adds the contribution of one (query term, posting) pair.
+func (a *Accumulator) Accumulate(doc index.DocID, contribution float64, docLen int) {
+	a.dot[doc] += contribution
+	a.docLen[doc] = docLen
+}
+
+// Ranked finalizes all documents into a sorted ranked list.
+func (a *Accumulator) Ranked() RankedList {
+	rl := make(RankedList, 0, len(a.dot))
+	for doc, dot := range a.dot {
+		rl = append(rl, Hit{Doc: doc, Score: Similarity(dot, a.docLen[doc])})
+	}
+	rl.Sort()
+	return rl
+}
+
+// Metrics holds the two standard retrieval-quality measures (§6): with top K
+// documents returned, K' of them relevant, and R relevant documents overall,
+// precision = K'/K and recall = K'/R.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+}
+
+// Evaluate computes precision and recall of the returned list against the
+// relevant set. An empty returned list or empty relevant set contributes
+// zero to the respective metric rather than NaN. A relevant document counts
+// once even if the returned list (pathologically) repeats it, keeping both
+// metrics within [0, 1].
+func Evaluate(returned []index.DocID, relevant map[index.DocID]bool) Metrics {
+	if len(returned) == 0 {
+		return Metrics{}
+	}
+	seen := make(map[index.DocID]bool, len(returned))
+	hits := 0
+	for _, d := range returned {
+		if relevant[d] && !seen[d] {
+			seen[d] = true
+			hits++
+		}
+	}
+	m := Metrics{Precision: float64(hits) / float64(len(returned))}
+	if len(relevant) > 0 {
+		m.Recall = float64(hits) / float64(len(relevant))
+	}
+	return m
+}
+
+// MeanMetrics averages a slice of per-query metrics. An empty slice yields
+// the zero Metrics.
+func MeanMetrics(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var sum Metrics
+	for _, m := range ms {
+		sum.Precision += m.Precision
+		sum.Recall += m.Recall
+	}
+	return Metrics{
+		Precision: sum.Precision / float64(len(ms)),
+		Recall:    sum.Recall / float64(len(ms)),
+	}
+}
+
+// Ratio returns the element-wise ratio of two metric values — the paper
+// reports every result "in terms of the ratio of a specific system over the
+// centralized system" (§6). A zero denominator yields 0.
+func Ratio(system, baseline Metrics) Metrics {
+	var out Metrics
+	if baseline.Precision > 0 {
+		out.Precision = system.Precision / baseline.Precision
+	}
+	if baseline.Recall > 0 {
+		out.Recall = system.Recall / baseline.Recall
+	}
+	return out
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 if both are 0.
+func (m Metrics) F1() float64 {
+	if m.Precision+m.Recall == 0 {
+		return 0
+	}
+	return 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+}
+
+// AveragePrecision computes the average of the precision values at each rank
+// where a relevant document appears in the returned list, normalized by the
+// total number of relevant documents — the per-query component of MAP.
+// An empty relevant set yields 0.
+func AveragePrecision(returned []index.DocID, relevant map[index.DocID]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	seen := make(map[index.DocID]bool, len(returned))
+	for i, d := range returned {
+		if relevant[d] && !seen[d] {
+			seen[d] = true
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// MeanAveragePrecision averages per-query AP values (MAP). Empty input
+// yields 0.
+func MeanAveragePrecision(aps []float64) float64 {
+	if len(aps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, ap := range aps {
+		s += ap
+	}
+	return s / float64(len(aps))
+}

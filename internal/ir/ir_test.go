@@ -1,0 +1,236 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+func TestWeight(t *testing.T) {
+	got := Weight(0.1, 1000, 10)
+	want := 0.1 * math.Log(100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Weight = %v, want %v", got, want)
+	}
+}
+
+func TestWeightDegenerate(t *testing.T) {
+	if Weight(0.5, 1000, 0) != 0 {
+		t.Error("zero df must yield zero weight")
+	}
+	if Weight(0.5, 0, 3) != 0 {
+		t.Error("zero N must yield zero weight")
+	}
+}
+
+func TestWeightMonotoneInIDF(t *testing.T) {
+	// Rarer terms weigh more.
+	if Weight(0.1, 1000, 5) <= Weight(0.1, 1000, 50) {
+		t.Fatal("weight not decreasing in document frequency")
+	}
+}
+
+func TestQueryWeight(t *testing.T) {
+	got := QueryWeight(1, 4, LargeN, 100)
+	want := Weight(0.25, LargeN, 100)
+	if got != want {
+		t.Fatalf("QueryWeight = %v, want %v", got, want)
+	}
+	if QueryWeight(1, 0, LargeN, 100) != 0 {
+		t.Fatal("zero-length query must yield 0")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if got := Similarity(2.0, 4); got != 1.0 {
+		t.Fatalf("Similarity(2, 4) = %v, want 1 (2/sqrt(4))", got)
+	}
+	if Similarity(1.0, 0) != 0 {
+		t.Fatal("zero-length doc must yield 0")
+	}
+}
+
+func TestRankedListSortDeterministic(t *testing.T) {
+	rl := RankedList{
+		{Doc: "b", Score: 1.0},
+		{Doc: "a", Score: 1.0},
+		{Doc: "c", Score: 2.0},
+	}
+	rl.Sort()
+	wantOrder := []index.DocID{"c", "a", "b"}
+	for i, w := range wantOrder {
+		if rl[i].Doc != w {
+			t.Fatalf("rank %d = %s, want %s (ties must break by DocID)", i, rl[i].Doc, w)
+		}
+	}
+}
+
+func TestRankedListTop(t *testing.T) {
+	rl := RankedList{{Doc: "a", Score: 3}, {Doc: "b", Score: 2}, {Doc: "c", Score: 1}}
+	if got := rl.Top(2); len(got) != 2 || got[1].Doc != "b" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+	if got := rl.Top(10); len(got) != 3 {
+		t.Fatalf("Top beyond length = %v", got)
+	}
+}
+
+func TestRankedListRankAndDocs(t *testing.T) {
+	rl := RankedList{{Doc: "x", Score: 2}, {Doc: "y", Score: 1}}
+	if rl.Rank("y") != 1 || rl.Rank("zz") != -1 {
+		t.Fatal("Rank misbehaved")
+	}
+	docs := rl.Docs()
+	if len(docs) != 2 || docs[0] != "x" {
+		t.Fatalf("Docs = %v", docs)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	acc := NewAccumulator()
+	acc.Accumulate("d1", 0.5, 25) // sim = 0.5/5 = 0.1
+	acc.Accumulate("d1", 0.5, 25) // sim = 1.0/5 = 0.2
+	acc.Accumulate("d2", 0.9, 9)  // sim = 0.9/3 = 0.3
+	rl := acc.Ranked()
+	if rl[0].Doc != "d2" {
+		t.Fatalf("rank 1 = %v, want d2", rl[0])
+	}
+	if math.Abs(rl[0].Score-0.3) > 1e-12 || math.Abs(rl[1].Score-0.2) > 1e-12 {
+		t.Fatalf("scores = %v", rl)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	relevant := map[index.DocID]bool{"a": true, "b": true, "c": true, "d": true}
+	returned := []index.DocID{"a", "x", "b", "y"}
+	m := Evaluate(returned, relevant)
+	if m.Precision != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Fatalf("recall = %v, want 0.5 (2 of 4 relevant found)", m.Recall)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	if m := Evaluate(nil, map[index.DocID]bool{"a": true}); m.Precision != 0 || m.Recall != 0 {
+		t.Fatalf("empty returned list: %+v", m)
+	}
+	if m := Evaluate([]index.DocID{"a"}, map[index.DocID]bool{}); m.Recall != 0 {
+		t.Fatalf("empty relevant set must give zero recall, got %+v", m)
+	}
+}
+
+func TestMeanMetrics(t *testing.T) {
+	ms := []Metrics{{Precision: 1, Recall: 0.5}, {Precision: 0.5, Recall: 1}}
+	mean := MeanMetrics(ms)
+	if mean.Precision != 0.75 || mean.Recall != 0.75 {
+		t.Fatalf("mean = %+v", mean)
+	}
+	if zero := MeanMetrics(nil); zero != (Metrics{}) {
+		t.Fatalf("MeanMetrics(nil) = %+v", zero)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	sys := Metrics{Precision: 0.45, Recall: 0.3}
+	base := Metrics{Precision: 0.5, Recall: 0.6}
+	r := Ratio(sys, base)
+	if math.Abs(r.Precision-0.9) > 1e-12 || math.Abs(r.Recall-0.5) > 1e-12 {
+		t.Fatalf("ratio = %+v", r)
+	}
+	if z := Ratio(sys, Metrics{}); z != (Metrics{}) {
+		t.Fatalf("ratio with zero baseline = %+v, want zero", z)
+	}
+}
+
+// Property: precision and recall always lie in [0, 1].
+func TestEvaluateBoundsProperty(t *testing.T) {
+	f := func(retSeed, relSeed uint8) bool {
+		var returned []index.DocID
+		for i := 0; i < int(retSeed)%10; i++ {
+			returned = append(returned, index.DocID(rune('a'+i%5)))
+		}
+		relevant := map[index.DocID]bool{}
+		for i := 0; i < int(relSeed)%7; i++ {
+			relevant[index.DocID(rune('a'+i%5))] = true
+		}
+		m := Evaluate(returned, relevant)
+		return m.Precision >= 0 && m.Precision <= 1 && m.Recall >= 0 && m.Recall <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: similarity is monotone in the dot product for fixed doc length.
+func TestSimilarityMonotoneProperty(t *testing.T) {
+	f := func(a, b float64, dl uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || dl == 0 {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Similarity(lo, int(dl)) <= Similarity(hi, int(dl))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF1(t *testing.T) {
+	m := Metrics{Precision: 0.5, Recall: 0.5}
+	if got := m.F1(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v, want 0.5", got)
+	}
+	if (Metrics{}).F1() != 0 {
+		t.Fatal("F1 of zero metrics must be 0")
+	}
+	// F1 is at most the arithmetic mean.
+	m = Metrics{Precision: 0.9, Recall: 0.1}
+	if m.F1() > (m.Precision+m.Recall)/2 {
+		t.Fatal("F1 above arithmetic mean")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	rel := map[index.DocID]bool{"a": true, "b": true}
+	// a at rank 1 (P=1), b at rank 3 (P=2/3) → AP = (1 + 2/3)/2 = 5/6.
+	got := AveragePrecision([]index.DocID{"a", "x", "b"}, rel)
+	if math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Fatalf("AP = %v, want 5/6", got)
+	}
+	// Missing relevant docs penalize via the |relevant| denominator.
+	got = AveragePrecision([]index.DocID{"a"}, rel)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("AP with one found = %v, want 0.5", got)
+	}
+	if AveragePrecision([]index.DocID{"a"}, nil) != 0 {
+		t.Fatal("AP with empty relevant set must be 0")
+	}
+	// Duplicates in the returned list must not double-count.
+	got = AveragePrecision([]index.DocID{"a", "a", "b"}, rel)
+	if math.Abs(got-(1.0+2.0/3.0)/2) > 1e-12 {
+		t.Fatalf("AP with dup = %v", got)
+	}
+}
+
+func TestAveragePrecisionPerfectRanking(t *testing.T) {
+	rel := map[index.DocID]bool{"a": true, "b": true, "c": true}
+	if got := AveragePrecision([]index.DocID{"a", "b", "c"}, rel); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("perfect AP = %v, want 1", got)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	if got := MeanAveragePrecision([]float64{1, 0, 0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MAP = %v, want 0.5", got)
+	}
+	if MeanAveragePrecision(nil) != 0 {
+		t.Fatal("MAP of nothing must be 0")
+	}
+}

@@ -1,0 +1,351 @@
+package nettransport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/core"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+func echo() simnet.Handler {
+	return simnet.HandlerFunc(func(from simnet.Addr, msg simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Type: msg.Type + ".ok", Payload: msg.Payload, Size: msg.Size}, nil
+	})
+}
+
+func TestFreeAddrsDistinct(t *testing.T) {
+	addrs, err := FreeAddrs(5)
+	if err != nil {
+		t.Fatalf("FreeAddrs: %v", err)
+	}
+	seen := map[simnet.Addr]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestCallRoundTripOverTCP(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	addrs, err := FreeAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Register(addrs[0], echo())
+	if err := tr.LastError(); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	reply, err := tr.Call("client", addrs[0], simnet.Message{Type: "ping", Payload: "hello", Size: 5})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if reply.Type != "ping.ok" || reply.Payload.(string) != "hello" {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestCallUnreachable(t *testing.T) {
+	tr := New(WithDialTimeout(200 * time.Millisecond))
+	defer tr.Close()
+	_, err := tr.Call("client", "127.0.0.1:1", simnet.Message{Type: "ping"})
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if tr.Alive("127.0.0.1:1") {
+		t.Fatal("dead peer reported alive (negative cache miss)")
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], simnet.HandlerFunc(func(simnet.Addr, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, errors.New("kaboom")
+	}))
+	_, err := tr.Call("client", addrs[0], simnet.Message{Type: "x"})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("handler error lost: %v", err)
+	}
+}
+
+func TestUnregisterStopsServing(t *testing.T) {
+	tr := New(WithDialTimeout(200 * time.Millisecond))
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], echo())
+	if _, err := tr.Call("c", addrs[0], simnet.Message{Type: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Unregister(addrs[0])
+	if _, err := tr.Call("c", addrs[0], simnet.Message{Type: "a"}); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("call after unregister: %v", err)
+	}
+}
+
+func TestAliveLocalAndRemote(t *testing.T) {
+	tr := New(WithDialTimeout(200 * time.Millisecond))
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], echo())
+	if !tr.Alive(addrs[0]) {
+		t.Fatal("local listener not alive")
+	}
+	// A second transport (remote view) can probe it too.
+	tr2 := New(WithDialTimeout(200 * time.Millisecond))
+	defer tr2.Close()
+	if !tr2.Alive(addrs[0]) {
+		t.Fatal("remote probe failed")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], echo())
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := tr.Call("c", addrs[0], simnet.Message{Type: "t", Payload: fmt.Sprintf("%d-%d", w, i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestChordRingOverTCP runs the real overlay protocol — joins, stabilization,
+// iterative lookups — over loopback sockets.
+func TestChordRingOverTCP(t *testing.T) {
+	tr := New(WithDialTimeout(500 * time.Millisecond))
+	defer tr.Close()
+	addrs, err := FreeAddrs(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(tr, chord.Config{FingerBits: 24})
+	for _, a := range addrs {
+		if _, err := ring.AddNode(string(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.LastError(); err != nil {
+		t.Fatalf("listener failed: %v", err)
+	}
+	ring.Build()
+	nodes := ring.Nodes()
+	for i := 0; i < 20; i++ {
+		key := chordid.HashKey(fmt.Sprintf("tcp-key-%d", i))
+		got, hops, err := nodes[i%len(nodes)].Lookup(key)
+		if err != nil {
+			t.Fatalf("Lookup over TCP: %v", err)
+		}
+		want, _ := ring.Owner(key)
+		if got.ID != want.ID() {
+			t.Fatalf("lookup mismatch over TCP for %s", key.Short())
+		}
+		if hops < 0 {
+			t.Fatal("negative hops")
+		}
+	}
+}
+
+// TestSpriteOverTCP runs the full SPRITE stack — share, search, learn — over
+// loopback sockets, proving the protocol does not depend on the simulator.
+func TestSpriteOverTCP(t *testing.T) {
+	tr := New(WithDialTimeout(500 * time.Millisecond))
+	defer tr.Close()
+	addrs, err := FreeAddrs(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(tr, chord.Config{FingerBits: 24})
+	for _, a := range addrs {
+		if _, err := ring.AddNode(string(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Build()
+	net, err := core.NewNetwork(ring, core.Config{InitialTerms: 2, TermsPerIteration: 2, MaxIndexTerms: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	owner := addrs[0]
+	doc := corpus.NewDocument(index.DocID("tcp-doc"), map[string]int{
+		"socket": 5, "frame": 3, "gob": 1,
+	})
+	if err := net.Share(owner, doc); err != nil {
+		t.Fatalf("Share over TCP: %v", err)
+	}
+	rl, err := net.Search(addrs[3], []string{"socket"}, 5)
+	if err != nil {
+		t.Fatalf("Search over TCP: %v", err)
+	}
+	if len(rl) != 1 || rl[0].Doc != "tcp-doc" {
+		t.Fatalf("search results = %v", rl)
+	}
+	// The rare term is unindexed; query it together with an indexed term,
+	// learn, and verify it becomes findable — the full learning loop over
+	// real sockets.
+	if _, err := net.Search(addrs[4], []string{"socket", "gob"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.LearnAll(); err != nil {
+		t.Fatalf("LearnAll over TCP: %v", err)
+	}
+	rl, err = net.Search(addrs[5], []string{"gob"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl) != 1 {
+		t.Fatalf("learned term not findable over TCP: %v", rl)
+	}
+}
+
+// TestJoinRemoteAcrossTransports joins a node hosted on one Transport into a
+// ring hosted on another, knowing only the bootstrap's TCP address — the
+// cross-process join path.
+func TestJoinRemoteAcrossTransports(t *testing.T) {
+	trA := New(WithDialTimeout(500 * time.Millisecond))
+	defer trA.Close()
+	trB := New(WithDialTimeout(500 * time.Millisecond))
+	defer trB.Close()
+
+	addrs, err := FreeAddrs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(trA, chord.Config{FingerBits: 24})
+	for _, a := range addrs[:4] {
+		if _, err := ring.AddNode(string(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Build()
+
+	// The joiner lives on a different Transport instance — it shares nothing
+	// with the ring but the wire protocol.
+	joiner := chord.NewNode(trB, string(addrs[4]), chord.Config{FingerBits: 24})
+	if err := joiner.JoinRemote(addrs[0]); err != nil {
+		t.Fatalf("JoinRemote: %v", err)
+	}
+	succ := joiner.Successor()
+	if succ.IsZero() || succ.ID == joiner.ID() {
+		t.Fatalf("joiner successor = %v", succ)
+	}
+	// The successor must be the globally correct one.
+	want, _ := ring.Owner(joiner.ID())
+	if succ.ID != want.ID() {
+		t.Fatalf("joiner successor = %s, want %s", succ.ID.Short(), want.ID().Short())
+	}
+}
+
+func TestLargePayloadOverTCP(t *testing.T) {
+	gob.Register(map[string]int{}) // test-only payload type
+	tr := New()
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], echo())
+	// A postings-sized payload (map with many entries) must survive the gob
+	// round trip intact.
+	big := make(map[string]int, 5000)
+	for i := 0; i < 5000; i++ {
+		big[fmt.Sprintf("term%04d", i)] = i
+	}
+	reply, err := tr.Call("c", addrs[0], simnet.Message{Type: "big", Payload: big, Size: len(big) * 12})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	got := reply.Payload.(map[string]int)
+	if len(got) != len(big) || got["term4999"] != 4999 {
+		t.Fatalf("large payload corrupted: %d entries", len(got))
+	}
+}
+
+func TestCallTimeoutOnStuckHandler(t *testing.T) {
+	tr := New(WithCallTimeout(300 * time.Millisecond))
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	block := make(chan struct{})
+	tr.Register(addrs[0], simnet.HandlerFunc(func(simnet.Addr, simnet.Message) (simnet.Message, error) {
+		<-block // never replies within the deadline
+		return simnet.Message{}, nil
+	}))
+	defer close(block)
+	start := time.Now()
+	_, err := tr.Call("c", addrs[0], simnet.Message{Type: "stuck"})
+	if err == nil {
+		t.Fatal("stuck handler did not time out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~300ms", elapsed)
+	}
+}
+
+func TestReRegisterSwapsHandler(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], simnet.HandlerFunc(func(simnet.Addr, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Type: "v1"}, nil
+	}))
+	tr.Register(addrs[0], simnet.HandlerFunc(func(simnet.Addr, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Type: "v2"}, nil
+	}))
+	reply, err := tr.Call("c", addrs[0], simnet.Message{Type: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != "v2" {
+		t.Fatalf("re-register did not swap handler: got %q", reply.Type)
+	}
+}
+
+func TestRegisterUnbindableAddress(t *testing.T) {
+	tr := New(WithDialTimeout(200 * time.Millisecond))
+	defer tr.Close()
+	// Port 1 requires privileges; Register must record the failure instead
+	// of panicking, and the peer must read as dead.
+	tr.Register("127.0.0.1:1", echo())
+	if tr.LastError() == nil {
+		t.Skip("binding to port 1 unexpectedly allowed in this environment")
+	}
+	if tr.Alive("127.0.0.1:1") {
+		t.Fatal("unbindable peer reported alive")
+	}
+}
+
+func TestRegisterAfterClose(t *testing.T) {
+	tr := New()
+	tr.Close()
+	addrs, _ := FreeAddrs(1)
+	tr.Register(addrs[0], echo())
+	if tr.LastError() == nil {
+		t.Fatal("register after Close did not record an error")
+	}
+}

@@ -1,0 +1,231 @@
+// Package querygen implements the SPRITE paper's query generator (§6.1).
+// Benchmarks ship too few, too-dissimilar queries for a learning system to be
+// evaluated, so the paper derives a larger query set from a judged base set
+// under two properties: (a) queries with similar relevant documents share
+// keywords, and (b) the derived set preserves the term distribution and
+// result distribution of the original set.
+//
+// Phase 1 (term selection) builds each new query Q′ from an original Q by
+// keeping an O-fraction of Q's terms (Q′₁ ⊂ Q) and replacing each dropped
+// term with one of its top-S Distribution-neighbours
+// (Distribution(t) = Freq(t)·Num(t)), injecting realistic noise.
+//
+// Phase 2 (relevant documents) derives Q′'s judgments by rank-aligning the
+// centralized ranked lists RL (for Q) and RL′ (for Q′) within the top E, as
+// illustrated by the paper's Figure 3.
+package querygen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spritedht/sprite/internal/central"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+)
+
+// Config holds the generator's tunables, named after the paper's symbols.
+type Config struct {
+	// PerOriginal is k, the number of new queries derived from each original
+	// query. The paper uses 9 (63 originals → 630 queries total including
+	// the originals).
+	PerOriginal int
+	// Overlap is O = |Q′₁|/|Q|, the fraction of original terms retained.
+	// The paper's experiments use 0.7.
+	Overlap float64
+	// TopSimilar is S, the size of the Distribution-neighbour pool a
+	// replacement term is drawn from. The paper sets S = 5.
+	TopSimilar int
+	// TopE is E, the ranked-list depth considered when deriving relevant
+	// documents. The paper sets E = 1000.
+	TopE int
+	// Seed drives all random choices; same seed → identical query set.
+	Seed int64
+}
+
+// FillDefaults replaces zero fields with the paper's settings.
+func (c Config) FillDefaults() Config {
+	if c.PerOriginal == 0 {
+		c.PerOriginal = 9
+	}
+	if c.Overlap == 0 {
+		c.Overlap = 0.7
+	}
+	if c.TopSimilar == 0 {
+		c.TopSimilar = 5
+	}
+	if c.TopE == 0 {
+		c.TopE = 1000
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.PerOriginal < 0:
+		return fmt.Errorf("querygen: PerOriginal = %d, need >= 0", c.PerOriginal)
+	case c.Overlap < 0 || c.Overlap > 1:
+		return fmt.Errorf("querygen: Overlap = %v out of [0,1]", c.Overlap)
+	case c.TopSimilar < 1:
+		return fmt.Errorf("querygen: TopSimilar = %d, need >= 1", c.TopSimilar)
+	case c.TopE < 1:
+		return fmt.Errorf("querygen: TopE = %d, need >= 1", c.TopE)
+	}
+	return nil
+}
+
+// Generated is the output query set.
+type Generated struct {
+	// Queries contains the originals followed by the derived queries, each
+	// with relevance judgments.
+	Queries []*corpus.Query
+	// Origin maps every query ID (including originals) to the ID of the
+	// original query it derives from. The Fig. 4(c) experiment partitions
+	// queries into groups along these lines.
+	Origin map[string]string
+}
+
+// Generate derives the full query set from the judged originals in col,
+// using sys (the centralized system over the same corpus) for Phase 2.
+func Generate(col *corpus.Collection, sys *central.System, cfg Config) (*Generated, error) {
+	cfg = cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generated{Origin: make(map[string]string)}
+
+	for _, orig := range col.Queries {
+		g.Queries = append(g.Queries, orig)
+		g.Origin[orig.ID] = orig.ID
+
+		rl := sys.Rank(orig.Terms).Top(cfg.TopE)
+		for i := 0; i < cfg.PerOriginal; i++ {
+			nq := deriveTerms(orig, col.Corpus, cfg, rng, i)
+			nq.Relevant = deriveRelevant(orig, nq, rl, sys, cfg)
+			g.Queries = append(g.Queries, nq)
+			g.Origin[nq.ID] = orig.ID
+		}
+	}
+	return g, nil
+}
+
+// deriveTerms is Phase 1: keep ceil-rounded O·|Q| original terms, replace
+// each dropped term with a random pick from its top-S Distribution
+// neighbours.
+func deriveTerms(orig *corpus.Query, c *corpus.Corpus, cfg Config, rng *rand.Rand, serial int) *corpus.Query {
+	keep := int(cfg.Overlap*float64(len(orig.Terms)) + 0.5)
+	if keep < 1 && len(orig.Terms) > 0 {
+		keep = 1
+	}
+	if keep > len(orig.Terms) {
+		keep = len(orig.Terms)
+	}
+	perm := rng.Perm(len(orig.Terms))
+	kept := make([]string, 0, keep)
+	dropped := make([]string, 0, len(orig.Terms)-keep)
+	for i, pi := range perm {
+		if i < keep {
+			kept = append(kept, orig.Terms[pi])
+		} else {
+			dropped = append(dropped, orig.Terms[pi])
+		}
+	}
+
+	inQuery := make(map[string]bool, len(orig.Terms))
+	for _, t := range kept {
+		inQuery[t] = true
+	}
+	terms := append([]string(nil), kept...)
+	for _, old := range dropped {
+		pool := c.SimilarTerms(old, cfg.TopSimilar)
+		// Draw until we find a term not already in the query; fall back to
+		// keeping the original term if the whole pool collides.
+		replacement := old
+		for _, j := range rng.Perm(len(pool)) {
+			if !inQuery[pool[j]] {
+				replacement = pool[j]
+				break
+			}
+		}
+		if inQuery[replacement] {
+			continue // degenerate: drop the term entirely
+		}
+		inQuery[replacement] = true
+		terms = append(terms, replacement)
+	}
+
+	return &corpus.Query{
+		ID:    fmt.Sprintf("%s.g%d", orig.ID, serial),
+		Terms: terms,
+	}
+}
+
+// deriveRelevant is Phase 2, the Figure 3 procedure. rl is the original
+// query's centralized ranked list truncated to the top E.
+func deriveRelevant(orig, nq *corpus.Query, rl ir.RankedList, sys *central.System, cfg Config) map[index.DocID]bool {
+	rlpDocs := sys.Rank(nq.Terms).Top(cfg.TopE).Docs()
+	return alignJudgments(orig.Relevant, rl.Docs(), rlpDocs)
+}
+
+// alignJudgments implements the paper's Figure 3 rank alignment: given the
+// original query's judgments and the two ranked lists (RL for the original
+// query, RL′ for the derived one), it derives the new query's judgments.
+//
+// Pass 1: every document in RL′ that is relevant to Q becomes relevant to
+// Q′, and the unmarked relevant document in RL with the most similar rank is
+// marked as "accounted for". Pass 2: for each still-unmarked relevant
+// document in RL, the document of RL′ at the same rank becomes relevant to
+// Q′, preserving the rank distribution of the original judgments.
+func alignJudgments(origRelevant map[index.DocID]bool, rlDocs, rlpDocs []index.DocID) map[index.DocID]bool {
+	relevant := make(map[index.DocID]bool)
+	marked := make(map[index.DocID]bool) // relevant docs of Q in RL already matched
+
+	// Positions of Q's relevant documents within RL's top E. Relevant
+	// documents ranked below E "will never be returned to users" and are
+	// ignored, per the paper.
+	relRanksInRL := make([]int, 0)
+	for r, d := range rlDocs {
+		if origRelevant[d] {
+			relRanksInRL = append(relRanksInRL, r)
+		}
+	}
+
+	// Pass 1.
+	for r, d := range rlpDocs {
+		if !origRelevant[d] {
+			continue
+		}
+		relevant[d] = true
+		best, bestDist := index.DocID(""), -1
+		for _, rr := range relRanksInRL {
+			cand := rlDocs[rr]
+			if marked[cand] {
+				continue
+			}
+			dist := rr - r
+			if dist < 0 {
+				dist = -dist
+			}
+			if bestDist < 0 || dist < bestDist {
+				best, bestDist = cand, dist
+			}
+		}
+		if bestDist >= 0 {
+			marked[best] = true
+		}
+	}
+
+	// Pass 2.
+	for _, rr := range relRanksInRL {
+		if marked[rlDocs[rr]] {
+			continue
+		}
+		if rr < len(rlpDocs) {
+			relevant[rlpDocs[rr]] = true
+		}
+	}
+	return relevant
+}

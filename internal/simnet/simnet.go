@@ -1,0 +1,318 @@
+// Package simnet provides the simulated network substrate the overlay runs
+// on. The SPRITE paper evaluates its system in simulation (§6: "Our study is
+// based on simulation"); this package reproduces that setting while also
+// metering what the paper argues about qualitatively — the number of
+// messages, logical hops, and bytes exchanged — so index-construction and
+// maintenance costs (§1) can be measured rather than asserted.
+//
+// The model is a synchronous RPC network: every inter-peer interaction is a
+// Call from one address to another carrying a typed message. Delivery is
+// reliable unless the destination has been failed with Fail, which models
+// peer departure/crash (§7). Latency is simulated, not real: each call is
+// assigned a deterministic pseudo-random latency and accounted in Stats, so
+// experiments remain fast and bit-for-bit reproducible.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Addr identifies a peer on the simulated network. In a deployment this would
+// be an IP:port pair; in the simulator it is an opaque string.
+type Addr string
+
+// Message is a typed payload exchanged between peers. Type drives both
+// dispatch and per-type accounting; Size is the simulated wire size in bytes
+// used for bandwidth accounting (it need not be exact, only consistent).
+type Message struct {
+	Type    string
+	Payload any
+	Size    int
+}
+
+// Handler processes one incoming message and produces a reply. Handlers are
+// invoked synchronously by Call; they must not call back into the network
+// endpoint that is mid-call on the same goroutine chain unless the overlay is
+// re-entrant (the Chord implementation is).
+type Handler interface {
+	HandleMessage(from Addr, msg Message) (Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, msg Message) (Message, error)
+
+// HandleMessage calls f(from, msg).
+func (f HandlerFunc) HandleMessage(from Addr, msg Message) (Message, error) {
+	return f(from, msg)
+}
+
+// ErrUnreachable is returned by Call when the destination peer is failed or
+// was never registered.
+var ErrUnreachable = errors.New("simnet: peer unreachable")
+
+// Transport is the abstract peer-to-peer message substrate the overlay and
+// SPRITE run on. Network (the in-process simulator) is the primary
+// implementation; internal/nettransport provides a TCP implementation so the
+// same stack runs over real sockets. Implementations must be safe for
+// concurrent use.
+type Transport interface {
+	// Register attaches a handler at addr, making the peer reachable.
+	Register(addr Addr, h Handler)
+	// Unregister removes the peer.
+	Unregister(addr Addr)
+	// Call performs a synchronous RPC; transport-level failures are
+	// reported with errors wrapping ErrUnreachable.
+	Call(from, to Addr, msg Message) (Message, error)
+	// Alive reports whether addr is believed reachable. Implementations may
+	// be optimistic — a true result does not guarantee the next Call
+	// succeeds — but must return false for peers known to be gone.
+	Alive(addr Addr) bool
+}
+
+// FaultInjector is the optional capability of simulated transports to crash
+// and revive peers without losing their state.
+type FaultInjector interface {
+	Fail(addr Addr)
+	Recover(addr Addr)
+}
+
+var (
+	_ Transport     = (*Network)(nil)
+	_ FaultInjector = (*Network)(nil)
+)
+
+// LatencyModel produces a simulated one-way latency for a call. Models must
+// be deterministic functions of the supplied rng state.
+type LatencyModel func(rng *rand.Rand) time.Duration
+
+// UniformLatency returns a model drawing latencies uniformly from [lo, hi).
+func UniformLatency(lo, hi time.Duration) LatencyModel {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return func(rng *rand.Rand) time.Duration {
+		if hi == lo {
+			return lo
+		}
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+}
+
+// Stats is a snapshot of the network's accounting counters.
+type Stats struct {
+	Calls       int64            // total RPCs attempted
+	Failed      int64            // RPCs that hit an unreachable peer
+	Bytes       int64            // sum of request+reply Size fields
+	SimLatency  time.Duration    // accumulated simulated round-trip latency
+	CallsByType map[string]int64 // per message type
+	BytesByType map[string]int64 // per message type
+	CallsByDest map[Addr]int64   // per destination peer (load distribution)
+	LocalBypass int64            // calls short-circuited because from == to
+	PeersFailed int              // currently failed peers
+	PeersAlive  int              // currently registered and reachable peers
+}
+
+// TypesSorted returns the message types seen so far in sorted order, for
+// stable report output.
+func (s Stats) TypesSorted() []string {
+	out := make([]string, 0, len(s.CallsByType))
+	for t := range s.CallsByType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Network is the simulated transport. It is safe for concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	peers    map[Addr]Handler
+	failed   map[Addr]bool
+	rng      *rand.Rand
+	latency  LatencyModel
+	stats    Stats
+	countOwn bool // whether from==to calls count as network traffic
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency installs a latency model. The default is zero latency.
+func WithLatency(m LatencyModel) Option {
+	return func(n *Network) { n.latency = m }
+}
+
+// WithLocalCallsCounted makes calls where from == to count toward traffic
+// statistics. By default a peer messaging itself is free, matching the usual
+// DHT cost model in which local index access costs nothing.
+func WithLocalCallsCounted() Option {
+	return func(n *Network) { n.countOwn = true }
+}
+
+// New creates a network whose pseudo-random choices (latency draws) derive
+// from seed.
+func New(seed int64, opts ...Option) *Network {
+	n := &Network{
+		peers:  make(map[Addr]Handler),
+		failed: make(map[Addr]bool),
+		rng:    rand.New(rand.NewSource(seed)),
+		stats: Stats{
+			CallsByType: make(map[string]int64),
+			BytesByType: make(map[string]int64),
+			CallsByDest: make(map[Addr]int64),
+		},
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Register attaches a handler at addr, replacing any previous registration
+// and clearing a failed state if present.
+func (n *Network) Register(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[addr] = h
+	delete(n.failed, addr)
+}
+
+// Unregister removes a peer entirely, as when a peer leaves the network
+// gracefully.
+func (n *Network) Unregister(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peers, addr)
+	delete(n.failed, addr)
+}
+
+// Fail marks a peer as crashed: subsequent calls to it return
+// ErrUnreachable, but its state (handler) is retained so Recover can bring
+// it back, modelling a transient departure.
+func (n *Network) Fail(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.peers[addr]; ok {
+		n.failed[addr] = true
+	}
+}
+
+// Recover clears a peer's failed state.
+func (n *Network) Recover(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.failed, addr)
+}
+
+// Alive reports whether addr is registered and not failed.
+func (n *Network) Alive(addr Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.aliveLocked(addr)
+}
+
+func (n *Network) aliveLocked(addr Addr) bool {
+	_, ok := n.peers[addr]
+	return ok && !n.failed[addr]
+}
+
+// Call performs a synchronous RPC from one peer to another. The reply and
+// error come from the destination handler; transport-level failures surface
+// as ErrUnreachable. Calls from a peer to itself bypass the network and are
+// not metered unless WithLocalCallsCounted was set.
+func (n *Network) Call(from, to Addr, msg Message) (Message, error) {
+	n.mu.Lock()
+	h, ok := n.peers[to]
+	alive := ok && !n.failed[to]
+	local := from == to
+	if local && !n.countOwn {
+		n.stats.LocalBypass++
+		n.mu.Unlock()
+		if !alive {
+			return Message{}, fmt.Errorf("%w: %s (self)", ErrUnreachable, to)
+		}
+		return h.HandleMessage(from, msg)
+	}
+	n.stats.Calls++
+	n.stats.CallsByType[msg.Type]++
+	n.stats.CallsByDest[to]++
+	n.stats.Bytes += int64(msg.Size)
+	n.stats.BytesByType[msg.Type] += int64(msg.Size)
+	if n.latency != nil {
+		n.stats.SimLatency += 2 * n.latency(n.rng) // round trip
+	}
+	if !alive {
+		n.stats.Failed++
+		n.mu.Unlock()
+		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	n.mu.Unlock()
+
+	reply, err := h.HandleMessage(from, msg)
+	if err == nil {
+		n.mu.Lock()
+		n.stats.Bytes += int64(reply.Size)
+		n.stats.BytesByType[msg.Type] += int64(reply.Size)
+		n.mu.Unlock()
+	}
+	return reply, err
+}
+
+// Stats returns a copy of the current counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.CallsByType = make(map[string]int64, len(n.stats.CallsByType))
+	for k, v := range n.stats.CallsByType {
+		out.CallsByType[k] = v
+	}
+	out.BytesByType = make(map[string]int64, len(n.stats.BytesByType))
+	for k, v := range n.stats.BytesByType {
+		out.BytesByType[k] = v
+	}
+	out.CallsByDest = make(map[Addr]int64, len(n.stats.CallsByDest))
+	for k, v := range n.stats.CallsByDest {
+		out.CallsByDest[k] = v
+	}
+	out.PeersFailed = len(n.failed)
+	alive := 0
+	for a := range n.peers {
+		if !n.failed[a] {
+			alive++
+		}
+	}
+	out.PeersAlive = alive
+	return out
+}
+
+// ResetStats zeroes the counters while leaving the peer set untouched. The
+// experiment harness uses it to measure phases (index construction vs. query
+// processing) independently.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{
+		CallsByType: make(map[string]int64),
+		BytesByType: make(map[string]int64),
+		CallsByDest: make(map[Addr]int64),
+	}
+}
+
+// Peers returns the addresses of all registered peers (alive or failed) in
+// sorted order.
+func (n *Network) Peers() []Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Addr, 0, len(n.peers))
+	for a := range n.peers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,246 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(t *testing.T) Handler {
+	return HandlerFunc(func(from Addr, msg Message) (Message, error) {
+		return Message{Type: msg.Type + ".reply", Payload: msg.Payload, Size: msg.Size}, nil
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	reply, err := n.Call("a", "b", Message{Type: "ping", Payload: 42, Size: 8})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if reply.Type != "ping.reply" || reply.Payload.(int) != 42 {
+		t.Fatalf("unexpected reply %+v", reply)
+	}
+	s := n.Stats()
+	if s.Calls != 1 || s.Bytes != 16 {
+		t.Fatalf("stats = %+v, want 1 call / 16 bytes", s)
+	}
+	if s.CallsByType["ping"] != 1 {
+		t.Fatalf("per-type accounting missing: %+v", s.CallsByType)
+	}
+}
+
+func TestCallUnregistered(t *testing.T) {
+	n := New(1)
+	_, err := n.Call("a", "ghost", Message{Type: "ping"})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if s := n.Stats(); s.Failed != 1 {
+		t.Fatalf("failed counter = %d, want 1", s.Failed)
+	}
+}
+
+func TestFailRecover(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	n.Fail("b")
+	if n.Alive("b") {
+		t.Fatal("failed peer reported alive")
+	}
+	if _, err := n.Call("a", "b", Message{Type: "ping"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to failed peer: err = %v", err)
+	}
+	n.Recover("b")
+	if !n.Alive("b") {
+		t.Fatal("recovered peer reported dead")
+	}
+	if _, err := n.Call("a", "b", Message{Type: "ping"}); err != nil {
+		t.Fatalf("call after recover: %v", err)
+	}
+}
+
+func TestFailUnknownPeerIsNoop(t *testing.T) {
+	n := New(1)
+	n.Fail("nobody")
+	if s := n.Stats(); s.PeersFailed != 0 {
+		t.Fatalf("failing an unknown peer should not track it: %+v", s)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	n.Unregister("b")
+	if _, err := n.Call("a", "b", Message{Type: "ping"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to unregistered peer: err = %v", err)
+	}
+	if got := n.Peers(); len(got) != 0 {
+		t.Fatalf("Peers() = %v after unregister", got)
+	}
+}
+
+func TestLocalCallsBypassAccounting(t *testing.T) {
+	n := New(1)
+	n.Register("a", echoHandler(t))
+	if _, err := n.Call("a", "a", Message{Type: "self", Size: 100}); err != nil {
+		t.Fatalf("self call: %v", err)
+	}
+	s := n.Stats()
+	if s.Calls != 0 || s.Bytes != 0 {
+		t.Fatalf("self call was metered: %+v", s)
+	}
+	if s.LocalBypass != 1 {
+		t.Fatalf("LocalBypass = %d, want 1", s.LocalBypass)
+	}
+}
+
+func TestLocalCallsCountedOption(t *testing.T) {
+	n := New(1, WithLocalCallsCounted())
+	n.Register("a", echoHandler(t))
+	if _, err := n.Call("a", "a", Message{Type: "self", Size: 10}); err != nil {
+		t.Fatalf("self call: %v", err)
+	}
+	if s := n.Stats(); s.Calls != 1 {
+		t.Fatalf("self call not metered with WithLocalCallsCounted: %+v", s)
+	}
+}
+
+func TestSelfCallToFailedSelf(t *testing.T) {
+	n := New(1)
+	n.Register("a", echoHandler(t))
+	n.Fail("a")
+	if _, err := n.Call("a", "a", Message{Type: "self"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("self call to failed self: err = %v", err)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	n := New(7, WithLatency(UniformLatency(time.Millisecond, 2*time.Millisecond)))
+	n.Register("b", echoHandler(t))
+	for i := 0; i < 10; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "ping"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.Stats()
+	if s.SimLatency < 20*time.Millisecond || s.SimLatency > 40*time.Millisecond {
+		t.Fatalf("SimLatency = %v, want within [20ms, 40ms] for 10 round trips", s.SimLatency)
+	}
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		n := New(99, WithLatency(UniformLatency(0, time.Second)))
+		n.Register("b", echoHandler(t))
+		for i := 0; i < 50; i++ {
+			n.Call("a", "b", Message{Type: "p"})
+		}
+		return n.Stats().SimLatency
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("latency not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestUniformLatencySwappedBounds(t *testing.T) {
+	n := New(1, WithLatency(UniformLatency(time.Second, 0)))
+	n.Register("b", echoHandler(t))
+	if _, err := n.Call("a", "b", Message{Type: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().SimLatency > 2*time.Second {
+		t.Fatal("swapped bounds produced out-of-range latency")
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	wantErr := errors.New("handler exploded")
+	n := New(1)
+	n.Register("b", HandlerFunc(func(Addr, Message) (Message, error) {
+		return Message{}, wantErr
+	}))
+	_, err := n.Call("a", "b", Message{Type: "boom"})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want handler error", err)
+	}
+	// The request is still metered even when the handler errors.
+	if s := n.Stats(); s.Calls != 1 {
+		t.Fatalf("errored call not metered: %+v", s)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	n.Call("a", "b", Message{Type: "ping", Size: 4})
+	n.ResetStats()
+	s := n.Stats()
+	if s.Calls != 0 || s.Bytes != 0 || len(s.CallsByType) != 0 {
+		t.Fatalf("ResetStats left residue: %+v", s)
+	}
+	if s.PeersAlive != 1 {
+		t.Fatalf("ResetStats dropped peers: %+v", s)
+	}
+}
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	n.Call("a", "b", Message{Type: "ping"})
+	s := n.Stats()
+	s.CallsByType["ping"] = 999
+	if n.Stats().CallsByType["ping"] != 1 {
+		t.Fatal("Stats returned a live map, not a copy")
+	}
+}
+
+func TestPeersSorted(t *testing.T) {
+	n := New(1)
+	for _, a := range []Addr{"c", "a", "b"} {
+		n.Register(a, echoHandler(t))
+	}
+	got := n.Peers()
+	want := []Addr{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Peers() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTypesSorted(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	n.Call("a", "b", Message{Type: "zeta"})
+	n.Call("a", "b", Message{Type: "alpha"})
+	types := n.Stats().TypesSorted()
+	if len(types) != 2 || types[0] != "alpha" || types[1] != "zeta" {
+		t.Fatalf("TypesSorted() = %v", types)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New(1)
+	n.Register("b", echoHandler(t))
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := n.Call("a", "b", Message{Type: "ping", Size: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := n.Stats(); s.Calls != workers*per {
+		t.Fatalf("Calls = %d, want %d", s.Calls, workers*per)
+	}
+}

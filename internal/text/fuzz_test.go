@@ -1,0 +1,82 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// Fuzz targets for the text pipeline: the stemmer and tokenizer sit on the
+// untrusted input path (document bodies, raw queries), so they must never
+// panic and must respect their structural invariants on arbitrary bytes.
+// Run with `go test -fuzz=FuzzStem ./internal/text`; under plain `go test`
+// the seed corpus executes as regular tests.
+
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "caresses", "ponies", "sky", "rhythm",
+		"generalization", "日本語", "x86", strings.Repeat("ab", 40),
+		"yyyyyy", "aeiouaeiou", "bcdfgh",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, w string) {
+		got := Stem(w)
+		if len(got) > len(w) {
+			t.Fatalf("Stem(%q) grew: %q", w, got)
+		}
+		if len(w) <= 2 && got != w {
+			t.Fatalf("Stem(%q) altered a short word: %q", w, got)
+		}
+		if len(got) > 0 && len(w) > 0 && got[0] != w[0] {
+			t.Fatalf("Stem(%q) changed the first byte: %q", w, got)
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "a-b-c", "ALL CAPS", "mixed42numbers",
+		"punctuation!?;:", "tabs\tand\nnewlines", "日本語 text", "\x00\xff",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if !utf8.ValidString(tok) && utf8.ValidString(s) {
+				t.Fatalf("invalid UTF-8 token %q from valid input", tok)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lowercased", tok)
+			}
+		}
+	})
+}
+
+func FuzzAnalyzerTerms(f *testing.F) {
+	f.Add("The databases are indexing queries", false, false)
+	f.Add("stop words the and of", true, false)
+	f.Add("unstemmed running words", false, true)
+	f.Fuzz(func(t *testing.T, s string, keepStops, noStem bool) {
+		a := Analyzer{KeepStopWords: keepStops, NoStemming: noStem}
+		terms := a.Terms(s)
+		tf, n := a.TermFreq(s)
+		if n != len(terms) {
+			t.Fatalf("TermFreq length %d != Terms length %d", n, len(terms))
+		}
+		total := 0
+		for _, c := range tf {
+			if c <= 0 {
+				t.Fatal("non-positive term frequency")
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("tf sums to %d, want %d", total, n)
+		}
+	})
+}

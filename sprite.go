@@ -1,0 +1,380 @@
+// Package sprite is a learning-based text retrieval system for DHT networks,
+// reproducing SPRITE (Selective PRogressive Index Tuning by Examples; Li,
+// Jagadish, Tan — ICDE 2007).
+//
+// A Network simulates a set of peers organized in a Chord ring. Peers share
+// documents: instead of publishing every term into the distributed index —
+// prohibitively expensive in a P2P system — each document is indexed under a
+// small, bounded set of representative terms. The set starts as the
+// document's most frequent terms and is then progressively tuned: indexing
+// peers remember recent queries, and each learning iteration pulls the
+// queries relevant to a document back to its owner, which promotes the terms
+// users actually search with and demotes terms nobody queries.
+//
+// Quick start:
+//
+//	net, _ := sprite.New(sprite.Options{Peers: 16})
+//	net.Share("peer0", "doc-1", "Chord is a scalable peer-to-peer lookup service")
+//	net.Share("peer1", "doc-2", "Porter stemming strips suffixes from English words")
+//	results, _ := net.Search("peer2", "peer-to-peer lookup", 10)
+//	net.Learn() // tune indexes from the queries seen so far
+//
+// Everything runs in-process on a simulated, message-metered network; see
+// Stats for the traffic the protocol generated.
+package sprite
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/core"
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/nettransport"
+	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/text"
+)
+
+// Options configures a Network. The zero value gives the paper's defaults:
+// 16 peers, 5 initial terms per document, 5 new terms per learning
+// iteration, at most 30 indexed terms, no replication.
+type Options struct {
+	// Peers is the number of peers in the ring (default 16).
+	Peers int
+	// PeerPrefix names peers "<prefix>0".."<prefix>N-1" (default "peer").
+	PeerPrefix string
+	// InitialTerms is the number of most-frequent terms published when a
+	// document is shared (default 5).
+	InitialTerms int
+	// TermsPerIteration bounds how many index terms one learning iteration
+	// may add or replace per document (default 5).
+	TermsPerIteration int
+	// MaxIndexTerms caps a document's global index terms (default 30).
+	MaxIndexTerms int
+	// HistoryCap bounds each indexing peer's cached query history (default
+	// 4096 queries).
+	HistoryCap int
+	// Replicas is the number of successor peers each index entry is
+	// replicated to, for fault tolerance (default 0 = off).
+	Replicas int
+	// Seed makes all simulation randomness reproducible (default 1).
+	Seed int64
+	// KeepStopWords disables stop-word removal in the text pipeline.
+	KeepStopWords bool
+	// NoStemming disables Porter stemming in the text pipeline.
+	NoStemming bool
+	// TCP runs the peers over real loopback TCP sockets (gob-framed RPCs)
+	// instead of the in-process simulator. Peer names become their
+	// "host:port" addresses. Traffic statistics, FailPeer/RecoverPeer, and
+	// per-message accounting are simulator capabilities and are inert in
+	// TCP mode; everything else — sharing, searching, learning, expansion,
+	// replication, refresh — behaves identically.
+	TCP bool
+	// HotTermDF enables the hot-term advisory: index terms whose indexed
+	// document frequency reaches this value are retired by their owners at
+	// the next learning iteration (0 = off).
+	HotTermDF int
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	DocID string
+	Score float64
+	Owner string // the peer that shared the document
+}
+
+// Stats summarizes the simulated network traffic.
+type Stats struct {
+	Messages int64            // RPCs sent between distinct peers
+	Bytes    int64            // simulated payload bytes
+	ByType   map[string]int64 // message count per protocol message type
+	Postings int              // index entries currently stored network-wide
+	Peers    int              // alive peers
+}
+
+// Network is a running SPRITE deployment.
+type Network struct {
+	opts      Options
+	analyzer  text.Analyzer
+	transport simnet.Transport
+	sim       *simnet.Network // nil in TCP mode
+	ring      *chord.Ring
+	core      *core.Network
+	peers     []string
+}
+
+// New builds a network of opts.Peers peers, wires the Chord overlay, and
+// attaches a SPRITE peer to every node.
+func New(opts Options) (*Network, error) {
+	if opts.Peers == 0 {
+		opts.Peers = 16
+	}
+	if opts.Peers < 1 {
+		return nil, fmt.Errorf("sprite: Peers = %d, need >= 1", opts.Peers)
+	}
+	if opts.PeerPrefix == "" {
+		opts.PeerPrefix = "peer"
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var (
+		transport simnet.Transport
+		sim       *simnet.Network
+	)
+	if opts.TCP {
+		transport = nettransport.New()
+	} else {
+		sim = simnet.New(opts.Seed)
+		transport = sim
+	}
+	ring := chord.NewRing(transport, chord.Config{})
+	if opts.TCP {
+		addrs, err := nettransport.FreeAddrs(opts.Peers)
+		if err != nil {
+			return nil, fmt.Errorf("sprite: %w", err)
+		}
+		for _, a := range addrs {
+			if _, err := ring.AddNode(string(a)); err != nil {
+				return nil, fmt.Errorf("sprite: %w", err)
+			}
+		}
+		if tt, ok := transport.(*nettransport.Transport); ok {
+			if err := tt.LastError(); err != nil {
+				return nil, fmt.Errorf("sprite: %w", err)
+			}
+		}
+	} else if _, err := ring.AddNodes(opts.PeerPrefix, opts.Peers); err != nil {
+		return nil, fmt.Errorf("sprite: %w", err)
+	}
+	ring.Build()
+	c, err := core.NewNetwork(ring, core.Config{
+		InitialTerms:      opts.InitialTerms,
+		TermsPerIteration: opts.TermsPerIteration,
+		MaxIndexTerms:     opts.MaxIndexTerms,
+		HistoryCap:        opts.HistoryCap,
+		ReplicationFactor: opts.Replicas,
+		HotTermDF:         opts.HotTermDF,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sprite: %w", err)
+	}
+	n := &Network{
+		opts:      opts,
+		analyzer:  text.Analyzer{KeepStopWords: opts.KeepStopWords, NoStemming: opts.NoStemming},
+		transport: transport,
+		sim:       sim,
+		ring:      ring,
+		core:      c,
+	}
+	for _, p := range c.Peers() {
+		n.peers = append(n.peers, string(p.Addr()))
+	}
+	return n, nil
+}
+
+// Peers returns the peer names, sorted.
+func (n *Network) Peers() []string {
+	out := make([]string, len(n.peers))
+	copy(out, n.peers)
+	return out
+}
+
+// Share publishes a document from the named owner peer. The raw text runs
+// through the standard pipeline (tokenize, stop words, Porter stemming) and
+// the document's most frequent terms become its initial global index terms.
+func (n *Network) Share(peer, docID, rawText string) error {
+	doc := corpus.NewDocumentFromText(n.analyzer, index.DocID(docID), rawText)
+	if doc.Length == 0 {
+		return fmt.Errorf("sprite: document %q has no indexable terms", docID)
+	}
+	return n.core.Share(simnet.Addr(peer), doc)
+}
+
+// ShareTerms publishes a pre-analyzed document given its term frequencies.
+// Use this when the caller has already tokenized/stemmed the content.
+func (n *Network) ShareTerms(peer, docID string, termFreq map[string]int) error {
+	if len(termFreq) == 0 {
+		return fmt.Errorf("sprite: document %q has no terms", docID)
+	}
+	tf := make(map[string]int, len(termFreq))
+	for t, f := range termFreq {
+		tf[t] = f
+	}
+	return n.core.Share(simnet.Addr(peer), corpus.NewDocument(index.DocID(docID), tf))
+}
+
+// Search runs a keyword query from the named peer and returns the top k
+// results. The query text runs through the same pipeline as documents, and
+// its keywords are cached at the contacted indexing peers, feeding future
+// learning.
+func (n *Network) Search(peer, query string, k int) ([]Result, error) {
+	terms := n.analyzer.Terms(query)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("sprite: query %q has no searchable terms", query)
+	}
+	return n.searchTerms(peer, terms, k)
+}
+
+// SearchTerms runs a query given pre-analyzed terms.
+func (n *Network) SearchTerms(peer string, terms []string, k int) ([]Result, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("sprite: empty term list")
+	}
+	return n.searchTerms(peer, terms, k)
+}
+
+func (n *Network) searchTerms(peer string, terms []string, k int) ([]Result, error) {
+	rl, err := n.core.Search(simnet.Addr(peer), terms, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(rl))
+	for _, h := range rl {
+		owner := ""
+		if p, ok := n.core.Owner(h.Doc); ok {
+			owner = string(p.Addr())
+		}
+		out = append(out, Result{DocID: string(h.Doc), Score: h.Score, Owner: owner})
+	}
+	return out, nil
+}
+
+// Learn runs one learning iteration over every shared document: owners poll
+// the indexing peers for the queries seen since the last iteration and
+// re-tune their documents' index terms. It returns the number of index-term
+// changes applied.
+func (n *Network) Learn() (int, error) {
+	return n.core.LearnAll()
+}
+
+// IndexedTerms reports the current global index terms of a document.
+func (n *Network) IndexedTerms(docID string) ([]string, error) {
+	return n.core.IndexedTerms(index.DocID(docID))
+}
+
+// FailPeer simulates a crash of the named peer: it stops answering until
+// RecoverPeer. Lookups route around it; with Replicas > 0 its index entries
+// remain servable from successor replicas. No-op in TCP mode (real peers
+// fail by going away, not by decree).
+func (n *Network) FailPeer(peer string) {
+	if fi, ok := n.transport.(simnet.FaultInjector); ok {
+		fi.Fail(simnet.Addr(peer))
+	}
+}
+
+// RecoverPeer brings a failed peer back. No-op in TCP mode.
+func (n *Network) RecoverPeer(peer string) {
+	if fi, ok := n.transport.(simnet.FaultInjector); ok {
+		fi.Recover(simnet.Addr(peer))
+	}
+}
+
+// Stabilize runs up to rounds rounds of Chord stabilization, repairing the
+// overlay after failures or recoveries. It returns the rounds executed.
+func (n *Network) Stabilize(rounds int) int { return n.ring.Stabilize(rounds) }
+
+// Stats snapshots the simulated network counters and index footprint. In
+// TCP mode only the index footprint and peer count are populated (per-call
+// accounting is a simulator capability).
+func (n *Network) Stats() Stats {
+	out := Stats{
+		Postings: n.core.TotalPostings(),
+		Peers:    len(n.peers),
+		ByType:   map[string]int64{},
+	}
+	if n.sim != nil {
+		s := n.sim.Stats()
+		out.Messages = s.Calls
+		out.Bytes = s.Bytes
+		out.ByType = s.CallsByType
+		out.Peers = s.PeersAlive
+	}
+	return out
+}
+
+// ResetStats zeroes the traffic counters (the index footprint is
+// unaffected). No-op in TCP mode.
+func (n *Network) ResetStats() {
+	if n.sim != nil {
+		n.sim.ResetStats()
+	}
+}
+
+// Close releases transport resources (TCP listeners). Simulated networks
+// hold no external resources, so Close is then a no-op. The network is
+// unusable afterwards.
+func (n *Network) Close() {
+	if t, ok := n.transport.(*nettransport.Transport); ok {
+		t.Close()
+	}
+}
+
+// Unshare withdraws a shared document: its index entries are removed from
+// the network and the owner forgets it.
+func (n *Network) Unshare(docID string) error {
+	return n.core.Unshare(index.DocID(docID))
+}
+
+// Refresh re-publishes every shared document's index terms through fresh
+// DHT lookups. After churn — failures, recoveries, new peers — the peer
+// responsible for a term may have changed; Refresh migrates entries to the
+// current owners, restoring findability. It returns the number of entries
+// that moved.
+func (n *Network) Refresh() (int, error) {
+	return n.core.RefreshAll()
+}
+
+// Expansion tunes SearchExpanded.
+type Expansion struct {
+	// FeedbackDocs is how many top first-phase results feed the analysis
+	// (default 5).
+	FeedbackDocs int
+	// Terms is how many co-occurring terms are appended (default 3).
+	Terms int
+}
+
+// SearchExpanded runs a query with local-context-analysis expansion: a
+// first-phase search, co-occurrence analysis over the top results' term
+// vectors (fetched from their owner peers), then a second search with the
+// enriched query. It returns the results and the expansion terms applied.
+func (n *Network) SearchExpanded(peer, query string, k int, opts Expansion) ([]Result, []string, error) {
+	terms := n.analyzer.Terms(query)
+	if len(terms) == 0 {
+		return nil, nil, fmt.Errorf("sprite: query %q has no searchable terms", query)
+	}
+	rl, expansion, err := n.core.SearchExpanded(simnet.Addr(peer), terms, k, core.ExpandOptions{
+		FeedbackDocs:   opts.FeedbackDocs,
+		ExpansionTerms: opts.Terms,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Result, 0, len(rl))
+	for _, h := range rl {
+		owner := ""
+		if p, ok := n.core.Owner(h.Doc); ok {
+			owner = string(p.Addr())
+		}
+		out = append(out, Result{DocID: string(h.Doc), Score: h.Score, Owner: owner})
+	}
+	return out, expansion, nil
+}
+
+// Save serializes the network's complete SPRITE state — every peer's index,
+// replicas, query history, and every owner's documents and learning
+// statistics — so a long-running session can be checkpointed and resumed
+// with Load. The overlay itself is not saved; it is reconstructed from the
+// peer names when the network is rebuilt.
+func (n *Network) Save(w io.Writer) error {
+	return n.core.Snapshot(w)
+}
+
+// Load restores state saved by Save into this network. The network must
+// have been created with the same peer configuration (same Peers count,
+// prefix, and simulated transport); any state accumulated before Load is
+// discarded.
+func (n *Network) Load(r io.Reader) error {
+	return n.core.Restore(r)
+}
