@@ -1,0 +1,26 @@
+# Development targets. `make check` is the tier-1 gate (see ROADMAP.md):
+# everything must pass before a change lands.
+
+GO ?= go
+
+.PHONY: check vet build test race bench cover
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...

@@ -13,15 +13,19 @@
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/spritedht/sprite/internal/core"
 	"github.com/spritedht/sprite/internal/corpus"
 	"github.com/spritedht/sprite/internal/eval"
 	"github.com/spritedht/sprite/internal/querygen"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +43,8 @@ func main() {
 		replicas = flag.Int("replicas", 2, "successor replicas in the churn experiment")
 		colPath  = flag.String("collection", "", "run against an external judged collection (JSON, as emitted by corpusgen) instead of synthesizing one")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of tables")
+		asJSON   = flag.Bool("json", false, "emit one JSON document with all experiment results")
+		withTel  = flag.Bool("telemetry", false, "record metrics/traces during experiments; report to stderr")
 		repeats  = flag.Int("repeats", 5, "independent replications for fig4a-replicated")
 	)
 	flag.Usage = func() {
@@ -48,7 +54,12 @@ func main() {
 	}
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if *withTel {
+		reg = telemetry.NewRegistry()
+	}
 	cfg := eval.Config{
+		Telemetry: reg,
 		Corpus: corpus.SynthConfig{
 			NumDocs:    *docs,
 			NumTopics:  *topics,
@@ -95,15 +106,25 @@ func main() {
 		}
 	}
 
+	out := &output{asCSV: *asCSV, asJSON: *asJSON}
 	for _, exp := range args {
 		start := time.Now()
-		if err := run(exp, cfg, *failFrac, *replicas, *repeats, *asCSV); err != nil {
+		if err := run(exp, cfg, *failFrac, *replicas, *repeats, out); err != nil {
 			fmt.Fprintf(os.Stderr, "spritebench: %s: %v\n", exp, err)
 			os.Exit(1)
 		}
-		if !*asCSV {
-			fmt.Printf("[%s completed in %v]\n\n", exp, time.Since(start).Round(time.Millisecond))
+		out.finishExperiment(exp, time.Since(start))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out.results); err != nil {
+			fmt.Fprintln(os.Stderr, "spritebench:", err)
+			os.Exit(1)
 		}
+	}
+	if reg != nil {
+		reg.Snapshot().WriteText(os.Stderr)
 	}
 }
 
@@ -113,39 +134,100 @@ type renderable interface {
 	CSV() string
 }
 
-func emit(r renderable, asCSV bool) {
-	if asCSV {
+// jsonResult is one experiment's machine-readable output: the CSV rows
+// decoded into header-keyed maps, plus wall-clock time.
+type jsonResult struct {
+	Experiment string              `json:"experiment"`
+	ElapsedMS  int64               `json:"elapsed_ms"`
+	Rows       []map[string]string `json:"rows,omitempty"`
+}
+
+// output routes experiment results to the selected format: tables (default),
+// raw CSV, or an accumulated JSON document emitted after the last experiment.
+type output struct {
+	asCSV   bool
+	asJSON  bool
+	pending []map[string]string
+	results []jsonResult
+}
+
+func (o *output) emit(r renderable) {
+	switch {
+	case o.asJSON:
+		o.pending = append(o.pending, csvRows(r.CSV())...)
+	case o.asCSV:
 		fmt.Print(r.CSV())
-	} else {
+	default:
 		fmt.Print(r.Table())
 	}
 }
 
-func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats int, asCSV bool) error {
+// finishExperiment closes out one experiment: in JSON mode it files the
+// accumulated rows under the experiment name; in table mode it prints the
+// timing footer.
+func (o *output) finishExperiment(exp string, elapsed time.Duration) {
+	if o.asJSON {
+		o.results = append(o.results, jsonResult{
+			Experiment: exp,
+			ElapsedMS:  elapsed.Milliseconds(),
+			Rows:       o.pending,
+		})
+		o.pending = nil
+		return
+	}
+	if !o.asCSV {
+		fmt.Printf("[%s completed in %v]\n\n", exp, elapsed.Round(time.Millisecond))
+	}
+}
+
+// csvRows decodes a CSV document into one map per record keyed by the header
+// row. Experiments emit regular CSV, so decode errors reduce to "no rows".
+func csvRows(doc string) []map[string]string {
+	recs, err := csv.NewReader(strings.NewReader(doc)).ReadAll()
+	if err != nil || len(recs) < 2 {
+		return nil
+	}
+	header := recs[0]
+	rows := make([]map[string]string, 0, len(recs)-1)
+	for _, rec := range recs[1:] {
+		row := make(map[string]string, len(header))
+		for i, v := range rec {
+			if i < len(header) {
+				row[header[i]] = v
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats int, out *output) error {
 	switch exp {
 	case "config":
-		printConfig(cfg)
+		if !out.asJSON {
+			printConfig(cfg)
+		}
 		return nil
 	case "fig4a":
 		res, err := eval.RunFig4a(cfg)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "fig4a-replicated":
 		res, err := eval.RunFig4aReplicated(cfg, repeats)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "fig4b":
 		for _, v := range []eval.Fig4bVariant{eval.WithoutRepeats, eval.WithZipf} {
 			res, err := eval.RunFig4b(cfg, v)
 			if err != nil {
 				return err
 			}
-			emit(res, asCSV)
-			if !asCSV {
+			out.emit(res)
+			if !out.asCSV && !out.asJSON {
 				fmt.Println()
 			}
 		}
@@ -154,55 +236,55 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats int, a
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "chord":
 		res, err := eval.RunChordHops([]int{16, 64, 256, 1024}, 200, cfg.Seed)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "cost":
 		res, err := eval.RunInsertCost(cfg)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "ablation":
 		res, err := eval.RunScoreAblation(cfg)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "churn":
 		res, err := eval.RunChurn(cfg, failFrac, replicas)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "expansion":
 		res, err := eval.RunExpansion(cfg)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "maintenance":
 		res, err := eval.RunMaintenance(cfg, failFrac, replicas)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "load":
 		res, err := eval.RunLoadBalance(cfg)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	case "learncost":
 		res, err := eval.RunLearnCost(cfg)
 		if err != nil {
 			return err
 		}
-		emit(res, asCSV)
+		out.emit(res)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

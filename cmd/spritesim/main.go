@@ -6,6 +6,7 @@
 // Usage:
 //
 //	spritesim [-peers N] [-replicas R] [-seed S] [-script file]
+//	          [-telemetry] [-telemetry-http addr]
 //
 // Commands (also shown by "help"):
 //
@@ -17,6 +18,7 @@
 //	stabilize                           repair the overlay after churn
 //	peers                               list peers
 //	stats                               network traffic and index footprint
+//	telemetry                           full metrics + trace report (-telemetry)
 //	quit
 package main
 
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -34,17 +37,31 @@ import (
 
 func main() {
 	var (
-		peers    = flag.Int("peers", 16, "number of peers in the ring")
-		replicas = flag.Int("replicas", 0, "successor replicas per index entry")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		script   = flag.String("script", "", "read commands from file instead of stdin")
+		peers     = flag.Int("peers", 16, "number of peers in the ring")
+		replicas  = flag.Int("replicas", 0, "successor replicas per index entry")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		script    = flag.String("script", "", "read commands from file instead of stdin")
+		telemetry = flag.Bool("telemetry", false, "record metrics and query traces; print a report on exit")
+		telHTTP   = flag.String("telemetry-http", "", "serve the live telemetry snapshot at this addr (implies -telemetry)")
 	)
 	flag.Parse()
 
-	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed})
+	var tel *sprite.Telemetry
+	if *telemetry || *telHTTP != "" {
+		tel = sprite.NewTelemetry()
+	}
+	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)
+	}
+	if *telHTTP != "" {
+		go func() {
+			if err := http.ListenAndServe(*telHTTP, tel.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "spritesim: telemetry-http:", err)
+			}
+		}()
+		fmt.Printf("telemetry endpoint on http://%s/ (?format=text for the report)\n", *telHTTP)
 	}
 
 	var in io.Reader = os.Stdin
@@ -77,7 +94,7 @@ func main() {
 		if !interactive {
 			fmt.Println(">", line)
 		}
-		if done := execute(net, line); done {
+		if done := execute(net, tel, line); done {
 			break
 		}
 	}
@@ -85,10 +102,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)
 	}
+	if tel != nil {
+		tel.WriteReport(os.Stdout)
+	}
 }
 
 // execute runs one command line; it returns true when the session should end.
-func execute(net *sprite.Network, line string) bool {
+func execute(net *sprite.Network, tel *sprite.Telemetry, line string) bool {
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
 	fail := func(format string, a ...any) {
@@ -247,6 +267,12 @@ func execute(net *sprite.Network, line string) bool {
 			return false
 		}
 		fmt.Printf("state loaded from %s\n", args[0])
+	case "telemetry":
+		if tel == nil {
+			fail("telemetry is off (run with -telemetry)")
+			return false
+		}
+		tel.WriteReport(os.Stdout)
 	case "stats":
 		s := net.Stats()
 		fmt.Printf("messages=%d bytes=%d postings=%d alive=%d\n", s.Messages, s.Bytes, s.Postings, s.Peers)
@@ -285,5 +311,6 @@ const helpText = `commands:
   peers                            list peer names
   save <file> | load <file>        checkpoint / restore network state
   stats                            traffic counters and index footprint
+  telemetry                        metrics + query-trace report (-telemetry)
   quit                             exit
 `

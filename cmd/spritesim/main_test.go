@@ -14,6 +14,11 @@ import (
 // capture runs execute() with stdout redirected and returns the printed
 // output plus the done flag.
 func capture(t *testing.T, net *sprite.Network, line string) (string, bool) {
+	return captureTel(t, net, nil, line)
+}
+
+// captureTel is capture with an explicit telemetry handle (nil = off).
+func captureTel(t *testing.T, net *sprite.Network, tel *sprite.Telemetry, line string) (string, bool) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -21,7 +26,7 @@ func capture(t *testing.T, net *sprite.Network, line string) (string, bool) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	done := execute(net, line)
+	done := execute(net, tel, line)
 	w.Close()
 	os.Stdout = old
 	var buf bytes.Buffer
@@ -162,5 +167,25 @@ func TestExecuteErrorsAndQuit(t *testing.T) {
 	out, _ = capture(t, net, "peers")
 	if !strings.Contains(out, "peer0") {
 		t.Fatalf("peers output: %q", out)
+	}
+	out, _ = capture(t, net, "telemetry")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("telemetry-off output: %q", out)
+	}
+}
+
+func TestExecuteTelemetryReport(t *testing.T) {
+	tel := sprite.NewTelemetry()
+	net, err := sprite.New(sprite.Options{Peers: 8, Seed: 4, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	captureTel(t, net, tel, "share peer0 d1 consensus leader election protocols")
+	captureTel(t, net, tel, "search peer2 5 leader election")
+	out, _ := captureTel(t, net, tel, "telemetry")
+	for _, want := range []string{"== telemetry report ==", "chord.lookup.hops", "simnet.bytes.", "trace 1 ("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("telemetry report missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // Ref identifies a node: its ring position and network address. The zero Ref
@@ -56,6 +57,31 @@ type Config struct {
 	// MaxLookupHops bounds an iterative lookup as a safety net against
 	// routing loops in a badly damaged ring. Default 256.
 	MaxLookupHops int
+	// Telemetry, when non-nil, receives overlay metrics: a lookup hop-count
+	// histogram, lookup/failure counts, stabilization rounds, and
+	// finger-table repairs. Nil (the default) disables instrumentation; the
+	// overlay then pays only nil checks.
+	Telemetry *telemetry.Registry
+}
+
+// nodeMetrics caches the overlay's instrument handles. All fields are nil
+// when no registry is configured, which every instrument accepts.
+type nodeMetrics struct {
+	lookups       *telemetry.Counter
+	lookupsFailed *telemetry.Counter
+	hops          *telemetry.Histogram
+	stabilizes    *telemetry.Counter
+	fingerRepairs *telemetry.Counter
+}
+
+func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
+	return nodeMetrics{
+		lookups:       reg.Counter("chord.lookups"),
+		lookupsFailed: reg.Counter("chord.lookups_failed"),
+		hops:          reg.Histogram("chord.lookup.hops"),
+		stabilizes:    reg.Counter("chord.stabilize.rounds"),
+		fingerRepairs: reg.Counter("chord.finger.repairs"),
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +129,7 @@ type Node struct {
 	ref Ref
 	net simnet.Transport
 	cfg Config
+	met nodeMetrics
 
 	mu      sync.Mutex
 	pred    Ref
@@ -122,6 +149,7 @@ func NewNode(net simnet.Transport, name string, cfg Config) *Node {
 		ref:     Ref{ID: chordid.HashKey(name), Addr: simnet.Addr(name)},
 		net:     net,
 		cfg:     cfg,
+		met:     newNodeMetrics(cfg.Telemetry),
 		fingers: make([]Ref, cfg.FingerBits),
 	}
 	n.succs = []Ref{n.ref}
@@ -287,14 +315,29 @@ func (n *Node) notify(cand Ref) {
 // using the exclusion protocol; they fail only if no live owner is reachable
 // within cfg.MaxLookupHops.
 func (n *Node) Lookup(key chordid.ID) (Ref, int, error) {
-	return n.lookupFrom(n.ref, key)
+	return n.lookupFrom(n.ref, key, nil)
+}
+
+// LookupTraced is Lookup recording one child span per remote hop under
+// parent. A nil parent span (the no-telemetry case) is accepted and free.
+func (n *Node) LookupTraced(key chordid.ID, parent *telemetry.Span) (Ref, int, error) {
+	return n.lookupFrom(n.ref, key, parent)
 }
 
 // lookupFrom runs the iterative lookup protocol starting at an arbitrary
 // node (used by Lookup with start = self, and by JoinRemote with start = a
-// bootstrap peer known only by address).
-func (n *Node) lookupFrom(start Ref, key chordid.ID) (Ref, int, error) {
-	hops := 0
+// bootstrap peer known only by address). Each remote hop is timed as a child
+// span of parent when tracing is on; hop counts and failures feed the
+// overlay metrics.
+func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (ref Ref, hops int, err error) {
+	n.met.lookups.Inc()
+	defer func() {
+		if err != nil {
+			n.met.lookupsFailed.Inc()
+		} else {
+			n.met.hops.Observe(int64(hops))
+		}
+	}()
 	cur := start
 	var exclude []chordid.ID
 	for hops <= n.cfg.MaxLookupHops {
@@ -302,6 +345,8 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID) (Ref, int, error) {
 		if cur.Addr == n.ref.Addr {
 			resp = n.nextHop(nextHopReq{Key: key, Exclude: exclude})
 		} else {
+			sp := parent.StartChild("chord.hop")
+			sp.Annotate("to", string(cur.Addr))
 			reply, err := n.net.Call(n.ref.Addr, cur.Addr, simnet.Message{
 				Type:    msgNextHop,
 				Payload: nextHopReq{Key: key, Exclude: exclude},
@@ -309,11 +354,14 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID) (Ref, int, error) {
 			})
 			hops++
 			if err != nil {
+				sp.Annotate("error", err.Error())
+				sp.Finish()
 				// cur died mid-lookup; restart with cur excluded.
 				exclude = appendExcluded(exclude, cur.ID)
 				cur = start
 				continue
 			}
+			sp.Finish()
 			resp = reply.Payload.(nextHopResp)
 		}
 		if resp.Done {
@@ -347,6 +395,7 @@ func appendExcluded(list []chordid.ID, id chordid.ID) []chordid.ID {
 // immediate successor, adopt its predecessor if closer, rebuild the successor
 // list from the successor's list, and notify the successor.
 func (n *Node) stabilize() {
+	n.met.stabilizes.Inc()
 	n.mu.Lock()
 	succs := append([]Ref(nil), n.succs...)
 	self := n.ref
@@ -437,8 +486,12 @@ func (n *Node) fixFinger() {
 		return
 	}
 	n.mu.Lock()
+	repaired := n.fingers[i] != ref
 	n.fingers[i] = ref
 	n.mu.Unlock()
+	if repaired {
+		n.met.fingerRepairs.Inc()
+	}
 }
 
 // Join attaches this node to the ring containing bootstrap: it resolves its
@@ -460,7 +513,7 @@ func (n *Node) Join(bootstrap *Node) error {
 // bootstrap peer; stabilization then repairs predecessors, successor lists,
 // and fingers as usual.
 func (n *Node) JoinRemote(bootstrap simnet.Addr) error {
-	succ, _, err := n.lookupFrom(Ref{Addr: bootstrap}, n.ref.ID)
+	succ, _, err := n.lookupFrom(Ref{Addr: bootstrap}, n.ref.ID, nil)
 	if err != nil {
 		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 	}

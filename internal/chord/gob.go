@@ -1,14 +1,17 @@
 package chord
 
-import "encoding/gob"
+import "github.com/spritedht/sprite/internal/wire"
 
-// The overlay's message payloads are registered with gob so that the same
+// The overlay's message payloads are registered for gob so that the same
 // protocol runs unchanged over internal/nettransport's TCP frames. The
 // in-process simulator passes payloads by value and never touches these
-// registrations.
+// registrations. Registration goes through internal/wire so it is idempotent
+// across packages.
 func init() {
-	gob.Register(nextHopReq{})
-	gob.Register(nextHopResp{})
-	gob.Register(stateResp{})
-	gob.Register(Ref{})
+	wire.Register(
+		nextHopReq{},
+		nextHopResp{},
+		stateResp{},
+		Ref{},
+	)
 }

@@ -26,6 +26,7 @@ import (
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // Config holds SPRITE's tunables, with the paper's §6.2 defaults.
@@ -58,6 +59,48 @@ type Config struct {
 	// paper's Score(t,D) = qScore·log₁₀(QF); the alternatives exist for the
 	// ablation study of this design choice (see DESIGN.md).
 	Score ScoreVariant
+	// Telemetry, when non-nil, receives SPRITE-level metrics (queries
+	// served, postings cache hits/misses, learning rounds and index changes,
+	// publishes/retires) and per-query traces. Nil disables instrumentation.
+	Telemetry *telemetry.Registry
+}
+
+// netMetrics caches the SPRITE-level instrument handles; all nil (inert)
+// when no registry is configured.
+type netMetrics struct {
+	searches        *telemetry.Counter
+	termsSkipped    *telemetry.Counter
+	postingsServed  *telemetry.Counter
+	primaryHits     *telemetry.Counter
+	replicaHits     *telemetry.Counter
+	misses          *telemetry.Counter
+	queriesCached   *telemetry.Counter
+	pollsServed     *telemetry.Counter
+	pollQueries     *telemetry.Counter
+	learnRounds     *telemetry.Counter
+	learnChanges    *telemetry.Counter
+	termsPublished  *telemetry.Counter
+	termsRetired    *telemetry.Counter
+	expansionRounds *telemetry.Counter
+}
+
+func newNetMetrics(reg *telemetry.Registry) netMetrics {
+	return netMetrics{
+		searches:        reg.Counter("sprite.searches"),
+		termsSkipped:    reg.Counter("sprite.search.terms_skipped"),
+		postingsServed:  reg.Counter("sprite.postings.served"),
+		primaryHits:     reg.Counter("sprite.postings.primary_hits"),
+		replicaHits:     reg.Counter("sprite.postings.replica_hits"),
+		misses:          reg.Counter("sprite.postings.misses"),
+		queriesCached:   reg.Counter("sprite.queries.cached"),
+		pollsServed:     reg.Counter("sprite.polls.served"),
+		pollQueries:     reg.Counter("sprite.polls.queries_returned"),
+		learnRounds:     reg.Counter("sprite.learn.rounds"),
+		learnChanges:    reg.Counter("sprite.learn.index_changes"),
+		termsPublished:  reg.Counter("sprite.index.terms_published"),
+		termsRetired:    reg.Counter("sprite.index.terms_retired"),
+		expansionRounds: reg.Counter("sprite.search.expansions"),
+	}
 }
 
 // ScoreVariant enumerates learning score functions for the ablation study of
@@ -142,6 +185,7 @@ func (c Config) Validate() error {
 type Network struct {
 	cfg   Config
 	ring  *chord.Ring
+	met   netMetrics
 	peers map[simnet.Addr]*Peer
 	// order lists peers sorted by address for deterministic iteration.
 	order []*Peer
@@ -161,6 +205,7 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 	n := &Network{
 		cfg:     cfg,
 		ring:    ring,
+		met:     newNetMetrics(cfg.Telemetry),
 		peers:   make(map[simnet.Addr]*Peer),
 		ownerOf: make(map[index.DocID]*Peer),
 	}
@@ -255,13 +300,28 @@ func (n *Network) InsertQuery(from simnet.Addr, terms []string) error {
 // ranked documents (§4). Terms whose indexing peer is unreachable are
 // discarded from the computation rather than failing the query (§7). The
 // query is cached in the contacted indexing peers' histories, feeding future
-// learning.
+// learning. When a telemetry registry is configured the query is traced; the
+// completed span tree lands in the registry's recent-trace buffer.
 func (n *Network) Search(from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
+	rl, _, err := n.SearchTraced(from, terms, k)
+	return rl, err
+}
+
+// SearchTraced is Search returning the query's trace (nil when no telemetry
+// registry is configured). The trace's span tree has one child span per
+// query term, under which each Chord hop and the postings fetch from the
+// indexing peer are timed individually.
+func (n *Network) SearchTraced(from simnet.Addr, terms []string, k int) (ir.RankedList, *telemetry.Trace, error) {
 	p, ok := n.peers[from]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown peer %q", from)
+		return nil, nil, fmt.Errorf("core: unknown peer %q", from)
 	}
-	return p.search(terms, k, true), nil
+	tr := n.cfg.Telemetry.StartTrace("sprite.search")
+	root := tr.Root()
+	root.Annotate("from", string(from))
+	rl := p.searchSpan(terms, k, true, root)
+	tr.Finish()
+	return rl, tr, nil
 }
 
 // Probe is Search without the history side effect: the query is processed

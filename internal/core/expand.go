@@ -85,6 +85,7 @@ func (n *Network) SearchExpanded(from simnet.Addr, terms []string, k int, opts E
 		return nil, nil, fmt.Errorf("core: unknown peer %q", from)
 	}
 	opts = opts.withDefaults()
+	n.met.expansionRounds.Inc()
 
 	first := p.searchWithOwners(terms, opts.FeedbackDocs)
 	if len(first.hits) == 0 {

@@ -1,19 +1,22 @@
 package core
 
-import "encoding/gob"
+import "github.com/spritedht/sprite/internal/wire"
 
-// SPRITE's message payloads are registered with gob so the protocol runs
-// unchanged over internal/nettransport's TCP frames.
+// SPRITE's message payloads are registered for gob so the protocol runs
+// unchanged over internal/nettransport's TCP frames. Registration goes
+// through internal/wire so it is idempotent across packages.
 func init() {
-	gob.Register(publishReq{})
-	gob.Register(unpublishReq{})
-	gob.Register(getPostingsReq{})
-	gob.Register(getPostingsResp{})
-	gob.Register(cacheQueryReq{})
-	gob.Register(pollReq{})
-	gob.Register(pollResp{})
-	gob.Register(replicaReq{})
-	gob.Register(replicaDropReq{})
-	gob.Register(docTermsReq{})
-	gob.Register(docTermsResp{})
+	wire.Register(
+		publishReq{},
+		unpublishReq{},
+		getPostingsReq{},
+		getPostingsResp{},
+		cacheQueryReq{},
+		pollReq{},
+		pollResp{},
+		replicaReq{},
+		replicaDropReq{},
+		docTermsReq{},
+		docTermsResp{},
+	)
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // This file implements the owner-peer role: initial term selection (§5.2),
@@ -130,6 +131,7 @@ func (p *Peer) publishTerm(st *docState, term string) error {
 	if err != nil {
 		return fmt.Errorf("core: publish %q to %s: %w", term, ref.Addr, err)
 	}
+	p.net.met.termsPublished.Inc()
 	st.indexed[term] = true
 	if st.publishedAt == nil {
 		st.publishedAt = make(map[string]simnet.Addr)
@@ -155,6 +157,7 @@ func (p *Peer) unpublishTerm(st *docState, term string) error {
 	if err != nil {
 		return fmt.Errorf("core: unpublish %q from %s: %w", term, ref.Addr, err)
 	}
+	p.net.met.termsRetired.Inc()
 	return nil
 }
 
@@ -205,6 +208,14 @@ func (p *Peer) insertQuery(terms []string) error {
 // per-document partial scores, and rank with the Lee et al. similarity.
 // Unreachable terms are skipped (§7's degraded mode).
 func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
+	return p.searchSpan(terms, k, record, nil)
+}
+
+// searchSpan is search with an optional (possibly nil) trace span: each
+// query term gets a child span covering its DHT lookup (one grandchild span
+// per Chord hop) and the postings fetch from the indexing peer.
+func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Span) ir.RankedList {
+	p.net.met.searches.Inc()
 	qtf := make(map[string]int, len(terms))
 	for _, t := range terms {
 		qtf[t]++
@@ -212,19 +223,30 @@ func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
 	n := p.net.cfg.SurrogateN
 	acc := ir.NewAccumulator()
 	for _, term := range distinctTerms(terms) {
-		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		tsp := span.StartChild("term " + term)
+		ref, _, err := p.node.LookupTraced(chordid.HashKey(term), tsp)
 		if err != nil {
+			p.net.met.termsSkipped.Inc()
+			tsp.Annotate("error", err.Error())
+			tsp.Finish()
 			continue
 		}
+		tsp.Annotate("indexing_peer", string(ref.Addr))
+		fsp := tsp.StartChild(msgGetPostings)
 		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
 			Type:    msgGetPostings,
 			Payload: getPostingsReq{Term: term, Query: terms, Record: record},
 			Size:    len(term) + sizeTerms(terms),
 		})
+		fsp.Finish()
 		if err != nil {
+			p.net.met.termsSkipped.Inc()
+			tsp.Annotate("error", err.Error())
+			tsp.Finish()
 			continue
 		}
 		resp := reply.Payload.(getPostingsResp)
+		tsp.Finish()
 		if resp.IndexedDF == 0 {
 			continue
 		}
@@ -257,6 +279,7 @@ func (p *Peer) learnDoc(docID index.DocID) (int, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	p.net.met.learnRounds.Inc()
 
 	// Step 1: pull the incremental query set.
 	docTerms := make([]string, 0, len(st.indexed))
@@ -333,7 +356,9 @@ func (p *Peer) learnDoc(docID index.DocID) (int, error) {
 	}
 
 	// Step 3: rebuild the rank list and apply additions/replacements.
-	return p.applyRankList(st)
+	changes, err := p.applyRankList(st)
+	p.net.met.learnChanges.Add(int64(changes))
+	return changes, err
 }
 
 // rankedTerm pairs a term with its learning rank key.

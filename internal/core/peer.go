@@ -73,18 +73,31 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 		req := msg.Payload.(getPostingsReq)
 		if req.Record {
 			p.indexing.cacheQuery(req.Query)
+			p.net.met.queriesCached.Inc()
 		}
 		resp := p.indexing.postings(req.Term)
+		p.net.met.postingsServed.Inc()
+		switch {
+		case resp.FromReplica:
+			p.net.met.replicaHits.Inc()
+		case resp.IndexedDF > 0:
+			p.net.met.primaryHits.Inc()
+		default:
+			p.net.met.misses.Inc()
+		}
 		return simnet.Message{Type: msg.Type, Payload: resp, Size: sizePostings(resp.Postings) + 8}, nil
 
 	case msgCacheQuery:
 		req := msg.Payload.(cacheQueryReq)
 		p.indexing.cacheQuery(req.Query)
+		p.net.met.queriesCached.Inc()
 		return simnet.Message{Type: msg.Type, Size: 1}, nil
 
 	case msgPoll:
 		req := msg.Payload.(pollReq)
 		resp := p.indexing.poll(req)
+		p.net.met.pollsServed.Inc()
+		p.net.met.pollQueries.Add(int64(len(resp.Queries)))
 		size := 8
 		for _, q := range resp.Queries {
 			size += sizeTerms(q)

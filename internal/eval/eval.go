@@ -18,6 +18,7 @@ import (
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/querygen"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // Config assembles the full experimental setup of §6.2.
@@ -47,6 +48,10 @@ type Config struct {
 	TrainFraction float64
 	// Seed drives the train/test split and any other harness randomness.
 	Seed int64
+	// Telemetry, if non-nil, receives metrics and traces from every layer of
+	// each deployment (transport, overlay, SPRITE core). Nil leaves
+	// instrumentation off.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's experimental setup (§6.2) at the
@@ -156,12 +161,17 @@ type Deployment struct {
 // network with the given core configuration. Documents are NOT shared yet;
 // call ShareAll after inserting the training queries, per the §6.2 order.
 func (e *Env) NewDeployment(coreCfg core.Config) (*Deployment, error) {
-	snet := simnet.New(e.Cfg.Seed + 1)
-	ring := chord.NewRing(snet, chord.Config{})
+	var snetOpts []simnet.Option
+	if e.Cfg.Telemetry != nil {
+		snetOpts = append(snetOpts, simnet.WithTelemetry(e.Cfg.Telemetry))
+	}
+	snet := simnet.New(e.Cfg.Seed+1, snetOpts...)
+	ring := chord.NewRing(snet, chord.Config{Telemetry: e.Cfg.Telemetry})
 	if _, err := ring.AddNodes("peer", e.Cfg.Peers); err != nil {
 		return nil, fmt.Errorf("eval: ring: %w", err)
 	}
 	ring.Build()
+	coreCfg.Telemetry = e.Cfg.Telemetry
 	n, err := core.NewNetwork(ring, coreCfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: network: %w", err)

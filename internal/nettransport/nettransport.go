@@ -14,12 +14,14 @@ package nettransport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // wireRequest is one RPC frame on the wire.
@@ -51,6 +53,14 @@ func WithCallTimeout(d time.Duration) Option {
 	return func(t *Transport) { t.callTimeout = d }
 }
 
+// WithTelemetry records per-message-type call counts, byte sizes, wall-clock
+// round-trip latencies, and dial/timeout error counts into the registry. A
+// nil registry leaves instrumentation off at the cost of one nil check per
+// call.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(t *Transport) { t.tel = reg }
+}
+
 // Transport is a TCP implementation of simnet.Transport. It is safe for
 // concurrent use. One Transport instance can host many local peers (each
 // with its own listener), which is how in-process multi-peer tests run the
@@ -58,6 +68,7 @@ func WithCallTimeout(d time.Duration) Option {
 type Transport struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
+	tel         *telemetry.Registry
 
 	mu        sync.Mutex
 	local     map[simnet.Addr]*listener
@@ -206,6 +217,7 @@ func (t *Transport) handleConn(addr simnet.Addr, l *listener, conn net.Conn) {
 		Payload: req.Payload,
 		Size:    req.Size,
 	})
+	t.count("net.served." + req.Type)
 	out := wireReply{Type: reply.Type, Size: reply.Size, Payload: reply.Payload}
 	if err != nil {
 		out.Err = err.Error()
@@ -214,7 +226,13 @@ func (t *Transport) handleConn(addr simnet.Addr, l *listener, conn net.Conn) {
 }
 
 // Call dials the destination, sends one gob frame, and reads the reply.
+// Transport-level failures that make the destination look gone — dial
+// failures, and request/reply deadline expiry against a peer that accepted
+// but never answered — are reported wrapping simnet.ErrUnreachable, so the
+// overlay's routing-around-failures logic treats a hung peer like a dead
+// one.
 func (t *Transport) Call(from, to simnet.Addr, msg simnet.Message) (simnet.Message, error) {
+	start := time.Now()
 	// Local fast path: a peer calling itself (or a co-hosted peer) still
 	// goes over the socket so the wire path is exercised uniformly — with
 	// one exception: a self-call while single-threaded would deadlock only
@@ -223,6 +241,7 @@ func (t *Transport) Call(from, to simnet.Addr, msg simnet.Message) (simnet.Messa
 	conn, err := net.DialTimeout("tcp", string(to), t.dialTimeout)
 	if err != nil {
 		t.markDead(to)
+		t.count("net.errors.dial")
 		return simnet.Message{}, fmt.Errorf("%w: %s: %v", simnet.ErrUnreachable, to, err)
 	}
 	defer conn.Close()
@@ -230,16 +249,47 @@ func (t *Transport) Call(from, to simnet.Addr, msg simnet.Message) (simnet.Messa
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(wireRequest{From: from, Type: msg.Type, Size: msg.Size, Payload: msg.Payload}); err != nil {
+		if isTimeout(err) {
+			t.markDead(to)
+			t.count("net.errors.timeout")
+			return simnet.Message{}, fmt.Errorf("%w: %s: send timeout: %v", simnet.ErrUnreachable, to, err)
+		}
+		t.count("net.errors.send")
 		return simnet.Message{}, fmt.Errorf("nettransport: send to %s: %w", to, err)
 	}
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
+		if isTimeout(err) {
+			t.markDead(to)
+			t.count("net.errors.timeout")
+			return simnet.Message{}, fmt.Errorf("%w: %s: reply timeout: %v", simnet.ErrUnreachable, to, err)
+		}
+		t.count("net.errors.reply")
 		return simnet.Message{}, fmt.Errorf("nettransport: reply from %s: %w", to, err)
 	}
 	if reply.Err != "" {
+		t.count("net.errors.remote")
 		return simnet.Message{}, fmt.Errorf("nettransport: remote %s: %s", to, reply.Err)
 	}
+	if t.tel != nil {
+		t.tel.Counter("net.calls."+msg.Type).Inc()
+		t.tel.Counter("net.bytes."+msg.Type).Add(int64(msg.Size) + int64(reply.Size))
+		t.tel.Histogram("net.latency_us").Observe(time.Since(start).Microseconds())
+	}
 	return simnet.Message{Type: reply.Type, Payload: reply.Payload, Size: reply.Size}, nil
+}
+
+// count bumps a named error/event counter when telemetry is installed.
+func (t *Transport) count(name string) {
+	if t.tel != nil {
+		t.tel.Counter(name).Inc()
+	}
+}
+
+// isTimeout reports whether err is (or wraps) a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Alive reports reachability: local listeners are authoritative; remote

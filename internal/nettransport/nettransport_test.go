@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"github.com/spritedht/sprite/internal/corpus"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 func echo() simnet.Handler {
@@ -347,5 +349,106 @@ func TestRegisterAfterClose(t *testing.T) {
 	tr.Register(addrs[0], echo())
 	if tr.LastError() == nil {
 		t.Fatal("register after Close did not record an error")
+	}
+}
+
+// TestDialFailureWrapsUnreachable pins the error contract for the dial path:
+// a connection-refused destination must read as simnet.ErrUnreachable so the
+// overlay routes around it, and the dial-error counter must tick.
+func TestDialFailureWrapsUnreachable(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(WithDialTimeout(300*time.Millisecond), WithTelemetry(reg))
+	defer tr.Close()
+	// Reserve-and-release guarantees nothing is listening at the address.
+	addrs, err := FreeAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.Call("c", addrs[0], simnet.Message{Type: "ping"})
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("dial failure error = %v, want wrapping simnet.ErrUnreachable", err)
+	}
+	if got := reg.Counter("net.errors.dial").Value(); got != 1 {
+		t.Fatalf("net.errors.dial = %d, want 1", got)
+	}
+	if tr.Alive(addrs[0]) {
+		t.Fatal("dead peer still reads as alive")
+	}
+}
+
+// TestCallTimeoutWrapsUnreachable covers the harder half of the timeout
+// contract: the server accepts the connection but never replies. The reply
+// deadline must expire within the call timeout, surface as
+// simnet.ErrUnreachable, tick net.errors.timeout, and mark the peer dead.
+func TestCallTimeoutWrapsUnreachable(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(WithCallTimeout(300*time.Millisecond), WithTelemetry(reg))
+	defer tr.Close()
+	// A raw listener that accepts and then sits on the connection: the
+	// request frame is consumed by TCP buffers, so the caller blocks on the
+	// reply read until its deadline fires.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan struct{})
+	defer close(hold)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { <-hold; conn.Close() }()
+		}
+	}()
+	addr := simnet.Addr(ln.Addr().String())
+	start := time.Now()
+	_, err = tr.Call("c", addr, simnet.Message{Type: "stuck"})
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("reply timeout error = %v, want wrapping simnet.ErrUnreachable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~300ms", elapsed)
+	}
+	if got := reg.Counter("net.errors.timeout").Value(); got != 1 {
+		t.Fatalf("net.errors.timeout = %d, want 1", got)
+	}
+	tr.mu.Lock()
+	_, dead := tr.deadUntil[addr]
+	tr.mu.Unlock()
+	if !dead {
+		t.Fatal("timed-out peer was not negative-cached as dead")
+	}
+}
+
+// TestTelemetryCountsCallsAndServes checks the success-path instrumentation:
+// caller-side per-type calls/bytes/latency and server-side served counts.
+func TestTelemetryCountsCallsAndServes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(WithTelemetry(reg))
+	defer tr.Close()
+	addrs, err := FreeAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Register(addrs[0], echo())
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Call("c", addrs[0], simnet.Message{Type: "ping", Size: 8}); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if got := reg.Counter("net.calls.ping").Value(); got != 3 {
+		t.Fatalf("net.calls.ping = %d, want 3", got)
+	}
+	if got := reg.Counter("net.served.ping").Value(); got != 3 {
+		t.Fatalf("net.served.ping = %d, want 3", got)
+	}
+	if got := reg.Counter("net.bytes.ping").Value(); got != 48 {
+		t.Fatalf("net.bytes.ping = %d, want 48 (3 x (8 req + 8 reply))", got)
+	}
+	if got := reg.Histogram("net.latency_us").Count(); got != 3 {
+		t.Fatalf("net.latency_us count = %d, want 3", got)
 	}
 }

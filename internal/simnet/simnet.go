@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // Addr identifies a peer on the simulated network. In a deployment this would
@@ -129,6 +131,12 @@ func (s Stats) TypesSorted() []string {
 }
 
 // Network is the simulated transport. It is safe for concurrent use.
+//
+// All pseudo-randomness (latency draws) comes from the per-Network source
+// seeded in New — never from the global math/rand source — so two Networks
+// built with the same seed assign bit-for-bit identical latencies regardless
+// of what other goroutines or packages draw, including under -race and
+// parallel tests.
 type Network struct {
 	mu       sync.Mutex
 	peers    map[Addr]Handler
@@ -137,6 +145,7 @@ type Network struct {
 	latency  LatencyModel
 	stats    Stats
 	countOwn bool // whether from==to calls count as network traffic
+	tel      *telemetry.Registry
 }
 
 // Option configures a Network.
@@ -152,6 +161,14 @@ func WithLatency(m LatencyModel) Option {
 // DHT cost model in which local index access costs nothing.
 func WithLocalCallsCounted() Option {
 	return func(n *Network) { n.countOwn = true }
+}
+
+// WithTelemetry mirrors the network's per-message-type accounting into the
+// given registry (call counts, byte totals, simulated latency histogram,
+// unreachable-destination counts). A nil registry leaves instrumentation
+// off; the transport then pays only a nil check per call.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(n *Network) { n.tel = reg }
 }
 
 // New creates a network whose pseudo-random choices (latency draws) derive
@@ -233,6 +250,9 @@ func (n *Network) Call(from, to Addr, msg Message) (Message, error) {
 	if local && !n.countOwn {
 		n.stats.LocalBypass++
 		n.mu.Unlock()
+		if n.tel != nil {
+			n.tel.Counter("simnet.local_bypass").Inc()
+		}
 		if !alive {
 			return Message{}, fmt.Errorf("%w: %s (self)", ErrUnreachable, to)
 		}
@@ -243,12 +263,19 @@ func (n *Network) Call(from, to Addr, msg Message) (Message, error) {
 	n.stats.CallsByDest[to]++
 	n.stats.Bytes += int64(msg.Size)
 	n.stats.BytesByType[msg.Type] += int64(msg.Size)
+	var simRTT time.Duration
 	if n.latency != nil {
-		n.stats.SimLatency += 2 * n.latency(n.rng) // round trip
+		simRTT = 2 * n.latency(n.rng) // round trip
+		n.stats.SimLatency += simRTT
 	}
 	if !alive {
 		n.stats.Failed++
 		n.mu.Unlock()
+		if n.tel != nil {
+			n.tel.Counter("simnet.calls."+msg.Type).Inc()
+			n.tel.Counter("simnet.bytes."+msg.Type).Add(int64(msg.Size))
+			n.tel.Counter("simnet.unreachable").Inc()
+		}
 		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	n.mu.Unlock()
@@ -259,6 +286,16 @@ func (n *Network) Call(from, to Addr, msg Message) (Message, error) {
 		n.stats.Bytes += int64(reply.Size)
 		n.stats.BytesByType[msg.Type] += int64(reply.Size)
 		n.mu.Unlock()
+	}
+	if n.tel != nil {
+		n.tel.Counter("simnet.calls."+msg.Type).Inc()
+		n.tel.Counter("simnet.bytes."+msg.Type).Add(int64(msg.Size) + int64(reply.Size))
+		if n.latency != nil {
+			n.tel.Histogram("simnet.latency_us").Observe(simRTT.Microseconds())
+		}
+		if err != nil {
+			n.tel.Counter("simnet.handler_errors").Inc()
+		}
 	}
 	return reply, err
 }

@@ -2,9 +2,12 @@ package simnet
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 func echoHandler(t *testing.T) Handler {
@@ -242,5 +245,76 @@ func TestConcurrentCalls(t *testing.T) {
 	wg.Wait()
 	if s := n.Stats(); s.Calls != workers*per {
 		t.Fatalf("Calls = %d, want %d", s.Calls, workers*per)
+	}
+}
+
+// TestDeterminismIndependentOfGlobalRand is the regression test for the
+// per-Network rand source: two same-seed networks must draw bit-for-bit
+// identical latency sequences even when other code hammers the global
+// math/rand source in between — which is exactly what breaks if any call
+// path slips back to the package-level functions.
+func TestDeterminismIndependentOfGlobalRand(t *testing.T) {
+	run := func(pollute bool) []time.Duration {
+		n := New(42, WithLatency(UniformLatency(time.Millisecond, 10*time.Millisecond)))
+		n.Register("b", echoHandler(t))
+		var seq []time.Duration
+		prev := time.Duration(0)
+		for i := 0; i < 40; i++ {
+			if pollute {
+				rand.Int63() // global source; must not influence the network
+			}
+			if _, err := n.Call("a", "b", Message{Type: "p"}); err != nil {
+				t.Fatal(err)
+			}
+			cur := n.Stats().SimLatency
+			seq = append(seq, cur-prev)
+			prev = cur
+		}
+		return seq
+	}
+	clean, dirty := run(false), run(true)
+	for i := range clean {
+		if clean[i] != dirty[i] {
+			t.Fatalf("call %d: latency %v with quiet global rand, %v with polluted global rand", i, clean[i], dirty[i])
+		}
+	}
+}
+
+// TestTelemetryMirrorsAccounting checks the instrumented Call paths: success,
+// unreachable destination, local bypass, and handler errors must all land in
+// the registry with per-type granularity.
+func TestTelemetryMirrorsAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	n := New(3, WithLatency(UniformLatency(time.Millisecond, 2*time.Millisecond)), WithTelemetry(reg))
+	n.Register("b", echoHandler(t))
+	n.Register("c", HandlerFunc(func(Addr, Message) (Message, error) {
+		return Message{}, errors.New("boom")
+	}))
+	for i := 0; i < 4; i++ {
+		if _, err := n.Call("a", "b", Message{Type: "ping", Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Call("a", "gone", Message{Type: "ping", Size: 10}) // unreachable
+	n.Call("b", "b", Message{Type: "ping", Size: 10})    // local bypass
+	n.Call("a", "c", Message{Type: "ping", Size: 10})    // handler error
+
+	if got := reg.Counter("simnet.calls.ping").Value(); got != 6 {
+		t.Fatalf("simnet.calls.ping = %d, want 6", got)
+	}
+	if got := reg.Counter("simnet.unreachable").Value(); got != 1 {
+		t.Fatalf("simnet.unreachable = %d, want 1", got)
+	}
+	if got := reg.Counter("simnet.local_bypass").Value(); got != 1 {
+		t.Fatalf("simnet.local_bypass = %d, want 1", got)
+	}
+	if got := reg.Counter("simnet.handler_errors").Value(); got != 1 {
+		t.Fatalf("simnet.handler_errors = %d, want 1", got)
+	}
+	if got := reg.Histogram("simnet.latency_us").Count(); got != 5 {
+		t.Fatalf("simnet.latency_us count = %d, want 5 (success + handler-error calls)", got)
+	}
+	if bytes := reg.Counter("simnet.bytes.ping").Value(); bytes < 60 {
+		t.Fatalf("simnet.bytes.ping = %d, want >= 60", bytes)
 	}
 }

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation in a trace tree: a query, one Chord hop, one
+// peer handler invocation. Spans are created with StartChild (or by
+// Registry.StartTrace for roots), annotated while open, and closed with
+// Finish. All methods are safe for concurrent use and no-ops on a nil
+// receiver, so instrumented code can thread a possibly-nil span without
+// guards.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild opens a sub-span under s. Returns nil on a nil receiver.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Annotate attaches a key/value pair to the span. No-op on a nil receiver.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Finish closes the span, fixing its duration. Finishing twice keeps the
+// first end time. No-op on a nil receiver.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name (empty on a nil receiver).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's elapsed time: end-start once finished, the
+// running duration while open, zero on a nil receiver.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// snapshotLocked converts the span subtree to its immutable export form.
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	out := SpanSnapshot{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: s.end.Sub(s.start),
+		Attrs:    append([]Attr(nil), s.attrs...),
+	}
+	if s.end.IsZero() {
+		out.Duration = time.Since(s.start)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// SpanCount returns the number of spans in the subtree rooted at s,
+// including s itself (zero on a nil receiver).
+func (s *Span) SpanCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	n := 1
+	for _, c := range children {
+		n += c.SpanCount()
+	}
+	return n
+}
+
+// Trace is one query's span tree plus the registry it reports to. A nil
+// *Trace is valid and inert.
+type Trace struct {
+	reg  *Registry
+	root *Span
+}
+
+// StartTrace opens a new trace rooted at a span with the given name. On a
+// nil registry it returns nil, which every Trace and Span method accepts.
+func (r *Registry) StartTrace(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{reg: r, root: newSpan(name)}
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish closes the root span and files the completed trace in the
+// registry's bounded recent-trace buffer. No-op on a nil trace.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.Finish()
+	t.reg.tmu.Lock()
+	t.reg.traces = append(t.reg.traces, t)
+	if over := len(t.reg.traces) - t.reg.traceCap; over > 0 {
+		t.reg.traces = append([]*Trace(nil), t.reg.traces[over:]...)
+	}
+	t.reg.tmu.Unlock()
+}
+
+// Snapshot exports the trace's span tree (zero value on a nil trace).
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	return TraceSnapshot{Root: t.root.snapshot()}
+}
+
+// Traces returns the completed traces currently retained, oldest first.
+// Empty on a nil registry.
+func (r *Registry) Traces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	return append([]*Trace(nil), r.traces...)
+}

@@ -1,0 +1,330 @@
+// Package telemetry is a dependency-free metrics and tracing substrate for
+// the SPRITE stack. The paper's central quantities — index-construction cost,
+// lookup hop counts, learning/maintenance overhead (§1, §6) — are exactly
+// what a deployment must observe continuously, so every layer (transport,
+// overlay, SPRITE core) records into a shared Registry of counters, gauges,
+// and histograms, and query entry points open traces whose span trees show
+// each Chord hop and peer handler with timings.
+//
+// Design constraints, in order:
+//
+//  1. Nil safety. Every method on every type is a no-op on a nil receiver,
+//     and a nil *Registry hands out nil instruments. Instrumented code holds
+//     plain instrument pointers and calls them unconditionally; when no
+//     registry is installed the entire subsystem reduces to nil-check
+//     branches (see the package benchmarks for the cost, which is within
+//     noise of uninstrumented code).
+//  2. Concurrency safety. Counters, gauges, and histograms are built on
+//     atomics and may be hammered from any number of goroutines; the
+//     registry itself uses an RWMutex only on the instrument-resolution
+//     path, which callers are expected to do once and cache.
+//  3. No dependencies. Only the standard library, and nothing heavier than
+//     net/http (used solely by the optional snapshot endpoint).
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (e.g. peers alive).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add shifts the gauge by n. No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of exponential histogram buckets: bucket 0 holds
+// values <= 0, bucket i holds values in [2^(i-1), 2^i). 64-bit values need at
+// most bits.Len64 = 64 significant-bit classes, plus the zero bucket.
+const histBuckets = 65
+
+// Histogram records an observed distribution of non-negative int64 values
+// (hop counts, byte sizes, microsecond latencies) in exponential buckets,
+// from which quantiles are estimated by intra-bucket interpolation. All
+// operations are lock-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket: 0 for v <= 0, else bits.Len64(v).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// newHistogram returns a histogram with min/max sentinels installed.
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Min returns the smallest observed value (zero when empty or nil).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observed value (zero when empty or nil).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (zero on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the arithmetic mean of observations (zero when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket counts,
+// interpolating linearly within the winning bucket and clamping to the
+// observed min/max. Returns zero when empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min.Load()
+	}
+	if q >= 1 {
+		return h.max.Load()
+	}
+	target := q * float64(total)
+	acc := 0.0
+	est := h.max.Load()
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		acc += float64(c)
+		if acc >= target {
+			lo, hi := bucketBounds(i)
+			// Position of the target within this bucket, in (0, 1].
+			frac := 1 - (acc-target)/float64(c)
+			est = lo + int64(frac*float64(hi-lo))
+			break
+		}
+	}
+	if mn := h.min.Load(); est < mn {
+		est = mn
+	}
+	if mx := h.max.Load(); est > mx {
+		est = mx
+	}
+	return est
+}
+
+// bucketBounds returns the value range [lo, hi] covered by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// Registry holds named instruments and completed traces. The zero value is
+// not usable; create one with NewRegistry. A nil *Registry is a valid "off
+// switch": it resolves every instrument to nil and starts nil traces.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	tmu      sync.Mutex
+	traces   []*Trace // completed traces, oldest first, bounded by traceCap
+	traceCap int
+}
+
+// DefaultTraceCap bounds the completed traces a registry retains.
+const DefaultTraceCap = 32
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		traceCap: DefaultTraceCap,
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram()
+	r.hists[name] = h
+	return h
+}

@@ -1,0 +1,41 @@
+// Package wire centralizes encoding/gob type registration for the protocol
+// payloads that cross internal/nettransport's TCP frames. Both the overlay
+// and the SPRITE core register their message types here instead of calling
+// gob.Register directly, so registration is idempotent by construction: a
+// type mentioned from several init paths (or from tests that reload
+// packages) is registered exactly once, and accidental double registration
+// can never panic.
+package wire
+
+import (
+	"encoding/gob"
+	"reflect"
+	"sync"
+)
+
+var (
+	mu         sync.Mutex
+	registered = make(map[reflect.Type]bool)
+)
+
+// Register registers each value's concrete type with encoding/gob exactly
+// once. Repeat calls with the same types are no-ops. Safe for concurrent use.
+func Register(values ...any) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, v := range values {
+		t := reflect.TypeOf(v)
+		if registered[t] {
+			continue
+		}
+		gob.Register(v)
+		registered[t] = true
+	}
+}
+
+// Registered reports how many distinct types have been registered, for tests.
+func Registered() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(registered)
+}

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"testing"
+)
+
+type payloadA struct{ N int }
+type payloadB struct{ S string }
+
+func TestRegisterIdempotent(t *testing.T) {
+	before := Registered()
+	Register(payloadA{}, payloadB{})
+	Register(payloadA{}, payloadB{}) // must not panic or double-count
+	Register(payloadA{})
+	if got := Registered() - before; got != 2 {
+		t.Fatalf("registered %d new types, want 2", got)
+	}
+}
+
+func TestRegisteredTypesRoundTrip(t *testing.T) {
+	Register(payloadA{})
+	var buf bytes.Buffer
+	var in any = payloadA{N: 42}
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got, ok := out.(payloadA); !ok || got.N != 42 {
+		t.Fatalf("round trip: got %#v", out)
+	}
+}
+
+func TestRegisterConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Register(payloadA{}, payloadB{})
+		}()
+	}
+	wg.Wait()
+}

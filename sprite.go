@@ -75,6 +75,13 @@ type Options struct {
 	// document frequency reaches this value are retired by their owners at
 	// the next learning iteration (0 = off).
 	HotTermDF int
+	// Telemetry, if non-nil, receives metrics and query traces from every
+	// layer: transport call/byte/latency accounting, Chord lookup hop
+	// histograms and maintenance counters, and SPRITE indexing/learning/query
+	// events. Create one with NewTelemetry; read it at any time with
+	// WriteReport, WriteJSON, Handler, or Counter. Nil (the default) leaves
+	// instrumentation off at near-zero cost.
+	Telemetry *Telemetry
 }
 
 // Result is one ranked search hit.
@@ -119,17 +126,18 @@ func New(opts Options) (*Network, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	reg := opts.Telemetry.registry()
 	var (
 		transport simnet.Transport
 		sim       *simnet.Network
 	)
 	if opts.TCP {
-		transport = nettransport.New()
+		transport = nettransport.New(nettransport.WithTelemetry(reg))
 	} else {
-		sim = simnet.New(opts.Seed)
+		sim = simnet.New(opts.Seed, simnet.WithTelemetry(reg))
 		transport = sim
 	}
-	ring := chord.NewRing(transport, chord.Config{})
+	ring := chord.NewRing(transport, chord.Config{Telemetry: reg})
 	if opts.TCP {
 		addrs, err := nettransport.FreeAddrs(opts.Peers)
 		if err != nil {
@@ -156,6 +164,7 @@ func New(opts Options) (*Network, error) {
 		HistoryCap:        opts.HistoryCap,
 		ReplicationFactor: opts.Replicas,
 		HotTermDF:         opts.HotTermDF,
+		Telemetry:         reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sprite: %w", err)

@@ -1,0 +1,61 @@
+package sprite
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/spritedht/sprite/internal/telemetry"
+)
+
+// Telemetry is an observability handle shared by every layer of a Network:
+// the transport records per-message-type call counts, byte sizes, and
+// latencies; the Chord overlay records lookup hop histograms and maintenance
+// activity; the SPRITE core records indexing, learning, and query events; and
+// each Search opens a trace whose span tree shows every Chord hop and
+// postings fetch with timings.
+//
+// Create one with NewTelemetry, pass it in Options, and read it at any time —
+// all instruments are safe for concurrent use. A nil *Telemetry is valid
+// everywhere and disables instrumentation at near-zero cost.
+type Telemetry struct {
+	reg *telemetry.Registry
+}
+
+// NewTelemetry creates an empty telemetry registry.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{reg: telemetry.NewRegistry()}
+}
+
+// registry returns the underlying registry (nil when t is nil), for wiring
+// into the internal layers.
+func (t *Telemetry) registry() *telemetry.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// WriteReport writes a human-readable snapshot: counters, gauges, histogram
+// quantile summaries, and the retained query traces as indented span trees.
+func (t *Telemetry) WriteReport(w io.Writer) error {
+	return t.registry().Snapshot().WriteText(w)
+}
+
+// WriteJSON writes the same snapshot as indented JSON, for machine
+// consumption.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	return t.registry().Snapshot().WriteJSON(w)
+}
+
+// Handler returns an HTTP handler serving the live snapshot — JSON by
+// default, the text report with ?format=text — in the spirit of expvar.
+func (t *Telemetry) Handler() http.Handler {
+	return t.registry().Handler()
+}
+
+// Counter returns the current value of a named counter (zero when absent or
+// when t is nil). Metric names are documented in the README's Observability
+// section.
+func (t *Telemetry) Counter(name string) int64 {
+	return t.registry().Counter(name).Value()
+}
