@@ -6,7 +6,7 @@
 //
 //	spritebench [flags] <experiment>...
 //
-// Experiments: fig4a fig4b fig4c chord cost ablation churn config all
+// Experiments: fig4a fig4b fig4c chord cost ablation churn cache config all
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -46,10 +46,12 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit one JSON document with all experiment results")
 		withTel  = flag.Bool("telemetry", false, "record metrics/traces during experiments; report to stderr")
 		repeats  = flag.Int("repeats", 5, "independent replications for fig4a-replicated")
+		cacheVol = flag.Int("cache-volume", 0, "replayed queries in the cache experiment (0 = 4x the test set)")
+		cacheZip = flag.Float64("cache-slope", 0.5, "Zipf slope of the cache experiment's repeated-query stream")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -101,7 +103,7 @@ func main() {
 	}
 	for _, exp := range args {
 		if exp == "all" {
-			args = []string{"config", "fig4a", "fig4b", "fig4c", "chord", "cost", "ablation", "churn", "expansion", "maintenance", "load", "learncost"}
+			args = []string{"config", "fig4a", "fig4b", "fig4c", "chord", "cost", "ablation", "churn", "expansion", "maintenance", "load", "learncost", "cache"}
 			break
 		}
 	}
@@ -109,7 +111,7 @@ func main() {
 	out := &output{asCSV: *asCSV, asJSON: *asJSON}
 	for _, exp := range args {
 		start := time.Now()
-		if err := run(exp, cfg, *failFrac, *replicas, *repeats, out); err != nil {
+		if err := run(exp, cfg, *failFrac, *replicas, *repeats, *cacheVol, *cacheZip, out); err != nil {
 			fmt.Fprintf(os.Stderr, "spritebench: %s: %v\n", exp, err)
 			os.Exit(1)
 		}
@@ -201,7 +203,7 @@ func csvRows(doc string) []map[string]string {
 	return rows
 }
 
-func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats int, out *output) error {
+func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cacheVol int, cacheSlope float64, out *output) error {
 	switch exp {
 	case "config":
 		if !out.asJSON {
@@ -281,6 +283,12 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats int, o
 		out.emit(res)
 	case "learncost":
 		res, err := eval.RunLearnCost(cfg)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+	case "cache":
+		res, err := eval.RunCacheRepeat(cfg, cacheVol, cacheSlope)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 //
 //	spritesim [-peers N] [-replicas R] [-seed S] [-script file]
 //	          [-telemetry] [-telemetry-http addr]
+//	          [-cache] [-cache-result-ttl D] [-cache-postings N]
 //
 // Commands (also shown by "help"):
 //
@@ -18,6 +19,7 @@
 //	stabilize                           repair the overlay after churn
 //	peers                               list peers
 //	stats                               network traffic and index footprint
+//	cache                               query-path cache counters (-cache)
 //	telemetry                           full metrics + trace report (-telemetry)
 //	quit
 package main
@@ -43,6 +45,9 @@ func main() {
 		script    = flag.String("script", "", "read commands from file instead of stdin")
 		telemetry = flag.Bool("telemetry", false, "record metrics and query traces; print a report on exit")
 		telHTTP   = flag.String("telemetry-http", "", "serve the live telemetry snapshot at this addr (implies -telemetry)")
+		withCache = flag.Bool("cache", false, "enable the query-path caches (postings + results)")
+		cacheTTL  = flag.Duration("cache-result-ttl", 0, "result cache TTL (0 = default 2s; implies -cache)")
+		cacheSize = flag.Int("cache-postings", 0, "postings cache capacity in terms (0 = default 4096; implies -cache)")
 	)
 	flag.Parse()
 
@@ -50,7 +55,12 @@ func main() {
 	if *telemetry || *telHTTP != "" {
 		tel = sprite.NewTelemetry()
 	}
-	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel})
+	cache := sprite.CacheOptions{
+		Enabled:         *withCache || *cacheTTL > 0 || *cacheSize > 0,
+		ResultTTL:       *cacheTTL,
+		PostingsEntries: *cacheSize,
+	}
+	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)
@@ -279,6 +289,12 @@ func execute(net *sprite.Network, tel *sprite.Telemetry, line string) bool {
 		for _, t := range sortedKeys(s.ByType) {
 			fmt.Printf("  %-24s %d\n", t, s.ByType[t])
 		}
+	case "cache":
+		p, r := net.CacheStats()
+		fmt.Printf("postings: hits=%d misses=%d coalesced=%d entries=%d hit-rate=%.3f\n",
+			p.Hits, p.Misses, p.Coalesced, p.Entries, p.HitRate)
+		fmt.Printf("results:  hits=%d misses=%d entries=%d hit-rate=%.3f\n",
+			r.Hits, r.Misses, r.Entries, r.HitRate)
 	default:
 		fail("unknown command %q (try \"help\")", cmd)
 	}
@@ -311,6 +327,7 @@ const helpText = `commands:
   peers                            list peer names
   save <file> | load <file>        checkpoint / restore network state
   stats                            traffic counters and index footprint
+  cache                            query-path cache counters (-cache)
   telemetry                        metrics + query-trace report (-telemetry)
   quit                             exit
 `

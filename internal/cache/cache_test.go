@@ -1,0 +1,334 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spritedht/sprite/internal/telemetry"
+)
+
+func TestPutGet(t *testing.T) {
+	c := New[string](Config{MaxEntries: 8, Shards: 1})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", "alpha", 5)
+	v, ok := c.Get("a")
+	if !ok || v != "alpha" {
+		t.Fatalf("Get(a) = %q, %v; want alpha, true", v, ok)
+	}
+	c.Put("a", "alpha2", 6)
+	if v, _ := c.Get("a"); v != "alpha2" {
+		t.Fatalf("replacement not visible: got %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Stores != 2 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss, 2 stores", st)
+	}
+	if st.Entries != 1 || st.Bytes != 6 {
+		t.Fatalf("occupancy = %d entries / %d bytes; want 1 / 6", st.Entries, st.Bytes)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](Config{MaxEntries: 3, Shards: 1})
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Put("c", 3, 1)
+	c.Get("a") // refresh a; b becomes least recently used
+	c.Put("d", 4, 1)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d; want 1", ev)
+	}
+}
+
+func TestMaxBytesEviction(t *testing.T) {
+	c := New[int](Config{MaxEntries: 100, MaxBytes: 10, Shards: 1})
+	c.Put("a", 1, 4)
+	c.Put("b", 2, 4)
+	c.Put("c", 3, 4) // 12 bytes > 10: a (LRU) must go
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted for the byte bound")
+	}
+	if st := c.Stats(); st.Bytes > 10 {
+		t.Fatalf("bytes = %d; want <= 10", st.Bytes)
+	}
+	// A single oversized entry is kept (never evict the only entry for bytes).
+	c2 := New[int](Config{MaxEntries: 4, MaxBytes: 10, Shards: 1})
+	c2.Put("huge", 1, 1000)
+	if _, ok := c2.Get("huge"); !ok {
+		t.Fatal("sole oversized entry should be retained")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New[int](Config{MaxEntries: 8, TTL: time.Minute, Now: clock, Shards: 1})
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry should be live")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("59s-old entry should still be live under a 1m TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("61s-old entry should have expired")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d; want 1", st.Expirations)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("expired entry still occupies the cache: %+v", st)
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8, Shards: 1})
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Invalidate()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("pre-invalidation entry served after Invalidate")
+	}
+	c.Put("a", 3, 1)
+	if v, ok := c.Get("a"); !ok || v != 3 {
+		t.Fatalf("post-invalidation store not served: %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Invalidated != 1 {
+		t.Fatalf("invalidated = %d; want 1 (only the touched entry)", st.Invalidated)
+	}
+	if st.Generation != 1 {
+		t.Fatalf("generation = %d; want 1", st.Generation)
+	}
+}
+
+func TestGetOrFillBasics(t *testing.T) {
+	c := New[string](Config{MaxEntries: 8, Shards: 1})
+	fills := 0
+	fill := func() (string, int, error) { fills++; return "v", 1, nil }
+	v, out, err := c.GetOrFill("k", fill)
+	if err != nil || v != "v" || out != Filled {
+		t.Fatalf("cold GetOrFill = %q, %v, %v; want v, Filled, nil", v, out, err)
+	}
+	v, out, err = c.GetOrFill("k", fill)
+	if err != nil || v != "v" || out != Hit {
+		t.Fatalf("warm GetOrFill = %q, %v, %v; want v, Hit, nil", v, out, err)
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times; want 1", fills)
+	}
+}
+
+func TestGetOrFillErrorNotCached(t *testing.T) {
+	c := New[string](Config{MaxEntries: 8, Shards: 1})
+	boom := errors.New("boom")
+	_, _, err := c.GetOrFill("k", func() (string, int, error) { return "", 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed fill was cached")
+	}
+	v, out, err := c.GetOrFill("k", func() (string, int, error) { return "ok", 2, nil })
+	if err != nil || v != "ok" || out != Filled {
+		t.Fatalf("retry after failed fill = %q, %v, %v", v, out, err)
+	}
+}
+
+func TestGetOrFillCoalescing(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8, Shards: 1, Telemetry: telemetry.NewRegistry(), Name: "c"})
+	const n = 16
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out, err := c.GetOrFill("k", func() (int, int, error) {
+				fills.Add(1)
+				once.Do(func() { close(started) })
+				<-gate // hold the fill open so the others pile up
+				return 42, 1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], outcomes[i] = v, out
+		}()
+	}
+	<-started
+	// Wait until the other n-1 callers are blocked on the flight. Coalesced
+	// is counted before blocking, so poll the counter.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Coalesced < n-1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d callers coalesced", c.Stats().Coalesced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times; want exactly 1", got)
+	}
+	filled, coalesced := 0, 0
+	for i := range results {
+		if results[i] != 42 {
+			t.Fatalf("caller %d got %d; want 42", i, results[i])
+		}
+		switch outcomes[i] {
+		case Filled:
+			filled++
+		case Coalesced:
+			coalesced++
+		}
+	}
+	if filled != 1 || coalesced != n-1 {
+		t.Fatalf("outcomes: %d filled, %d coalesced; want 1, %d", filled, coalesced, n-1)
+	}
+	if got := c.Stats().Coalesced; got != n-1 {
+		t.Fatalf("coalesce counter = %d; want %d", got, n-1)
+	}
+}
+
+func TestInvalidateDuringFillNotStored(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8, Shards: 1})
+	inFill := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := c.GetOrFill("k", func() (int, int, error) {
+			close(inFill)
+			<-gate
+			return 7, 1, nil
+		})
+		if err != nil || v != 7 {
+			t.Errorf("filler got %d, %v", v, err)
+		}
+	}()
+	<-inFill
+	c.Invalidate() // the index changed while the fill was in flight
+	close(gate)
+	<-done
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("fill that started before Invalidate was stored")
+	}
+}
+
+func TestTelemetryInstruments(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New[int](Config{MaxEntries: 2, Shards: 1, Telemetry: reg, Name: "cache.test"})
+	c.Put("a", 1, 3)
+	c.Put("b", 2, 3)
+	c.Get("a")
+	c.Get("zzz")
+	c.Put("c", 3, 3) // evicts
+	if got := reg.Counter("cache.test.hits").Value(); got != 1 {
+		t.Fatalf("hits counter = %d; want 1", got)
+	}
+	if got := reg.Counter("cache.test.misses").Value(); got != 1 {
+		t.Fatalf("misses counter = %d; want 1", got)
+	}
+	if got := reg.Counter("cache.test.evictions").Value(); got != 1 {
+		t.Fatalf("evictions counter = %d; want 1", got)
+	}
+	if got := reg.Gauge("cache.test.entries").Value(); got != 2 {
+		t.Fatalf("entries gauge = %d; want 2", got)
+	}
+	if got := reg.Gauge("cache.test.bytes").Value(); got != 6 {
+		t.Fatalf("bytes gauge = %d; want 6", got)
+	}
+	if got := reg.Histogram("cache.test.lookup_ns").Count(); got != 2 {
+		t.Fatalf("lookup histogram count = %d; want 2", got)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache[int]
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("k", 1, 1)
+	c.Delete("k")
+	c.Invalidate()
+	v, out, err := c.GetOrFill("k", func() (int, int, error) { return 9, 1, nil })
+	if err != nil || v != 9 || out != Filled {
+		t.Fatalf("nil GetOrFill = %d, %v, %v; want 9, Filled, nil", v, out, err)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v; want zero", st)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil Len != 0")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate = %v; want 0", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v; want 0.75", r)
+	}
+}
+
+// TestConcurrentHammer drives every operation from many goroutines; its
+// value is running under -race.
+func TestConcurrentHammer(t *testing.T) {
+	c := New[int](Config{MaxEntries: 64, MaxBytes: 4096, TTL: 50 * time.Millisecond, Shards: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%97)
+				switch i % 5 {
+				case 0:
+					c.Put(key, i, 8)
+				case 1:
+					c.Get(key)
+				case 2:
+					c.GetOrFill(key, func() (int, int, error) { return i, 8, nil })
+				case 3:
+					c.Delete(key)
+				default:
+					if i%100 == 0 {
+						c.Invalidate()
+					}
+					c.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() > 64+4 {
+		t.Fatalf("cache grew past its bound: %d entries", c.Len())
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/spritedht/sprite/internal/cache"
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
+)
+
+// This file wires the internal/cache substrate into the query path at two
+// levels:
+//
+//   - A postings cache keyed by term. Fetching a term's inverted list costs a
+//     Chord lookup (O(log N) hops) plus the postings transfer — the dominant
+//     per-query expense. Under SPRITE's own premise of a skewed, repetitive
+//     query stream (§5), most fetches repeat recent ones; the cache serves
+//     them locally, with singleflight coalescing so N concurrent cold
+//     searches for a term issue one remote fetch.
+//   - A result cache keyed by (canonical query terms, k) with a short TTL,
+//     for verbatim repeats of whole queries.
+//
+// Consistency: every index mutation — publish, unpublish, replica add/drop,
+// unshare, learning re-publication, snapshot restore — bumps the caches'
+// generation, so a cached entry can never outlive the index state it was
+// read from (entries die lazily; see cache.Invalidate). Learning stays
+// unaffected by caching: a search served from cache still records its query
+// at the indexing peers via msgCacheQuery, so query histories — and hence
+// QF/qScore statistics — match an uncached run exactly.
+//
+// Staleness window: a peer failure is invisible to the core (it happens at
+// the transport), so cached postings owned by a just-failed peer are served
+// until the next index mutation, InvalidateCaches call, or TTL expiry —
+// strictly better availability than the uncached path, which would skip the
+// term (§7 degraded mode), at the price of a bounded staleness window.
+
+// CacheConfig tunes the query-path caches. The zero value disables caching
+// entirely, preserving the paper's exact message accounting.
+type CacheConfig struct {
+	// Enabled turns the caching layer on.
+	Enabled bool
+	// PostingsEntries caps the postings cache (default 4096 terms).
+	PostingsEntries int
+	// PostingsBytes optionally caps the postings cache by approximate wire
+	// bytes (0 = entry bound only).
+	PostingsBytes int64
+	// PostingsTTL bounds postings age. The default 0 keeps entries until the
+	// next index mutation (generation invalidation), which in the simulator
+	// is exact; deployments with out-of-band failures should set a TTL.
+	PostingsTTL time.Duration
+	// DisablePostings switches the postings cache off individually.
+	DisablePostings bool
+	// ResultEntries caps the result cache (default 1024 queries).
+	ResultEntries int
+	// ResultTTL bounds result age (default 2s). Results are also dropped on
+	// every index mutation, like postings.
+	ResultTTL time.Duration
+	// DisableResults switches the result cache off individually.
+	DisableResults bool
+}
+
+// fillDefaults resolves the zero fields of an enabled configuration.
+func (c CacheConfig) fillDefaults() CacheConfig {
+	if !c.Enabled {
+		return c
+	}
+	if c.PostingsEntries == 0 {
+		c.PostingsEntries = 4096
+	}
+	if c.ResultEntries == 0 {
+		c.ResultEntries = 1024
+	}
+	if c.ResultTTL == 0 {
+		c.ResultTTL = 2 * time.Second
+	}
+	return c
+}
+
+// validate rejects unusable cache configurations.
+func (c CacheConfig) validate() error {
+	switch {
+	case c.PostingsEntries < 0:
+		return fmt.Errorf("core: Cache.PostingsEntries = %d, need >= 0", c.PostingsEntries)
+	case c.ResultEntries < 0:
+		return fmt.Errorf("core: Cache.ResultEntries = %d, need >= 0", c.ResultEntries)
+	case c.PostingsTTL < 0 || c.ResultTTL < 0:
+		return fmt.Errorf("core: cache TTLs must be >= 0")
+	}
+	return nil
+}
+
+// postingsEntry is one cached postings fetch: the indexing peer's response
+// plus its address, retained so cache hits can still route msgCacheQuery
+// history recordings to it.
+type postingsEntry struct {
+	resp getPostingsResp
+	peer simnet.Addr
+}
+
+// resultEntry is one cached ranked list plus the indexing peers contacted to
+// compute it, so recorded repeats keep feeding those peers' query histories.
+type resultEntry struct {
+	rl    ir.RankedList
+	peers map[string]simnet.Addr // term → indexing peer
+}
+
+// netCaches bundles the two query-path caches; both pointers are nil when
+// caching is disabled (a nil cache is inert).
+type netCaches struct {
+	postings *cache.Cache[postingsEntry]
+	results  *cache.Cache[resultEntry]
+}
+
+func newNetCaches(cfg CacheConfig, reg *telemetry.Registry) netCaches {
+	if !cfg.Enabled {
+		return netCaches{}
+	}
+	var nc netCaches
+	if !cfg.DisablePostings && cfg.PostingsEntries > 0 {
+		nc.postings = cache.New[postingsEntry](cache.Config{
+			MaxEntries: cfg.PostingsEntries,
+			MaxBytes:   cfg.PostingsBytes,
+			TTL:        cfg.PostingsTTL,
+			Telemetry:  reg,
+			Name:       "cache.postings",
+		})
+	}
+	if !cfg.DisableResults && cfg.ResultEntries > 0 {
+		nc.results = cache.New[resultEntry](cache.Config{
+			MaxEntries: cfg.ResultEntries,
+			TTL:        cfg.ResultTTL,
+			Telemetry:  reg,
+			Name:       "cache.results",
+		})
+	}
+	return nc
+}
+
+// invalidate drops every cached posting and result (generation bump, O(1)).
+func (nc netCaches) invalidate() {
+	nc.postings.Invalidate()
+	nc.results.Invalidate()
+}
+
+// InvalidateCaches drops all cached postings and query results. The core
+// calls it on every index mutation; hosts should call it when they know the
+// network changed under the core's feet (peer failure or recovery injected
+// at the transport level, overlay membership changes, …).
+func (n *Network) InvalidateCaches() {
+	n.caches.invalidate()
+}
+
+// PostingsCacheStats returns the postings cache counters (zero when the
+// cache is disabled).
+func (n *Network) PostingsCacheStats() cache.Stats { return n.caches.postings.Stats() }
+
+// ResultCacheStats returns the result cache counters (zero when disabled).
+func (n *Network) ResultCacheStats() cache.Stats { return n.caches.results.Stats() }
+
+// resultKey is the result-cache key: the canonical (sorted, duplicates
+// retained) query term list plus the answer depth. Term order never affects
+// scoring; term multiplicity does, so it is preserved.
+func resultKey(terms []string, k int) string {
+	return canonicalQuery(terms) + "\x00" + strconv.Itoa(k)
+}
+
+// resultBytes approximates a cached result's footprint for the byte gauge.
+func resultBytes(e resultEntry) int {
+	n := 0
+	for _, h := range e.rl {
+		n += len(h.Doc) + 16
+	}
+	for t, a := range e.peers {
+		n += len(t) + len(a)
+	}
+	return n
+}
+
+// postingsBytes approximates a cached postings entry's footprint.
+func postingsBytes(e postingsEntry) int {
+	return sizePostings(e.resp.Postings) + len(e.peer) + 16
+}
+
+// fetchPostingsCached resolves a term's postings through the postings cache.
+// Misses run the normal DHT path — Chord lookup, then msgGetPostings with
+// Record off — under singleflight, so concurrent misses on the same term
+// issue exactly one remote fetch. The fetch itself never records the query
+// (cached hits would then under-count history); recording is the caller's
+// job via recordQueryAt.
+func (p *Peer) fetchPostingsCached(term string, tsp *telemetry.Span) (postingsEntry, cache.Outcome, error) {
+	return p.net.caches.postings.GetOrFill(term, func() (postingsEntry, int, error) {
+		ref, _, err := p.node.LookupTraced(chordid.HashKey(term), tsp)
+		if err != nil {
+			return postingsEntry{}, 0, err
+		}
+		tsp.Annotate("indexing_peer", string(ref.Addr))
+		fsp := tsp.StartChild(msgGetPostings)
+		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+			Type:    msgGetPostings,
+			Payload: getPostingsReq{Term: term},
+			Size:    len(term) + 1,
+		})
+		fsp.Finish()
+		if err != nil {
+			return postingsEntry{}, 0, err
+		}
+		ent := postingsEntry{resp: reply.Payload.(getPostingsResp), peer: ref.Addr}
+		return ent, postingsBytes(ent), nil
+	})
+}
+
+// recordQueryAt inserts the query into the indexing peer's history —
+// the side effect an uncached recorded search gets for free from its
+// msgGetPostings — so caching never starves learning. Best-effort: an
+// unreachable peer is skipped, exactly as the uncached path would skip it.
+func (p *Peer) recordQueryAt(peer simnet.Addr, query []string) {
+	if peer == "" {
+		return
+	}
+	p.net.ring.Net().Call(p.Addr(), peer, simnet.Message{
+		Type:    msgCacheQuery,
+		Payload: cacheQueryReq{Query: query},
+		Size:    sizeTerms(query),
+	})
+}

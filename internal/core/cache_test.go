@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// cacheTestNetwork is testNetwork keeping the simnet handle, so tests can
+// assert on per-message-type call counts.
+func cacheTestNetwork(t testing.TB, peers int, cfg Config) (*Network, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(1)
+	ring := chord.NewRing(net, chord.Config{})
+	if _, err := ring.AddNodes("p", peers); err != nil {
+		t.Fatalf("AddNodes: %v", err)
+	}
+	ring.Build()
+	n, err := NewNetwork(ring, cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return n, net
+}
+
+// shareCacheCorpus shares a small fixed corpus round-robin across peers.
+func shareCacheCorpus(t testing.TB, n *Network) {
+	t.Helper()
+	docs := []*corpusDoc{
+		{"d1", map[string]int{"alpha": 9, "beta": 7, "gamma": 2}},
+		{"d2", map[string]int{"alpha": 3, "delta": 8, "epsilon": 5}},
+		{"d3", map[string]int{"beta": 6, "delta": 2, "zeta": 4}},
+		{"d4", map[string]int{"gamma": 5, "epsilon": 1, "alpha": 2}},
+	}
+	peers := n.Peers()
+	for i, d := range docs {
+		if err := n.Share(peers[i%len(peers)].Addr(), doc(d.id, d.tf)); err != nil {
+			t.Fatalf("Share %s: %v", d.id, err)
+		}
+	}
+}
+
+type corpusDoc struct {
+	id string
+	tf map[string]int
+}
+
+func TestWarmPostingsCacheZeroRemoteFetches(t *testing.T) {
+	n, sim := cacheTestNetwork(t, 8, Config{
+		Cache: CacheConfig{Enabled: true, DisableResults: true},
+	})
+	shareCacheCorpus(t, n)
+
+	query := []string{"alpha", "delta"}
+	first, err := n.Search("p0", query, 10)
+	if err != nil {
+		t.Fatalf("cold search: %v", err)
+	}
+	cold := sim.Stats().CallsByType[msgGetPostings]
+	if cold == 0 {
+		t.Fatal("cold search issued no postings fetches; test is vacuous")
+	}
+
+	second, err := n.Search("p0", query, 10)
+	if err != nil {
+		t.Fatalf("warm search: %v", err)
+	}
+	if got := sim.Stats().CallsByType[msgGetPostings]; got != cold {
+		t.Fatalf("warm search issued %d remote postings fetches; want 0", got-cold)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("warm result diverged:\ncold: %v\nwarm: %v", first, second)
+	}
+	st := n.PostingsCacheStats()
+	if st.Hits != int64(len(query)) {
+		t.Fatalf("postings cache hits = %d; want %d", st.Hits, len(query))
+	}
+}
+
+func TestResultCacheServesRepeats(t *testing.T) {
+	n, sim := cacheTestNetwork(t, 8, Config{
+		Cache: CacheConfig{Enabled: true, ResultTTL: time.Hour},
+	})
+	shareCacheCorpus(t, n)
+
+	query := []string{"beta", "gamma"}
+	first, err := n.Search("p1", query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.Stats()
+	second, err := n.Search("p1", query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sim.Stats()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached result diverged: %v vs %v", first, second)
+	}
+	if d := after.CallsByType[msgGetPostings] - before.CallsByType[msgGetPostings]; d != 0 {
+		t.Fatalf("result-cache hit issued %d postings fetches; want 0", d)
+	}
+	if d := after.CallsByType["chord.next_hop"] - before.CallsByType["chord.next_hop"]; d != 0 {
+		t.Fatalf("result-cache hit issued %d chord hops; want 0", d)
+	}
+	// A recorded hit still feeds the indexing peers' histories.
+	if d := after.CallsByType[msgCacheQuery] - before.CallsByType[msgCacheQuery]; d != int64(len(query)) {
+		t.Fatalf("result-cache hit recorded the query %d times; want %d", d, len(query))
+	}
+	if st := n.ResultCacheStats(); st.Hits != 1 {
+		t.Fatalf("result cache hits = %d; want 1", st.Hits)
+	}
+	// Mutating the result list a caller got back must not corrupt the cache.
+	if len(second) > 0 {
+		second[0].Doc = "corrupted"
+		third, _ := n.Search("p1", query, 5)
+		if !reflect.DeepEqual(first, third) {
+			t.Fatal("caller mutation leaked into the result cache")
+		}
+	}
+}
+
+// TestNoStalePostingsAfterMutations is the acceptance test that the cache
+// never serves stale postings: a cache-on network must answer exactly like a
+// cache-off twin after every kind of index mutation — publish (share),
+// unshare, and learning-driven re-publication.
+func TestNoStalePostingsAfterMutations(t *testing.T) {
+	cacheOff, _ := cacheTestNetwork(t, 8, Config{InitialTerms: 2})
+	cacheOn, _ := cacheTestNetwork(t, 8, Config{
+		InitialTerms: 2,
+		Cache:        CacheConfig{Enabled: true, ResultTTL: time.Hour},
+	})
+	nets := []*Network{cacheOff, cacheOn}
+
+	step := func(label string, op func(n *Network) error) {
+		t.Helper()
+		for _, n := range nets {
+			if err := op(n); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+		// Compare the full query surface after every mutation, twice per
+		// network so the second round on cacheOn is served from warm caches.
+		queries := [][]string{{"alpha"}, {"beta"}, {"delta"}, {"alpha", "delta"}, {"beta", "gamma", "zeta"}}
+		for _, q := range queries {
+			var lists []interface{}
+			for _, n := range nets {
+				for round := 0; round < 2; round++ {
+					rl, err := n.Probe("p0", q, 10)
+					if err != nil {
+						t.Fatalf("%s: probe %v: %v", label, q, err)
+					}
+					lists = append(lists, rl)
+				}
+			}
+			for i := 1; i < len(lists); i++ {
+				if !reflect.DeepEqual(lists[0], lists[i]) {
+					t.Fatalf("%s: query %v diverged between cache-on and cache-off:\n%v\nvs\n%v",
+						label, q, lists[0], lists[i])
+				}
+			}
+		}
+	}
+
+	step("share", func(n *Network) error {
+		shareCacheCorpus(t, n)
+		return nil
+	})
+	step("training", func(n *Network) error {
+		for _, q := range [][]string{{"zeta", "delta"}, {"gamma"}, {"zeta"}, {"alpha", "gamma"}} {
+			for i := 0; i < 3; i++ {
+				if _, err := n.Search("p2", q, 10); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	step("learning", func(n *Network) error {
+		_, err := n.LearnAll()
+		return err
+	})
+	step("unshare", func(n *Network) error {
+		return n.Unshare("d2")
+	})
+	step("reshare", func(n *Network) error {
+		return n.Share("p3", doc("d2", map[string]int{"alpha": 3, "delta": 8, "epsilon": 5}))
+	})
+}
+
+// TestHistoryParityWithCache proves caching is transparent to learning: the
+// query histories every indexing peer accumulates — and hence the index
+// terms learning selects — are identical with and without the caches.
+func TestHistoryParityWithCache(t *testing.T) {
+	cacheOff, _ := cacheTestNetwork(t, 8, Config{InitialTerms: 2})
+	cacheOn, _ := cacheTestNetwork(t, 8, Config{
+		InitialTerms: 2,
+		Cache:        CacheConfig{Enabled: true, ResultTTL: time.Hour},
+	})
+	for _, n := range []*Network{cacheOff, cacheOn} {
+		shareCacheCorpus(t, n)
+		for _, q := range [][]string{{"alpha", "delta"}, {"alpha", "delta"}, {"beta"}, {"alpha", "delta"}, {"zeta", "beta"}} {
+			if _, err := n.Search("p1", q, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	offPeers, onPeers := cacheOff.Peers(), cacheOn.Peers()
+	for i := range offPeers {
+		if off, on := offPeers[i].HistoryLen(), onPeers[i].HistoryLen(); off != on {
+			t.Fatalf("peer %s history length: cache-off %d, cache-on %d", offPeers[i].Addr(), off, on)
+		}
+	}
+	for _, n := range []*Network{cacheOff, cacheOn} {
+		if _, err := n.LearnAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range cacheOff.Documents() {
+		off, _ := cacheOff.IndexedTerms(id)
+		on, _ := cacheOn.IndexedTerms(id)
+		if !reflect.DeepEqual(off, on) {
+			t.Fatalf("learned terms for %s diverged: cache-off %v, cache-on %v", id, off, on)
+		}
+	}
+}
+
+// TestSingleflightOneFetchPerTerm is the acceptance test for coalescing:
+// N concurrent identical cold queries issue exactly one remote postings
+// fetch per term, and the coalesce counter reads N-1.
+func TestSingleflightOneFetchPerTerm(t *testing.T) {
+	n, sim := cacheTestNetwork(t, 8, Config{
+		Cache: CacheConfig{Enabled: true, DisableResults: true},
+	})
+	shareCacheCorpus(t, n)
+	// Probe from a peer other than the term's indexing peer: simnet does not
+	// meter self-calls, so a local fetch would make the assertion vacuous.
+	ref, _, err := n.Peers()[0].Node().Lookup(chordid.HashKey("epsilon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := simnet.Addr("p0")
+	if ref.Addr == from {
+		from = "p1"
+	}
+	// Pre-resolve nothing: the caches are cold, the ring is warm.
+	base := sim.Stats().CallsByType[msgGetPostings]
+
+	const callers = 12
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = n.Probe(from, []string{"epsilon"}, 10)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+
+	if got := sim.Stats().CallsByType[msgGetPostings] - base; got != 1 {
+		t.Fatalf("%d concurrent cold queries issued %d remote fetches; want exactly 1", callers, got)
+	}
+	st := n.PostingsCacheStats()
+	if st.Hits+st.Coalesced != callers-1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want misses=1 and hits+coalesced=%d", st, callers-1)
+	}
+}
+
+// TestConcurrentSearchPublishUnshare is the concurrency regression test: many
+// goroutines exercise the full mutation and query surface at once; its value
+// is running under -race (nothing like this existed before the cache layer).
+func TestConcurrentSearchPublishUnshare(t *testing.T) {
+	n, _ := cacheTestNetwork(t, 8, Config{
+		InitialTerms: 2,
+		Cache:        CacheConfig{Enabled: true, ResultTTL: time.Hour},
+	})
+	peers := n.Peers()
+	terms := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := fmt.Sprintf("g%d-doc%d", g, i)
+				tf := map[string]int{terms[(g+i)%len(terms)]: 5, terms[(g+i+1)%len(terms)]: 3}
+				owner := peers[(g+i)%len(peers)].Addr()
+				if err := n.Share(owner, doc(id, tf)); err != nil {
+					t.Errorf("Share %s: %v", id, err)
+					return
+				}
+				q := []string{terms[i%len(terms)], terms[(i+2)%len(terms)]}
+				if _, err := n.Search(owner, q, 5); err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if err := n.Unshare(index.DocID(id)); err != nil {
+						t.Errorf("Unshare %s: %v", id, err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, err := n.LearnAll(); err != nil {
+						t.Errorf("LearnAll: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,8 +18,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/spritedht/sprite/internal/chord"
 	"github.com/spritedht/sprite/internal/corpus"
@@ -63,6 +65,10 @@ type Config struct {
 	// served, postings cache hits/misses, learning rounds and index changes,
 	// publishes/retires) and per-query traces. Nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Cache configures the query-path caches (postings by term, results by
+	// query) with singleflight coalescing and write invalidation. The zero
+	// value disables caching, preserving the paper's exact message counts.
+	Cache CacheConfig
 }
 
 // netMetrics caches the SPRITE-level instrument handles; all nil (inert)
@@ -155,6 +161,7 @@ func (c Config) FillDefaults() Config {
 	if c.SurrogateN == 0 {
 		c.SurrogateN = ir.LargeN
 	}
+	c.Cache = c.Cache.fillDefaults()
 	return c
 }
 
@@ -176,16 +183,22 @@ func (c Config) Validate() error {
 	case c.HotTermDF < 0:
 		return fmt.Errorf("core: HotTermDF = %d, need >= 0", c.HotTermDF)
 	}
-	return nil
+	return c.Cache.validate()
 }
 
 // Network is a running SPRITE deployment over a Chord ring. It is the
 // package's entry point: share documents, insert queries, run learning
-// iterations, and search.
+// iterations, and search. All methods are safe for concurrent use.
 type Network struct {
-	cfg   Config
-	ring  *chord.Ring
-	met   netMetrics
+	cfg    Config
+	ring   *chord.Ring
+	met    netMetrics
+	caches netCaches
+
+	// mu guards the membership and ownership maps below. It is never held
+	// across a network call, only around map reads/writes, so it cannot
+	// participate in a lock cycle with peer or document locks.
+	mu    sync.RWMutex
 	peers map[simnet.Addr]*Peer
 	// order lists peers sorted by address for deterministic iteration.
 	order []*Peer
@@ -206,6 +219,7 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 		cfg:     cfg,
 		ring:    ring,
 		met:     newNetMetrics(cfg.Telemetry),
+		caches:  newNetCaches(cfg.Cache, cfg.Telemetry),
 		peers:   make(map[simnet.Addr]*Peer),
 		ownerOf: make(map[index.DocID]*Peer),
 	}
@@ -227,6 +241,8 @@ func (n *Network) Ring() *chord.Ring { return n.ring }
 
 // Peers returns all SPRITE peers sorted by address.
 func (n *Network) Peers() []*Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]*Peer, len(n.order))
 	copy(out, n.order)
 	return out
@@ -234,6 +250,16 @@ func (n *Network) Peers() []*Peer {
 
 // Peer returns the peer at addr.
 func (n *Network) Peer(addr simnet.Addr) (*Peer, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	p, ok := n.peers[addr]
+	return p, ok
+}
+
+// peer is Peer for internal callers.
+func (n *Network) peer(addr simnet.Addr) (*Peer, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	p, ok := n.peers[addr]
 	return p, ok
 }
@@ -243,6 +269,8 @@ func (n *Network) Peer(addr simnet.Addr) (*Peer, bool) {
 // (publishes, query caching, polls). Adopting an already-known node returns
 // its existing peer.
 func (n *Network) Adopt(node *chord.Node) *Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if p, ok := n.peers[node.Addr()]; ok {
 		return p
 	}
@@ -255,31 +283,52 @@ func (n *Network) Adopt(node *chord.Node) *Peer {
 }
 
 // Share registers doc at the owner peer and publishes its initial global
-// index terms (the top-F most frequent, §5.2).
+// index terms (the top-F most frequent, §5.2). Ownership is reserved under
+// the lock before the (network-calling) publish, so two concurrent shares of
+// the same document cannot both proceed; on publish failure the reservation
+// is rolled back.
 func (n *Network) Share(owner simnet.Addr, doc *corpus.Document) error {
+	n.mu.Lock()
 	p, ok := n.peers[owner]
 	if !ok {
+		n.mu.Unlock()
 		return fmt.Errorf("core: unknown peer %q", owner)
 	}
 	if prev, shared := n.ownerOf[doc.ID]; shared {
+		n.mu.Unlock()
 		return fmt.Errorf("core: document %q already shared by %q", doc.ID, prev.Addr())
-	}
-	if err := p.share(doc); err != nil {
-		return err
 	}
 	n.ownerOf[doc.ID] = p
 	n.docOrder = append(n.docOrder, doc.ID)
+	n.mu.Unlock()
+
+	if err := p.share(doc); err != nil {
+		n.mu.Lock()
+		delete(n.ownerOf, doc.ID)
+		for i, id := range n.docOrder {
+			if id == doc.ID {
+				n.docOrder = append(n.docOrder[:i], n.docOrder[i+1:]...)
+				break
+			}
+		}
+		n.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
 // Owner returns the owner peer of a shared document.
 func (n *Network) Owner(doc index.DocID) (*Peer, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	p, ok := n.ownerOf[doc]
 	return p, ok
 }
 
 // Documents returns the IDs of all shared documents in share order.
 func (n *Network) Documents() []index.DocID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]index.DocID, len(n.docOrder))
 	copy(out, n.docOrder)
 	return out
@@ -289,7 +338,7 @@ func (n *Network) Documents() []index.DocID {
 // for them without retrieving results — the §6.2 training step ("For each
 // query in the training set, the keywords are inserted into SPRITE").
 func (n *Network) InsertQuery(from simnet.Addr, terms []string) error {
-	p, ok := n.peers[from]
+	p, ok := n.peer(from)
 	if !ok {
 		return fmt.Errorf("core: unknown peer %q", from)
 	}
@@ -312,7 +361,7 @@ func (n *Network) Search(from simnet.Addr, terms []string, k int) (ir.RankedList
 // query term, under which each Chord hop and the postings fetch from the
 // indexing peer are timed individually.
 func (n *Network) SearchTraced(from simnet.Addr, terms []string, k int) (ir.RankedList, *telemetry.Trace, error) {
-	p, ok := n.peers[from]
+	p, ok := n.peer(from)
 	if !ok {
 		return nil, nil, fmt.Errorf("core: unknown peer %q", from)
 	}
@@ -328,7 +377,7 @@ func (n *Network) SearchTraced(from simnet.Addr, terms []string, k int) (ir.Rank
 // but not cached at indexing peers. The experiment harness uses it so that
 // measurement runs do not leak the testing queries into the learning state.
 func (n *Network) Probe(from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
-	p, ok := n.peers[from]
+	p, ok := n.peer(from)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown peer %q", from)
 	}
@@ -337,12 +386,28 @@ func (n *Network) Probe(from simnet.Addr, terms []string, k int) (ir.RankedList,
 
 // LearnAll runs one learning iteration (§5.3, Algorithm 1) for every shared
 // document, in share order. It returns the total number of index-term
-// changes (additions plus replacements) applied across the network.
+// changes (additions plus replacements) applied across the network. The
+// sweep runs over a snapshot of the document set; documents unshared
+// concurrently are skipped rather than failing the sweep.
 func (n *Network) LearnAll() (changes int, err error) {
-	for _, id := range n.docOrder {
-		p := n.ownerOf[id]
+	n.mu.RLock()
+	docs := make([]index.DocID, len(n.docOrder))
+	copy(docs, n.docOrder)
+	owners := make([]*Peer, len(docs))
+	for i, id := range docs {
+		owners[i] = n.ownerOf[id]
+	}
+	n.mu.RUnlock()
+	for i, id := range docs {
+		p := owners[i]
+		if p == nil {
+			continue
+		}
 		ch, lerr := p.learnDoc(id)
 		if lerr != nil {
+			if errors.Is(lerr, errNotOwned) {
+				continue
+			}
 			return changes, fmt.Errorf("core: learning %s: %w", id, lerr)
 		}
 		changes += ch
@@ -352,7 +417,9 @@ func (n *Network) LearnAll() (changes int, err error) {
 
 // LearnDoc runs one learning iteration for a single document.
 func (n *Network) LearnDoc(doc index.DocID) (int, error) {
+	n.mu.RLock()
 	p, ok := n.ownerOf[doc]
+	n.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("core: document %q not shared", doc)
 	}
@@ -362,7 +429,9 @@ func (n *Network) LearnDoc(doc index.DocID) (int, error) {
 // IndexedTerms returns the current global index terms of a shared document,
 // sorted.
 func (n *Network) IndexedTerms(doc index.DocID) ([]string, error) {
+	n.mu.RLock()
 	p, ok := n.ownerOf[doc]
+	n.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: document %q not shared", doc)
 	}
@@ -373,7 +442,7 @@ func (n *Network) IndexedTerms(doc index.DocID) ([]string, error) {
 // indexes — the global index footprint SPRITE's selective indexing bounds.
 func (n *Network) TotalPostings() int {
 	total := 0
-	for _, p := range n.order {
+	for _, p := range n.Peers() {
 		total += p.indexing.ix.NumPostings()
 	}
 	return total

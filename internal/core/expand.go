@@ -80,7 +80,7 @@ func (p *Peer) handleDocTerms(req docTermsReq) docTermsResp {
 // term vectors, then a second search with the enriched query. It returns
 // the final ranked list and the expansion terms used.
 func (n *Network) SearchExpanded(from simnet.Addr, terms []string, k int, opts ExpandOptions) (ir.RankedList, []string, error) {
-	p, ok := n.peers[from]
+	p, ok := n.peer(from)
 	if !ok {
 		return nil, nil, fmt.Errorf("core: unknown peer %q", from)
 	}

@@ -20,13 +20,16 @@ import (
 // the document's learning state. Terms whose indexing peer is unreachable
 // are skipped — their entries die with the peer.
 func (n *Network) Unshare(doc index.DocID) error {
+	n.mu.RLock()
 	p, ok := n.ownerOf[doc]
+	n.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: document %q not shared", doc)
 	}
 	if err := p.unshare(doc); err != nil {
 		return err
 	}
+	n.mu.Lock()
 	delete(n.ownerOf, doc)
 	for i, id := range n.docOrder {
 		if id == doc {
@@ -34,6 +37,11 @@ func (n *Network) Unshare(doc index.DocID) error {
 			break
 		}
 	}
+	n.mu.Unlock()
+	// Unreachable indexing peers are skipped above without an unpublish
+	// message (their entries die with them), so the message handlers' bumps
+	// don't cover every removal — invalidate explicitly.
+	n.caches.invalidate()
 	return nil
 }
 
@@ -65,7 +73,9 @@ func (p *Peer) unshare(docID index.DocID) error {
 // posting to the current owner, restoring findability without replication.
 // It returns the number of terms whose indexing peer changed.
 func (n *Network) RefreshDoc(doc index.DocID) (int, error) {
+	n.mu.RLock()
 	p, ok := n.ownerOf[doc]
+	n.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("core: document %q not shared", doc)
 	}
@@ -73,11 +83,23 @@ func (n *Network) RefreshDoc(doc index.DocID) (int, error) {
 }
 
 // RefreshAll refreshes every shared document in share order and returns the
-// total number of migrated postings.
+// total number of migrated postings. It runs over a snapshot of the document
+// set; documents unshared concurrently are skipped.
 func (n *Network) RefreshAll() (int, error) {
+	n.mu.RLock()
+	docs := make([]index.DocID, len(n.docOrder))
+	copy(docs, n.docOrder)
+	owners := make([]*Peer, len(docs))
+	for i, id := range docs {
+		owners[i] = n.ownerOf[id]
+	}
+	n.mu.RUnlock()
 	moved := 0
-	for _, id := range n.docOrder {
-		m, err := n.ownerOf[id].refresh(id)
+	for i, id := range docs {
+		if owners[i] == nil {
+			continue
+		}
+		m, err := owners[i].refresh(id)
 		if err != nil {
 			return moved, fmt.Errorf("core: refresh %s: %w", id, err)
 		}

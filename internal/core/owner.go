@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -203,6 +204,10 @@ func (p *Peer) insertQuery(terms []string) error {
 	return firstErr
 }
 
+// errNotOwned reports a learning request for a document this peer no longer
+// owns (it raced with an unshare); sweeps skip it rather than failing.
+var errNotOwned = errors.New("document not owned by peer")
+
 // search implements §4's query processing from the querying peer: hash each
 // keyword, fetch postings from the responsible indexing peers, consolidate
 // per-document partial scores, and rank with the Lee et al. similarity.
@@ -214,39 +219,95 @@ func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
 // searchSpan is search with an optional (possibly nil) trace span: each
 // query term gets a child span covering its DHT lookup (one grandchild span
 // per Chord hop) and the postings fetch from the indexing peer.
+//
+// When caching is enabled the result cache short-circuits verbatim repeats
+// of (query, k) and the postings cache short-circuits per-term fetches; both
+// keep the learning pipeline identical to the uncached run by re-recording
+// the query at each term's indexing peer (see recordQueryAt).
 func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Span) ir.RankedList {
 	p.net.met.searches.Inc()
+
+	rc := p.net.caches.results
+	var rkey string
+	if rc != nil {
+		rkey = resultKey(terms, k)
+		if ent, ok := rc.Get(rkey); ok {
+			span.Annotate("result_cache", "hit")
+			if record {
+				// The uncached path records the query once per distinct term
+				// at that term's indexing peer; replay the same fan-out so
+				// query histories (and hence learning) don't diverge.
+				for _, term := range distinctTerms(terms) {
+					p.recordQueryAt(ent.peers[term], terms)
+				}
+			}
+			return append(ir.RankedList(nil), ent.rl...)
+		}
+	}
+
+	pc := p.net.caches.postings
 	qtf := make(map[string]int, len(terms))
 	for _, t := range terms {
 		qtf[t]++
 	}
 	n := p.net.cfg.SurrogateN
 	acc := ir.NewAccumulator()
+	var termPeers map[string]simnet.Addr
+	if rc != nil {
+		termPeers = make(map[string]simnet.Addr, len(terms))
+	}
+	complete := true
 	for _, term := range distinctTerms(terms) {
 		tsp := span.StartChild("term " + term)
-		ref, _, err := p.node.LookupTraced(chordid.HashKey(term), tsp)
-		if err != nil {
-			p.net.met.termsSkipped.Inc()
-			tsp.Annotate("error", err.Error())
+		var resp getPostingsResp
+		if pc != nil {
+			ent, outcome, err := p.fetchPostingsCached(term, tsp)
+			if err != nil {
+				p.net.met.termsSkipped.Inc()
+				tsp.Annotate("error", err.Error())
+				tsp.Finish()
+				complete = false
+				continue
+			}
+			tsp.Annotate("postings_cache", outcome.String())
+			if record {
+				p.recordQueryAt(ent.peer, terms)
+			}
+			if termPeers != nil {
+				termPeers[term] = ent.peer
+			}
+			resp = ent.resp
 			tsp.Finish()
-			continue
-		}
-		tsp.Annotate("indexing_peer", string(ref.Addr))
-		fsp := tsp.StartChild(msgGetPostings)
-		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
-			Type:    msgGetPostings,
-			Payload: getPostingsReq{Term: term, Query: terms, Record: record},
-			Size:    len(term) + sizeTerms(terms),
-		})
-		fsp.Finish()
-		if err != nil {
-			p.net.met.termsSkipped.Inc()
-			tsp.Annotate("error", err.Error())
+		} else {
+			ref, _, err := p.node.LookupTraced(chordid.HashKey(term), tsp)
+			if err != nil {
+				p.net.met.termsSkipped.Inc()
+				tsp.Annotate("error", err.Error())
+				tsp.Finish()
+				complete = false
+				continue
+			}
+			tsp.Annotate("indexing_peer", string(ref.Addr))
+			fsp := tsp.StartChild(msgGetPostings)
+			reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+				Type:    msgGetPostings,
+				Payload: getPostingsReq{Term: term, Query: terms, Record: record},
+				Size:    len(term) + sizeTerms(terms),
+			})
+			fsp.Finish()
+			if err != nil {
+				p.net.met.termsSkipped.Inc()
+				tsp.Annotate("error", err.Error())
+				tsp.Finish()
+				complete = false
+				continue
+			}
+			resp = reply.Payload.(getPostingsResp)
+			if termPeers != nil {
+				termPeers[term] = ref.Addr
+			}
 			tsp.Finish()
-			continue
 		}
-		resp := reply.Payload.(getPostingsResp)
-		tsp.Finish()
 		if resp.IndexedDF == 0 {
 			continue
 		}
@@ -256,7 +317,12 @@ func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Sp
 			acc.Accumulate(posting.Doc, wq*wd, posting.DocLen)
 		}
 	}
-	return acc.Ranked().Top(k)
+	rl := acc.Ranked().Top(k)
+	if rc != nil && complete {
+		ent := resultEntry{rl: append(ir.RankedList(nil), rl...), peers: termPeers}
+		rc.Put(rkey, ent, resultBytes(ent))
+	}
+	return rl
 }
 
 // learnDoc runs one learning iteration for a document (§5.3, Algorithm 1):
@@ -275,7 +341,7 @@ func (p *Peer) learnDoc(docID index.DocID) (int, error) {
 	st := p.owned[docID]
 	p.mu.Unlock()
 	if st == nil {
-		return 0, fmt.Errorf("core: peer %s does not own %q", p.Addr(), docID)
+		return 0, fmt.Errorf("core: peer %s: %q: %w", p.Addr(), docID, errNotOwned)
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -61,12 +61,14 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 		req := msg.Payload.(publishReq)
 		p.indexing.publish(req.Term, req.Posting)
 		p.replicateOut(req.Term, req.Posting)
+		p.net.caches.invalidate()
 		return simnet.Message{Type: msg.Type, Size: 1}, nil
 
 	case msgUnpublish:
 		req := msg.Payload.(unpublishReq)
 		p.indexing.unpublish(req.Term, req.Doc)
 		p.replicateDrop(req.Term, req.Doc)
+		p.net.caches.invalidate()
 		return simnet.Message{Type: msg.Type, Size: 1}, nil
 
 	case msgGetPostings:
@@ -107,11 +109,13 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 	case msgReplica:
 		req := msg.Payload.(replicaReq)
 		p.indexing.addReplica(req.Term, req.Posting)
+		p.net.caches.invalidate()
 		return simnet.Message{Type: msg.Type, Size: 1}, nil
 
 	case msgReplicaDrop:
 		req := msg.Payload.(replicaDropReq)
 		p.indexing.dropReplica(req.Term, req.Doc)
+		p.net.caches.invalidate()
 		return simnet.Message{Type: msg.Type, Size: 1}, nil
 
 	case msgDocTerms:

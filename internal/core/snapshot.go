@@ -69,7 +69,7 @@ type termStatSnapshot struct {
 // Snapshot serializes the complete SPRITE state of the network.
 func (n *Network) Snapshot(w io.Writer) error {
 	file := snapshotFile{Version: snapshotVersion, DocOrder: n.Documents()}
-	for _, p := range n.order {
+	for _, p := range n.Peers() {
 		ps := peerSnapshot{Addr: p.Addr()}
 
 		p.indexing.mu.Lock()
@@ -149,6 +149,10 @@ func (n *Network) Restore(r io.Reader) error {
 	if file.Version != snapshotVersion {
 		return fmt.Errorf("core: restore: snapshot version %d, want %d", file.Version, snapshotVersion)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Whatever the caches held describes pre-restore state.
+	defer n.caches.invalidate()
 	if len(file.Peers) != len(n.order) {
 		return fmt.Errorf("core: restore: snapshot has %d peers, network has %d", len(file.Peers), len(n.order))
 	}

@@ -206,20 +206,34 @@ func (d *Deployment) InsertQueries(queries []*corpus.Query) error {
 // "the frequency of a query is roughly inversely proportional to the
 // popularity of the query", §6.3).
 func (d *Deployment) InsertZipfQueryStream(queries []*corpus.Query, volume int, slope float64, seed int64) error {
-	if len(queries) == 0 || volume <= 0 {
+	for _, r := range zipfRanks(len(queries), volume, slope, seed) {
+		q := queries[r]
+		if err := d.Net.InsertQuery(d.nextIssuer(), q.Terms); err != nil {
+			return fmt.Errorf("eval: zipf insert %s: %w", q.ID, err)
+		}
+	}
+	return nil
+}
+
+// zipfRanks samples volume ranks in [0, n) with Zipf-distributed popularity
+// by inverse-CDF sampling. The draw sequence (one rng.Float64 per sample) is
+// part of the reproducibility contract: InsertZipfQueryStream has always
+// consumed randomness this way, and the w-zipf figures depend on it.
+func zipfRanks(n, volume int, slope float64, seed int64) []int {
+	if n == 0 || volume <= 0 {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
-	// Inverse-CDF sampling over ranks.
-	cum := make([]float64, len(queries))
+	cum := make([]float64, n)
 	total := 0.0
-	for r := range queries {
+	for r := 0; r < n; r++ {
 		total += 1 / math.Pow(float64(r+1), slope)
 		cum[r] = total
 	}
-	for i := 0; i < volume; i++ {
+	out := make([]int, volume)
+	for i := range out {
 		x := rng.Float64() * total
-		lo, hi := 0, len(cum)-1
+		lo, hi := 0, n-1
 		for lo < hi {
 			mid := (lo + hi) / 2
 			if cum[mid] >= x {
@@ -228,12 +242,9 @@ func (d *Deployment) InsertZipfQueryStream(queries []*corpus.Query, volume int, 
 				lo = mid + 1
 			}
 		}
-		q := queries[lo]
-		if err := d.Net.InsertQuery(d.nextIssuer(), q.Terms); err != nil {
-			return fmt.Errorf("eval: zipf insert %s: %w", q.ID, err)
-		}
+		out[i] = lo
 	}
-	return nil
+	return out
 }
 
 // ShareAll distributes every corpus document round-robin across peers and

@@ -629,3 +629,62 @@ func TestRunLearnCost(t *testing.T) {
 		t.Fatal("empty rendering")
 	}
 }
+
+func TestRunCacheRepeat(t *testing.T) {
+	res, err := RunCacheRepeat(tiny(), 120, 0.5)
+	if err != nil {
+		t.Fatalf("RunCacheRepeat: %v", err)
+	}
+	if res.OffMessages == 0 || res.OffBytes == 0 {
+		t.Fatalf("cache-off replay produced no traffic: %+v", res)
+	}
+	if res.OnMessages >= res.OffMessages {
+		t.Fatalf("caching did not reduce messages: on %d >= off %d", res.OnMessages, res.OffMessages)
+	}
+	if res.OnBytes >= res.OffBytes {
+		t.Fatalf("caching did not reduce bytes: on %d >= off %d", res.OnBytes, res.OffBytes)
+	}
+	if res.OnPostingsFetches >= res.OffPostingsFetches {
+		t.Fatalf("postings fetches not reduced: on %d >= off %d", res.OnPostingsFetches, res.OffPostingsFetches)
+	}
+	if res.PostingsHitRate <= 0 {
+		t.Fatalf("postings hit rate = %v, want > 0", res.PostingsHitRate)
+	}
+	// The no-stale guarantee: caching must not change retrieval quality.
+	if res.OffQuality != res.OnQuality {
+		t.Fatalf("quality moved with caching: off %+v, on %+v", res.OffQuality, res.OnQuality)
+	}
+	if !strings.Contains(res.Table(), "cache on") {
+		t.Fatal("Table missing expected column")
+	}
+	if !strings.Contains(res.CSV(), "msg_reduction") {
+		t.Fatal("CSV missing header")
+	}
+}
+
+func TestZipfRanksMatchesInsertStream(t *testing.T) {
+	// The extracted sampler must preserve the historical draw sequence:
+	// same seed, same ranks, every time.
+	a := zipfRanks(50, 200, 0.5, 42)
+	b := zipfRanks(50, 200, 0.5, 42)
+	if len(a) != 200 {
+		t.Fatalf("want 200 samples, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampler not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Lower ranks must dominate under a positive slope.
+	low, high := 0, 0
+	for _, r := range a {
+		if r < 25 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low <= high {
+		t.Fatalf("Zipf skew missing: %d low vs %d high", low, high)
+	}
+}

@@ -61,6 +61,19 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(t *Transport) { t.tel = reg }
 }
 
+// WithDeadPeerTTL sets how long a peer that failed a dial or timed out is
+// negative-cached as dead before Alive probes it again (default 1s). Short
+// TTLs re-probe aggressively and suit churny networks where peers come back
+// quickly; long TTLs spare repeated dial timeouts against hosts that stay
+// gone. Non-positive values are ignored.
+func WithDeadPeerTTL(d time.Duration) Option {
+	return func(t *Transport) {
+		if d > 0 {
+			t.deadTTL = d
+		}
+	}
+}
+
 // Transport is a TCP implementation of simnet.Transport. It is safe for
 // concurrent use. One Transport instance can host many local peers (each
 // with its own listener), which is how in-process multi-peer tests run the
@@ -68,6 +81,7 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 type Transport struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
+	deadTTL     time.Duration
 	tel         *telemetry.Registry
 
 	mu        sync.Mutex
@@ -88,6 +102,7 @@ func New(opts ...Option) *Transport {
 	t := &Transport{
 		dialTimeout: 2 * time.Second,
 		callTimeout: 5 * time.Second,
+		deadTTL:     time.Second,
 		local:       make(map[simnet.Addr]*listener),
 		deadUntil:   make(map[simnet.Addr]time.Time),
 	}
@@ -318,7 +333,7 @@ func (t *Transport) Alive(addr simnet.Addr) bool {
 
 func (t *Transport) markDead(addr simnet.Addr) {
 	t.mu.Lock()
-	t.deadUntil[addr] = time.Now().Add(time.Second)
+	t.deadUntil[addr] = time.Now().Add(t.deadTTL)
 	t.mu.Unlock()
 }
 

@@ -452,3 +452,67 @@ func TestTelemetryCountsCallsAndServes(t *testing.T) {
 		t.Fatalf("net.latency_us count = %d, want 3", got)
 	}
 }
+
+// TestDeadPeerTTLExpiryAndReuse covers the configurable negative cache: a
+// failed dial marks the peer dead for the configured TTL (calls fail fast,
+// Alive is false without re-probing), and once the TTL passes the address is
+// probed — and usable — again.
+func TestDeadPeerTTLExpiryAndReuse(t *testing.T) {
+	const ttl = 150 * time.Millisecond
+	tr := New(WithDialTimeout(200*time.Millisecond), WithDeadPeerTTL(ttl))
+	defer tr.Close()
+	addrs, err := FreeAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := addrs[0]
+
+	// Nothing listens yet: the first call fails and negative-caches addr.
+	if _, err := tr.Call("client", addr, simnet.Message{Type: "ping"}); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("call to vacant addr: err = %v, want ErrUnreachable", err)
+	}
+	if tr.Alive(addr) {
+		t.Fatal("addr alive while negative-cached")
+	}
+
+	// The peer comes up inside the TTL window; the cache still says dead.
+	tr2 := New()
+	defer tr2.Close()
+	tr2.Register(addr, echo())
+	if err := tr2.LastError(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Alive(addr) {
+		t.Fatal("negative cache ignored before TTL expiry")
+	}
+
+	// After expiry the address is probed again and reused.
+	deadline := time.Now().Add(5 * time.Second)
+	for !tr.Alive(addr) {
+		if time.Now().After(deadline) {
+			t.Fatal("addr still dead long after the TTL expired")
+		}
+		time.Sleep(ttl / 3)
+	}
+	reply, err := tr.Call("client", addr, simnet.Message{Type: "ping"})
+	if err != nil {
+		t.Fatalf("call after TTL expiry: %v", err)
+	}
+	if reply.Type != "ping.ok" {
+		t.Fatalf("reply type = %q, want ping.ok", reply.Type)
+	}
+}
+
+// TestDeadPeerTTLDefault pins the default (1s) so the zero-config behaviour
+// stays what the overlay's failure handling was tuned against.
+func TestDeadPeerTTLDefault(t *testing.T) {
+	if d := New().deadTTL; d != time.Second {
+		t.Fatalf("default dead-peer TTL = %v, want 1s", d)
+	}
+	if d := New(WithDeadPeerTTL(-time.Second)).deadTTL; d != time.Second {
+		t.Fatalf("non-positive TTL accepted: %v", d)
+	}
+	if d := New(WithDeadPeerTTL(3 * time.Second)).deadTTL; d != 3*time.Second {
+		t.Fatalf("configured TTL = %v, want 3s", d)
+	}
+}

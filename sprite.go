@@ -26,7 +26,9 @@ package sprite
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"github.com/spritedht/sprite/internal/cache"
 	"github.com/spritedht/sprite/internal/chord"
 	"github.com/spritedht/sprite/internal/core"
 	"github.com/spritedht/sprite/internal/corpus"
@@ -82,6 +84,43 @@ type Options struct {
 	// WriteReport, WriteJSON, Handler, or Counter. Nil (the default) leaves
 	// instrumentation off at near-zero cost.
 	Telemetry *Telemetry
+	// Cache configures the query-path caches (postings by term with
+	// singleflight coalescing, whole results by query with a short TTL).
+	// The zero value disables caching, preserving the paper's exact message
+	// accounting. Caches are invalidated on every index mutation, so stale
+	// postings are never served; see the README's Caching section for the
+	// staleness/TTL trade-off under transport-level failures.
+	Cache CacheOptions
+}
+
+// CacheOptions tunes the query-path caches; see Options.Cache.
+type CacheOptions struct {
+	// Enabled turns the caching layer on.
+	Enabled bool
+	// PostingsEntries caps the postings cache (default 4096 terms).
+	PostingsEntries int
+	// PostingsTTL bounds postings age; 0 keeps entries until the next index
+	// mutation.
+	PostingsTTL time.Duration
+	// NoPostings disables the postings cache individually.
+	NoPostings bool
+	// ResultEntries caps the result cache (default 1024 queries).
+	ResultEntries int
+	// ResultTTL bounds result age (default 2s).
+	ResultTTL time.Duration
+	// NoResults disables the result cache individually.
+	NoResults bool
+}
+
+// CacheStats reports one cache's counters; see Network.CacheStats.
+type CacheStats struct {
+	Hits        int64 // lookups served from the cache
+	Misses      int64 // lookups that went to the network
+	Coalesced   int64 // lookups that piggybacked on an in-flight fetch
+	Evictions   int64 // entries dropped for capacity
+	Expirations int64 // entries dropped for age
+	Entries     int   // current occupancy
+	HitRate     float64
 }
 
 // Result is one ranked search hit.
@@ -165,6 +204,15 @@ func New(opts Options) (*Network, error) {
 		ReplicationFactor: opts.Replicas,
 		HotTermDF:         opts.HotTermDF,
 		Telemetry:         reg,
+		Cache: core.CacheConfig{
+			Enabled:         opts.Cache.Enabled,
+			PostingsEntries: opts.Cache.PostingsEntries,
+			PostingsTTL:     opts.Cache.PostingsTTL,
+			DisablePostings: opts.Cache.NoPostings,
+			ResultEntries:   opts.Cache.ResultEntries,
+			ResultTTL:       opts.Cache.ResultTTL,
+			DisableResults:  opts.Cache.NoResults,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sprite: %w", err)
@@ -267,16 +315,23 @@ func (n *Network) IndexedTerms(docID string) ([]string, error) {
 // RecoverPeer. Lookups route around it; with Replicas > 0 its index entries
 // remain servable from successor replicas. No-op in TCP mode (real peers
 // fail by going away, not by decree).
+//
+// The query caches are invalidated: a failure happens below the core's
+// message handlers, so without the explicit drop a warm cache would keep
+// serving the dead peer's postings past the configured TTL.
 func (n *Network) FailPeer(peer string) {
 	if fi, ok := n.transport.(simnet.FaultInjector); ok {
 		fi.Fail(simnet.Addr(peer))
+		n.core.InvalidateCaches()
 	}
 }
 
-// RecoverPeer brings a failed peer back. No-op in TCP mode.
+// RecoverPeer brings a failed peer back (invalidating the query caches, like
+// FailPeer). No-op in TCP mode.
 func (n *Network) RecoverPeer(peer string) {
 	if fi, ok := n.transport.(simnet.FaultInjector); ok {
 		fi.Recover(simnet.Addr(peer))
+		n.core.InvalidateCaches()
 	}
 }
 
@@ -302,6 +357,29 @@ func (n *Network) Stats() Stats {
 	}
 	return out
 }
+
+// CacheStats reports the postings and result cache counters. Both are zero
+// when Options.Cache is disabled.
+func (n *Network) CacheStats() (postings, results CacheStats) {
+	return fromCacheStats(n.core.PostingsCacheStats()), fromCacheStats(n.core.ResultCacheStats())
+}
+
+func fromCacheStats(st cache.Stats) CacheStats {
+	return CacheStats{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Coalesced:   st.Coalesced,
+		Evictions:   st.Evictions,
+		Expirations: st.Expirations,
+		Entries:     st.Entries,
+		HitRate:     st.HitRate(),
+	}
+}
+
+// InvalidateCaches drops every cached postings list and query result. The
+// core invalidates automatically on index mutations; call this when the
+// network changed out of band (e.g. transport-level churn in TCP mode).
+func (n *Network) InvalidateCaches() { n.core.InvalidateCaches() }
 
 // ResetStats zeroes the traffic counters (the index footprint is
 // unaffected). No-op in TCP mode.
