@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover
+.PHONY: check vet build test race bench cover smoke-churn vulncheck
 
 check: vet build race
 
@@ -24,3 +24,13 @@ bench:
 
 cover:
 	$(GO) test -cover ./...
+
+# Fast fault-tolerance smoke: every churn/failover/resilience test under the
+# race detector, without the rest of the suite.
+smoke-churn:
+	$(GO) test -race -run 'Churn|Resilien|Failover|Partial|TestDo|Backoff|Jitter|Classify|Budget' ./...
+
+# Known-vulnerability scan. Advisory: requires network access to the vuln DB,
+# so CI runs it non-blocking and local runs may skip it offline.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./... || true

@@ -41,6 +41,7 @@ func main() {
 		seed     = flag.Int64("seed", 17, "master random seed")
 		failFrac = flag.Float64("fail", 0.25, "fraction of peers failed in the churn experiment")
 		replicas = flag.Int("replicas", 2, "successor replicas in the churn experiment")
+		churnRot = flag.Int("churn-interval", 0, "queries between fault rotations in the churn experiment's transient arms (0 = quarter of the test stream)")
 		colPath  = flag.String("collection", "", "run against an external judged collection (JSON, as emitted by corpusgen) instead of synthesizing one")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of tables")
 		asJSON   = flag.Bool("json", false, "emit one JSON document with all experiment results")
@@ -79,6 +80,7 @@ func main() {
 		TopK:               *topK,
 		LearningIterations: *iters,
 		Seed:               *seed + 14,
+		ChurnRotateEvery:   *churnRot,
 	}
 
 	if *colPath != "" {

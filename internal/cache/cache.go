@@ -265,6 +265,29 @@ func (c *Cache[V]) Put(key string, val V, bytes int) {
 	s.mu.Unlock()
 }
 
+// PutAt stores a value only if the cache is still at generation gen — the
+// generation the caller observed (via Generation) before computing val. A
+// caller that reads remote state, computes, and stores must use this instead
+// of Put: an Invalidate racing the computation (e.g. a peer failure injected
+// mid-search) would otherwise be erased by a Put of the stale value at the
+// new generation. Returns whether the value was stored.
+func (c *Cache[V]) PutAt(gen uint64, key string, val V, bytes int) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != c.gen.Load() {
+		return false
+	}
+	// Store tagged with the observed generation: an Invalidate that lands
+	// between the check above and a later lookup still kills the entry, since
+	// lookups compare the entry's generation against the current one.
+	c.storeLocked(s, key, val, int64(bytes), gen)
+	return true
+}
+
 // GetOrFill returns the cached value for key, or runs fill to produce it.
 // Concurrent callers that miss on the same key are coalesced: exactly one
 // runs fill, the rest block and share its value (and error). Fill errors are

@@ -332,3 +332,33 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Fatalf("cache grew past its bound: %d entries", c.Len())
 	}
 }
+
+func TestPutAtGenerationGuard(t *testing.T) {
+	c := New[int](Config{MaxEntries: 8, Shards: 1})
+
+	// Current generation: stores and is served.
+	gen := c.Generation()
+	if !c.PutAt(gen, "a", 1, 1) {
+		t.Fatal("PutAt at the current generation refused")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("PutAt entry not served: %v, %v", v, ok)
+	}
+
+	// The FailPeer race, deterministically: an invalidation lands between
+	// observing the generation and storing — the stale result must not stick.
+	gen = c.Generation()
+	c.Invalidate()
+	if c.PutAt(gen, "b", 2, 1) {
+		t.Fatal("PutAt accepted a store conditioned on a dead generation")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("stale entry served after generation moved")
+	}
+
+	// A nil cache (caching disabled) ignores the store.
+	var nc *Cache[int]
+	if nc.PutAt(0, "x", 1, 1) {
+		t.Fatal("nil cache claimed to store")
+	}
+}

@@ -20,6 +20,7 @@
 package chord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -315,21 +316,38 @@ func (n *Node) notify(cand Ref) {
 // using the exclusion protocol; they fail only if no live owner is reachable
 // within cfg.MaxLookupHops.
 func (n *Node) Lookup(key chordid.ID) (Ref, int, error) {
-	return n.lookupFrom(n.ref, key, nil)
+	return n.lookupFrom(context.Background(), n.ref, key, nil, nil)
 }
 
 // LookupTraced is Lookup recording one child span per remote hop under
 // parent. A nil parent span (the no-telemetry case) is accepted and free.
 func (n *Node) LookupTraced(key chordid.ID, parent *telemetry.Span) (Ref, int, error) {
-	return n.lookupFrom(n.ref, key, parent)
+	return n.lookupFrom(context.Background(), n.ref, key, nil, parent)
+}
+
+// LookupCtx is LookupTraced honoring ctx: every hop RPC carries the caller's
+// deadline, and a canceled context aborts the lookup with an error wrapping
+// ctx.Err() rather than excluding the hop and routing on.
+func (n *Node) LookupCtx(ctx context.Context, key chordid.ID, parent *telemetry.Span) (Ref, int, error) {
+	return n.lookupFrom(ctx, n.ref, key, nil, parent)
+}
+
+// LookupExcluding resolves the owner of key as if the excluded nodes had
+// left the ring: responsibility falls through to the next live successor —
+// exactly where §7 successor replication placed the key's replicas. This is
+// the failover primitive of the resilient read path: after the true owner
+// proves unreachable, look the key up again excluding it to find the replica
+// holder.
+func (n *Node) LookupExcluding(ctx context.Context, key chordid.ID, exclude []chordid.ID, parent *telemetry.Span) (Ref, int, error) {
+	return n.lookupFrom(ctx, n.ref, key, append([]chordid.ID(nil), exclude...), parent)
 }
 
 // lookupFrom runs the iterative lookup protocol starting at an arbitrary
 // node (used by Lookup with start = self, and by JoinRemote with start = a
-// bootstrap peer known only by address). Each remote hop is timed as a child
-// span of parent when tracing is on; hop counts and failures feed the
-// overlay metrics.
-func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (ref Ref, hops int, err error) {
+// bootstrap peer known only by address), with the exclusion list seeded from
+// exclude. Each remote hop is timed as a child span of parent when tracing is
+// on; hop counts and failures feed the overlay metrics.
+func (n *Node) lookupFrom(ctx context.Context, start Ref, key chordid.ID, exclude []chordid.ID, parent *telemetry.Span) (ref Ref, hops int, err error) {
 	n.met.lookups.Inc()
 	defer func() {
 		if err != nil {
@@ -339,7 +357,6 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (re
 		}
 	}()
 	cur := start
-	var exclude []chordid.ID
 	for hops <= n.cfg.MaxLookupHops {
 		var resp nextHopResp
 		if cur.Addr == n.ref.Addr {
@@ -347,7 +364,7 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (re
 		} else {
 			sp := parent.StartChild("chord.hop")
 			sp.Annotate("to", string(cur.Addr))
-			reply, err := n.net.Call(n.ref.Addr, cur.Addr, simnet.Message{
+			reply, err := n.net.CallCtx(ctx, n.ref.Addr, cur.Addr, simnet.Message{
 				Type:    msgNextHop,
 				Payload: nextHopReq{Key: key, Exclude: exclude},
 				Size:    chordid.Bytes + refSize*len(exclude)/2,
@@ -356,6 +373,10 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (re
 			if err != nil {
 				sp.Annotate("error", err.Error())
 				sp.Finish()
+				if ctx.Err() != nil {
+					// The caller gave up: propagate its error, do not route on.
+					return Ref{}, hops, fmt.Errorf("chord: lookup aborted at hop %d: %w", hops, err)
+				}
 				// cur died mid-lookup; restart with cur excluded.
 				exclude = appendExcluded(exclude, cur.ID)
 				cur = start
@@ -365,6 +386,12 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (re
 			resp = reply.Payload.(nextHopResp)
 		}
 		if resp.Done {
+			if containsID(exclude, resp.Ref.ID) {
+				// The ring could not route past the exclusions (e.g. every
+				// candidate for the key is excluded or dead): fail rather
+				// than loop forever on the same answer.
+				return Ref{}, hops, fmt.Errorf("%w: all candidates for key excluded", ErrLookupFailed)
+			}
 			if n.net.Alive(resp.Ref.Addr) {
 				return resp.Ref, hops, nil
 			}
@@ -383,12 +410,19 @@ func (n *Node) lookupFrom(start Ref, key chordid.ID, parent *telemetry.Span) (re
 }
 
 func appendExcluded(list []chordid.ID, id chordid.ID) []chordid.ID {
-	for _, e := range list {
-		if e == id {
-			return list
-		}
+	if containsID(list, id) {
+		return list
 	}
 	return append(list, id)
+}
+
+func containsID(list []chordid.ID, id chordid.ID) bool {
+	for _, e := range list {
+		if e == id {
+			return true
+		}
+	}
+	return false
 }
 
 // stabilize runs one round of Chord's periodic stabilization: verify the
@@ -513,7 +547,7 @@ func (n *Node) Join(bootstrap *Node) error {
 // bootstrap peer; stabilization then repairs predecessors, successor lists,
 // and fingers as usual.
 func (n *Node) JoinRemote(bootstrap simnet.Addr) error {
-	succ, _, err := n.lookupFrom(Ref{Addr: bootstrap}, n.ref.ID, nil)
+	succ, _, err := n.lookupFrom(context.Background(), Ref{Addr: bootstrap}, n.ref.ID, nil, nil)
 	if err != nil {
 		return fmt.Errorf("chord: join via %s: %w", bootstrap, err)
 	}

@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
 
 	"github.com/spritedht/sprite/internal/cache"
-	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
@@ -186,29 +186,20 @@ func postingsBytes(e postingsEntry) int {
 }
 
 // fetchPostingsCached resolves a term's postings through the postings cache.
-// Misses run the normal DHT path — Chord lookup, then msgGetPostings with
-// Record off — under singleflight, so concurrent misses on the same term
-// issue exactly one remote fetch. The fetch itself never records the query
-// (cached hits would then under-count history); recording is the caller's
-// job via recordQueryAt.
-func (p *Peer) fetchPostingsCached(term string, tsp *telemetry.Span) (postingsEntry, cache.Outcome, error) {
+// Misses run the resilient DHT path — Chord lookup, then msgGetPostings with
+// Record off, under the network's retry/hedge/failover policy — with
+// singleflight, so concurrent misses on the same term issue exactly one
+// remote fetch. The fetch itself never records the query (cached hits would
+// then under-count history); recording is the caller's job via
+// recordQueryAt.
+func (p *Peer) fetchPostingsCached(ctx context.Context, term string, tsp *telemetry.Span) (postingsEntry, cache.Outcome, error) {
 	return p.net.caches.postings.GetOrFill(term, func() (postingsEntry, int, error) {
-		ref, _, err := p.node.LookupTraced(chordid.HashKey(term), tsp)
+		resp, peer, err := p.fetchTermPostings(ctx, term, nil, false, tsp)
 		if err != nil {
 			return postingsEntry{}, 0, err
 		}
-		tsp.Annotate("indexing_peer", string(ref.Addr))
-		fsp := tsp.StartChild(msgGetPostings)
-		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
-			Type:    msgGetPostings,
-			Payload: getPostingsReq{Term: term},
-			Size:    len(term) + 1,
-		})
-		fsp.Finish()
-		if err != nil {
-			return postingsEntry{}, 0, err
-		}
-		ent := postingsEntry{resp: reply.Payload.(getPostingsResp), peer: ref.Addr}
+		tsp.Annotate("indexing_peer", string(peer))
+		ent := postingsEntry{resp: resp, peer: peer}
 		return ent, postingsBytes(ent), nil
 	})
 }

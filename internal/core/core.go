@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -69,6 +70,10 @@ type Config struct {
 	// query) with singleflight coalescing and write invalidation. The zero
 	// value disables caching, preserving the paper's exact message counts.
 	Cache CacheConfig
+	// Resilience configures the query path's fault tolerance (retry/backoff,
+	// per-attempt timeouts, hedging, replica failover). The zero value
+	// disables it all, preserving the paper's exact message counts.
+	Resilience ResilienceConfig
 }
 
 // netMetrics caches the SPRITE-level instrument handles; all nil (inert)
@@ -88,6 +93,11 @@ type netMetrics struct {
 	termsPublished  *telemetry.Counter
 	termsRetired    *telemetry.Counter
 	expansionRounds *telemetry.Counter
+	retries         *telemetry.Counter
+	failovers       *telemetry.Counter
+	hedges          *telemetry.Counter
+	partials        *telemetry.Counter
+	fetchAttempts   *telemetry.Histogram
 }
 
 func newNetMetrics(reg *telemetry.Registry) netMetrics {
@@ -106,6 +116,11 @@ func newNetMetrics(reg *telemetry.Registry) netMetrics {
 		termsPublished:  reg.Counter("sprite.index.terms_published"),
 		termsRetired:    reg.Counter("sprite.index.terms_retired"),
 		expansionRounds: reg.Counter("sprite.search.expansions"),
+		retries:         reg.Counter("sprite.resilience.retries"),
+		failovers:       reg.Counter("sprite.resilience.failovers"),
+		hedges:          reg.Counter("sprite.resilience.hedges"),
+		partials:        reg.Counter("sprite.resilience.partials"),
+		fetchAttempts:   reg.Histogram("sprite.resilience.fetch_attempts"),
 	}
 }
 
@@ -183,7 +198,10 @@ func (c Config) Validate() error {
 	case c.HotTermDF < 0:
 		return fmt.Errorf("core: HotTermDF = %d, need >= 0", c.HotTermDF)
 	}
-	return c.Cache.validate()
+	if err := c.Cache.validate(); err != nil {
+		return err
+	}
+	return c.Resilience.validate()
 }
 
 // Network is a running SPRITE deployment over a Chord ring. It is the
@@ -194,6 +212,7 @@ type Network struct {
 	ring   *chord.Ring
 	met    netMetrics
 	caches netCaches
+	resil  resil
 
 	// mu guards the membership and ownership maps below. It is never held
 	// across a network call, only around map reads/writes, so it cannot
@@ -220,6 +239,7 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 		ring:    ring,
 		met:     newNetMetrics(cfg.Telemetry),
 		caches:  newNetCaches(cfg.Cache, cfg.Telemetry),
+		resil:   newResil(cfg.Resilience),
 		peers:   make(map[simnet.Addr]*Peer),
 		ownerOf: make(map[index.DocID]*Peer),
 	}
@@ -288,11 +308,17 @@ func (n *Network) Adopt(node *chord.Node) *Peer {
 // the same document cannot both proceed; on publish failure the reservation
 // is rolled back.
 func (n *Network) Share(owner simnet.Addr, doc *corpus.Document) error {
+	return n.ShareCtx(context.Background(), owner, doc)
+}
+
+// ShareCtx is Share honoring ctx: the per-term DHT publications carry the
+// caller's deadline and stop at the first cancellation.
+func (n *Network) ShareCtx(ctx context.Context, owner simnet.Addr, doc *corpus.Document) error {
 	n.mu.Lock()
 	p, ok := n.peers[owner]
 	if !ok {
 		n.mu.Unlock()
-		return fmt.Errorf("core: unknown peer %q", owner)
+		return fmt.Errorf("%w: %q", ErrNoSuchPeer, owner)
 	}
 	if prev, shared := n.ownerOf[doc.ID]; shared {
 		n.mu.Unlock()
@@ -302,7 +328,7 @@ func (n *Network) Share(owner simnet.Addr, doc *corpus.Document) error {
 	n.docOrder = append(n.docOrder, doc.ID)
 	n.mu.Unlock()
 
-	if err := p.share(doc); err != nil {
+	if err := p.share(ctx, doc); err != nil {
 		n.mu.Lock()
 		delete(n.ownerOf, doc.ID)
 		for i, id := range n.docOrder {
@@ -338,21 +364,39 @@ func (n *Network) Documents() []index.DocID {
 // for them without retrieving results — the §6.2 training step ("For each
 // query in the training set, the keywords are inserted into SPRITE").
 func (n *Network) InsertQuery(from simnet.Addr, terms []string) error {
+	return n.InsertQueryCtx(context.Background(), from, terms)
+}
+
+// InsertQueryCtx is InsertQuery honoring ctx.
+func (n *Network) InsertQueryCtx(ctx context.Context, from simnet.Addr, terms []string) error {
 	p, ok := n.peer(from)
 	if !ok {
-		return fmt.Errorf("core: unknown peer %q", from)
+		return fmt.Errorf("%w: %q", ErrNoSuchPeer, from)
 	}
-	return p.insertQuery(terms)
+	return p.insertQuery(ctx, terms)
 }
 
 // Search executes a keyword query from the given peer and returns the top-k
 // ranked documents (§4). Terms whose indexing peer is unreachable are
-// discarded from the computation rather than failing the query (§7). The
-// query is cached in the contacted indexing peers' histories, feeding future
-// learning. When a telemetry registry is configured the query is traced; the
-// completed span tree lands in the registry's recent-trace buffer.
+// discarded from the computation rather than failing the query (§7), with a
+// nil error — this entry point predates the partial-results contract; use
+// SearchCtx to observe ErrPartialResults. The query is cached in the
+// contacted indexing peers' histories, feeding future learning. When a
+// telemetry registry is configured the query is traced; the completed span
+// tree lands in the registry's recent-trace buffer.
 func (n *Network) Search(from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
 	rl, _, err := n.SearchTraced(from, terms, k)
+	return rl, err
+}
+
+// SearchCtx is Search under a context, with the full error contract:
+// deadlines and cancellation reach every lookup hop and postings fetch; a
+// canceled context aborts the search with an error wrapping ctx.Err(); a
+// search that lost some terms to unreachable holders returns the ranked list
+// over the remaining terms plus a *PartialError (errors.Is(err,
+// ErrPartialResults)). An unknown from wraps ErrNoSuchPeer.
+func (n *Network) SearchCtx(ctx context.Context, from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
+	rl, _, err := n.SearchTracedCtx(ctx, from, terms, k)
 	return rl, err
 }
 
@@ -361,27 +405,39 @@ func (n *Network) Search(from simnet.Addr, terms []string, k int) (ir.RankedList
 // query term, under which each Chord hop and the postings fetch from the
 // indexing peer are timed individually.
 func (n *Network) SearchTraced(from simnet.Addr, terms []string, k int) (ir.RankedList, *telemetry.Trace, error) {
+	rl, tr, err := n.SearchTracedCtx(context.Background(), from, terms, k)
+	return rl, tr, stripPartial(err)
+}
+
+// SearchTracedCtx is SearchCtx returning the query's trace.
+func (n *Network) SearchTracedCtx(ctx context.Context, from simnet.Addr, terms []string, k int) (ir.RankedList, *telemetry.Trace, error) {
 	p, ok := n.peer(from)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: unknown peer %q", from)
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, from)
 	}
 	tr := n.cfg.Telemetry.StartTrace("sprite.search")
 	root := tr.Root()
 	root.Annotate("from", string(from))
-	rl := p.searchSpan(terms, k, true, root)
+	rl, err := p.searchCtx(ctx, terms, k, true, root)
 	tr.Finish()
-	return rl, tr, nil
+	return rl, tr, err
 }
 
 // Probe is Search without the history side effect: the query is processed
 // but not cached at indexing peers. The experiment harness uses it so that
 // measurement runs do not leak the testing queries into the learning state.
 func (n *Network) Probe(from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
+	rl, err := n.ProbeCtx(context.Background(), from, terms, k)
+	return rl, stripPartial(err)
+}
+
+// ProbeCtx is Probe under a context, with the SearchCtx error contract.
+func (n *Network) ProbeCtx(ctx context.Context, from simnet.Addr, terms []string, k int) (ir.RankedList, error) {
 	p, ok := n.peer(from)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown peer %q", from)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, from)
 	}
-	return p.search(terms, k, false), nil
+	return p.searchCtx(ctx, terms, k, false, nil)
 }
 
 // LearnAll runs one learning iteration (§5.3, Algorithm 1) for every shared
@@ -390,6 +446,12 @@ func (n *Network) Probe(from simnet.Addr, terms []string, k int) (ir.RankedList,
 // sweep runs over a snapshot of the document set; documents unshared
 // concurrently are skipped rather than failing the sweep.
 func (n *Network) LearnAll() (changes int, err error) {
+	return n.LearnAllCtx(context.Background())
+}
+
+// LearnAllCtx is LearnAll honoring ctx: polls and re-publications carry the
+// caller's deadline, and the sweep stops at the first cancellation.
+func (n *Network) LearnAllCtx(ctx context.Context) (changes int, err error) {
 	n.mu.RLock()
 	docs := make([]index.DocID, len(n.docOrder))
 	copy(docs, n.docOrder)
@@ -403,7 +465,7 @@ func (n *Network) LearnAll() (changes int, err error) {
 		if p == nil {
 			continue
 		}
-		ch, lerr := p.learnDoc(id)
+		ch, lerr := p.learnDoc(ctx, id)
 		if lerr != nil {
 			if errors.Is(lerr, errNotOwned) {
 				continue
@@ -417,13 +479,18 @@ func (n *Network) LearnAll() (changes int, err error) {
 
 // LearnDoc runs one learning iteration for a single document.
 func (n *Network) LearnDoc(doc index.DocID) (int, error) {
+	return n.LearnDocCtx(context.Background(), doc)
+}
+
+// LearnDocCtx is LearnDoc honoring ctx. An unshared doc wraps ErrNoSuchDoc.
+func (n *Network) LearnDocCtx(ctx context.Context, doc index.DocID) (int, error) {
 	n.mu.RLock()
 	p, ok := n.ownerOf[doc]
 	n.mu.RUnlock()
 	if !ok {
-		return 0, fmt.Errorf("core: document %q not shared", doc)
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchDoc, doc)
 	}
-	return p.learnDoc(doc)
+	return p.learnDoc(ctx, doc)
 }
 
 // IndexedTerms returns the current global index terms of a shared document,
@@ -433,7 +500,7 @@ func (n *Network) IndexedTerms(doc index.DocID) ([]string, error) {
 	p, ok := n.ownerOf[doc]
 	n.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: document %q not shared", doc)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDoc, doc)
 	}
 	return p.indexedTerms(doc), nil
 }

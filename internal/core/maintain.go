@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/spritedht/sprite/internal/chordid"
@@ -56,7 +57,7 @@ func (p *Peer) unshare(docID index.DocID) error {
 	defer st.mu.Unlock()
 	for _, term := range sortedIndexedTerms(st) {
 		// Best-effort: a dead indexing peer takes its entries with it.
-		if err := p.unpublishTerm(st, term); err != nil {
+		if err := p.unpublishTerm(context.Background(), st, term); err != nil {
 			delete(st.indexed, term)
 			delete(st.since, term)
 		}

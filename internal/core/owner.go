@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -93,7 +94,7 @@ func qScore(queryTerms []string, doc *corpus.Document) float64 {
 // share performs initial term selection and publication (§5.2): the top-F
 // most frequent terms of the (already preprocessed) document become its
 // first global index terms.
-func (p *Peer) share(doc *corpus.Document) error {
+func (p *Peer) share(ctx context.Context, doc *corpus.Document) error {
 	st := &docState{
 		doc:     doc,
 		indexed: make(map[string]bool),
@@ -101,7 +102,7 @@ func (p *Peer) share(doc *corpus.Document) error {
 		since:   make(map[string]uint64),
 	}
 	for _, term := range doc.TopTerms(p.net.cfg.InitialTerms) {
-		if err := p.publishTerm(st, term); err != nil {
+		if err := p.publishTerm(ctx, st, term); err != nil {
 			return err
 		}
 	}
@@ -113,8 +114,8 @@ func (p *Peer) share(doc *corpus.Document) error {
 
 // publishTerm routes a (term → posting) publication through the DHT to the
 // term's indexing peer and records it in the document's indexed set.
-func (p *Peer) publishTerm(st *docState, term string) error {
-	ref, _, err := p.node.Lookup(chordid.HashKey(term))
+func (p *Peer) publishTerm(ctx context.Context, st *docState, term string) error {
+	ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
 	if err != nil {
 		return fmt.Errorf("core: publish %q: %w", term, err)
 	}
@@ -124,7 +125,7 @@ func (p *Peer) publishTerm(st *docState, term string) error {
 		Freq:   st.doc.TF[term],
 		DocLen: st.doc.Length,
 	}
-	_, err = p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+	_, err = p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
 		Type:    msgPublish,
 		Payload: publishReq{Term: term, Posting: posting},
 		Size:    len(term) + posting.WireSize(),
@@ -142,15 +143,15 @@ func (p *Peer) publishTerm(st *docState, term string) error {
 }
 
 // unpublishTerm removes a retired term's posting from its indexing peer.
-func (p *Peer) unpublishTerm(st *docState, term string) error {
+func (p *Peer) unpublishTerm(ctx context.Context, st *docState, term string) error {
 	delete(st.indexed, term)
 	delete(st.since, term)
 	delete(st.publishedAt, term)
-	ref, _, err := p.node.Lookup(chordid.HashKey(term))
+	ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
 	if err != nil {
 		return fmt.Errorf("core: unpublish %q: %w", term, err)
 	}
-	_, err = p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+	_, err = p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
 		Type:    msgUnpublish,
 		Payload: unpublishReq{Term: term, Doc: st.doc.ID},
 		Size:    len(term) + len(st.doc.ID),
@@ -182,17 +183,20 @@ func (p *Peer) indexedTerms(doc index.DocID) []string {
 
 // insertQuery caches the keywords at every responsible indexing peer without
 // retrieving postings.
-func (p *Peer) insertQuery(terms []string) error {
+func (p *Peer) insertQuery(ctx context.Context, terms []string) error {
 	var firstErr error
 	for _, term := range distinctTerms(terms) {
-		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		_, err = p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+		_, err = p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
 			Type:    msgCacheQuery,
 			Payload: cacheQueryReq{Query: terms},
 			Size:    sizeTerms(terms),
@@ -213,18 +217,30 @@ var errNotOwned = errors.New("document not owned by peer")
 // per-document partial scores, and rank with the Lee et al. similarity.
 // Unreachable terms are skipped (§7's degraded mode).
 func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
-	return p.searchSpan(terms, k, record, nil)
+	rl, _ := p.searchCtx(context.Background(), terms, k, record, nil)
+	return rl
 }
 
-// searchSpan is search with an optional (possibly nil) trace span: each
-// query term gets a child span covering its DHT lookup (one grandchild span
-// per Chord hop) and the postings fetch from the indexing peer.
+// searchCtx is search under a context with an optional (possibly nil) trace
+// span: each query term gets a child span covering its DHT lookup (one
+// grandchild span per Chord hop) and the postings fetch from the indexing
+// peer. Fetches run under the network's resilience policy (retry, hedging,
+// replica failover — see fetchTermPostings).
+//
+// Error contract: a done context aborts the search, returning nil and an
+// error wrapping ctx.Err(). Terms that failed for any other reason are
+// skipped; if any were, the ranked list over the remaining terms is returned
+// together with a *PartialError naming them (§7's degraded mode, made
+// visible).
 //
 // When caching is enabled the result cache short-circuits verbatim repeats
 // of (query, k) and the postings cache short-circuits per-term fetches; both
 // keep the learning pipeline identical to the uncached run by re-recording
-// the query at each term's indexing peer (see recordQueryAt).
-func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Span) ir.RankedList {
+// the query at each term's indexing peer (see recordQueryAt). Results are
+// stored only if the caches' generation did not move while the search ran, so
+// a concurrent invalidation (peer failure, index mutation) can never be
+// undone by a search that read the pre-invalidation state.
+func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool, span *telemetry.Span) (ir.RankedList, error) {
 	p.net.met.searches.Inc()
 
 	rc := p.net.caches.results
@@ -241,9 +257,12 @@ func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Sp
 					p.recordQueryAt(ent.peers[term], terms)
 				}
 			}
-			return append(ir.RankedList(nil), ent.rl...)
+			return append(ir.RankedList(nil), ent.rl...), nil
 		}
 	}
+	// The generation observed before any remote read; the result is stored
+	// only if it is still current at store time (see cache.PutAt).
+	rcGen := rc.Generation()
 
 	pc := p.net.caches.postings
 	qtf := make(map[string]int, len(terms))
@@ -256,17 +275,16 @@ func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Sp
 	if rc != nil {
 		termPeers = make(map[string]simnet.Addr, len(terms))
 	}
-	complete := true
+	var failed []TermFailure
 	for _, term := range distinctTerms(terms) {
 		tsp := span.StartChild("term " + term)
 		var resp getPostingsResp
 		if pc != nil {
-			ent, outcome, err := p.fetchPostingsCached(term, tsp)
+			ent, outcome, err := p.fetchPostingsCached(ctx, term, tsp)
 			if err != nil {
-				p.net.met.termsSkipped.Inc()
-				tsp.Annotate("error", err.Error())
-				tsp.Finish()
-				complete = false
+				if skipErr := p.skipTerm(ctx, term, err, tsp, &failed); skipErr != nil {
+					return nil, skipErr
+				}
 				continue
 			}
 			tsp.Annotate("postings_cache", outcome.String())
@@ -279,32 +297,18 @@ func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Sp
 			resp = ent.resp
 			tsp.Finish()
 		} else {
-			ref, _, err := p.node.LookupTraced(chordid.HashKey(term), tsp)
+			var peer simnet.Addr
+			var err error
+			resp, peer, err = p.fetchTermPostings(ctx, term, terms, record, tsp)
 			if err != nil {
-				p.net.met.termsSkipped.Inc()
-				tsp.Annotate("error", err.Error())
-				tsp.Finish()
-				complete = false
+				if skipErr := p.skipTerm(ctx, term, err, tsp, &failed); skipErr != nil {
+					return nil, skipErr
+				}
 				continue
 			}
-			tsp.Annotate("indexing_peer", string(ref.Addr))
-			fsp := tsp.StartChild(msgGetPostings)
-			reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
-				Type:    msgGetPostings,
-				Payload: getPostingsReq{Term: term, Query: terms, Record: record},
-				Size:    len(term) + sizeTerms(terms),
-			})
-			fsp.Finish()
-			if err != nil {
-				p.net.met.termsSkipped.Inc()
-				tsp.Annotate("error", err.Error())
-				tsp.Finish()
-				complete = false
-				continue
-			}
-			resp = reply.Payload.(getPostingsResp)
+			tsp.Annotate("indexing_peer", string(peer))
 			if termPeers != nil {
-				termPeers[term] = ref.Addr
+				termPeers[term] = peer
 			}
 			tsp.Finish()
 		}
@@ -318,11 +322,29 @@ func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Sp
 		}
 	}
 	rl := acc.Ranked().Top(k)
-	if rc != nil && complete {
+	if rc != nil && len(failed) == 0 {
 		ent := resultEntry{rl: append(ir.RankedList(nil), rl...), peers: termPeers}
-		rc.Put(rkey, ent, resultBytes(ent))
+		rc.PutAt(rcGen, rkey, ent, resultBytes(ent))
 	}
-	return rl
+	if len(failed) > 0 {
+		p.net.met.partials.Inc()
+		return rl, &PartialError{Failures: failed}
+	}
+	return rl, nil
+}
+
+// skipTerm handles one term's fetch failure: a done caller context aborts the
+// whole search (returns the error to propagate), anything else records the
+// term as skipped and lets the search degrade (§7).
+func (p *Peer) skipTerm(ctx context.Context, term string, err error, tsp *telemetry.Span, failed *[]TermFailure) error {
+	tsp.Annotate("error", err.Error())
+	tsp.Finish()
+	if ctx.Err() != nil {
+		return fmt.Errorf("core: search term %q: %w", term, err)
+	}
+	p.net.met.termsSkipped.Inc()
+	*failed = append(*failed, TermFailure{Term: term, Err: err})
+	return nil
 }
 
 // learnDoc runs one learning iteration for a document (§5.3, Algorithm 1):
@@ -336,7 +358,7 @@ func (p *Peer) searchSpan(terms []string, k int, record bool, span *telemetry.Sp
 //     instead (Fig. 2(a)'s insertion + replacement behaviour).
 //
 // It returns the number of index changes (publishes + replacements).
-func (p *Peer) learnDoc(docID index.DocID) (int, error) {
+func (p *Peer) learnDoc(ctx context.Context, docID index.DocID) (int, error) {
 	p.mu.Lock()
 	st := p.owned[docID]
 	p.mu.Unlock()
@@ -357,11 +379,14 @@ func (p *Peer) learnDoc(docID index.DocID) (int, error) {
 	var incremental [][]string
 	var hot []string
 	for _, term := range docTerms {
-		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+		ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
 		if err != nil {
 			continue // indexing peer unreachable; learn from the rest
 		}
-		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
+		reply, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
 			Type: msgPoll,
 			Payload: pollReq{
 				Term:     term,
@@ -397,7 +422,7 @@ func (p *Peer) learnDoc(docID index.DocID) (int, error) {
 		// Best-effort: if the indexing peer died between the poll and the
 		// removal, the local retirement still stands and the orphaned entry
 		// dies with the peer.
-		if err := p.unpublishTerm(st, term); err != nil {
+		if err := p.unpublishTerm(ctx, st, term); err != nil {
 			continue
 		}
 	}
@@ -422,7 +447,7 @@ func (p *Peer) learnDoc(docID index.DocID) (int, error) {
 	}
 
 	// Step 3: rebuild the rank list and apply additions/replacements.
-	changes, err := p.applyRankList(st)
+	changes, err := p.applyRankList(ctx, st)
 	p.net.met.learnChanges.Add(int64(changes))
 	return changes, err
 }
@@ -459,7 +484,7 @@ func (p *Peer) rankList(st *docState) []rankedTerm {
 	return rl
 }
 
-func (p *Peer) applyRankList(st *docState) (int, error) {
+func (p *Peer) applyRankList(ctx context.Context, st *docState) (int, error) {
 	rl := p.rankList(st)
 	budget := p.net.cfg.TermsPerIteration
 	cap := p.net.cfg.MaxIndexTerms
@@ -485,7 +510,7 @@ func (p *Peer) applyRankList(st *docState) (int, error) {
 			continue
 		}
 		if len(st.indexed) < cap {
-			if err := p.publishTerm(st, cand.term); err != nil {
+			if err := p.publishTerm(ctx, st, cand.term); err != nil {
 				return changes, err
 			}
 			changes++
@@ -503,10 +528,10 @@ func (p *Peer) applyRankList(st *docState) (int, error) {
 			}
 		}
 		if cand.score > worstScore || (cand.score == worstScore && cand.qs > worstQS) {
-			if err := p.unpublishTerm(st, worst); err != nil {
+			if err := p.unpublishTerm(ctx, st, worst); err != nil {
 				return changes, err
 			}
-			if err := p.publishTerm(st, cand.term); err != nil {
+			if err := p.publishTerm(ctx, st, cand.term); err != nil {
 				return changes, err
 			}
 			changes++
@@ -532,7 +557,7 @@ func (p *Peer) applyRankList(st *docState) (int, error) {
 			if st.indexed[term] || st.banned[term] {
 				continue
 			}
-			if err := p.publishTerm(st, term); err != nil {
+			if err := p.publishTerm(ctx, st, term); err != nil {
 				return changes, err
 			}
 			changes++

@@ -52,6 +52,11 @@ type Config struct {
 	// each deployment (transport, overlay, SPRITE core). Nil leaves
 	// instrumentation off.
 	Telemetry *telemetry.Registry
+	// ChurnRotateEvery is the number of test queries between fault rotations
+	// in the churn experiment's transient arms: every interval, the faulty
+	// peers recover and a freshly drawn set starts dropping calls. Zero
+	// rotates four times over the test stream.
+	ChurnRotateEvery int
 }
 
 // DefaultConfig returns the paper's experimental setup (§6.2) at the

@@ -299,6 +299,19 @@ func TestRunChurn(t *testing.T) {
 		t.Errorf("replication hurt precision: %.3f vs %.3f",
 			res.Replicated.Precision, res.NoReplication.Precision)
 	}
+	// Under transient churn the resilient read path must not be worse than
+	// the bare one, and its counters must show it actually worked: retries
+	// against the dropped holders, then failovers to the replica holders.
+	if res.FailoverOn.Recall+1e-9 < res.FailoverOff.Recall {
+		t.Errorf("failover hurt recall: %.3f vs %.3f",
+			res.FailoverOn.Recall, res.FailoverOff.Recall)
+	}
+	if res.On.Retries == 0 || res.On.Failovers == 0 {
+		t.Errorf("failover-on arm counters flat: %+v", res.On)
+	}
+	if res.Off != (ResilienceCounters{Partials: res.Off.Partials}) {
+		t.Errorf("failover-off arm retried or failed over: %+v", res.Off)
+	}
 	if _, err := RunChurn(cfg, 1.5, 2); err == nil {
 		t.Fatal("failFraction > 1 accepted")
 	}
@@ -534,7 +547,10 @@ func TestCSVRendering(t *testing.T) {
 	checkCSV("ablation", abl.CSV(), 1, 3)
 
 	ch := &ChurnResult{Replicas: 2}
-	checkCSV("churn", ch.CSV(), 3, 3)
+	checkCSV("churn", ch.CSV(), 5, 7)
+	if !strings.Contains(ch.CSV(), "retries,failovers,hedges,partials") {
+		t.Fatal("churn CSV missing resilience counter columns")
+	}
 
 	m := &MaintenanceResult{Replicas: 2}
 	checkCSV("maintenance", m.CSV(), 4, 3)

@@ -5,12 +5,14 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"github.com/spritedht/sprite/internal/chord"
 	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/core"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/telemetry"
 )
 
 // This file implements the supplementary systems-level experiments indexed
@@ -213,8 +215,35 @@ func (r *AblationResult) Table() string {
 	return b.String()
 }
 
-// ChurnResult reports retrieval quality before and after failing a fraction
-// of peers, with and without successor replication (§7).
+// ResilienceCounters snapshots the query path's fault-tolerance counters for
+// one experiment arm.
+type ResilienceCounters struct {
+	Retries   int64 // sprite.resilience.retries
+	Failovers int64 // sprite.resilience.failovers
+	Hedges    int64 // sprite.resilience.hedges
+	Partials  int64 // sprite.resilience.partials
+}
+
+func snapshotResilience(reg *telemetry.Registry) ResilienceCounters {
+	return ResilienceCounters{
+		Retries:   reg.Counter("sprite.resilience.retries").Value(),
+		Failovers: reg.Counter("sprite.resilience.failovers").Value(),
+		Hedges:    reg.Counter("sprite.resilience.hedges").Value(),
+		Partials:  reg.Counter("sprite.resilience.partials").Value(),
+	}
+}
+
+// ChurnResult reports retrieval quality under two failure regimes.
+//
+// Dead-peer churn: a fraction of peers leaves the ring entirely; lookups
+// route around the corpses, so what replication (§7) saves is the index
+// state itself (Baseline / NoReplication / Replicated).
+//
+// Transient churn: the same fraction of peers stays in the ring but drops
+// every call — alive to the overlay, unreachable to the read path. Replicas
+// exist in both arms; only the resilient read path (retry + failover to the
+// replica holder) can reach them, so FailoverOff vs FailoverOn isolates what
+// the fault-tolerant query path buys on top of replication.
 type ChurnResult struct {
 	FailedFraction float64
 	Baseline       ir.Metrics // ratio to centralized, healthy network
@@ -224,13 +253,27 @@ type ChurnResult struct {
 	// PostingsLost is the fraction of primary index postings stored on the
 	// failed peers — the state replication must cover.
 	PostingsLost float64
+
+	// Transient-churn arms: both run with ReplicationFactor = Replicas and the
+	// failed fraction dropping every call addressed to them.
+	FailoverOff ir.Metrics // zero resilience: single attempt, no failover
+	FailoverOn  ir.Metrics // retries + failover to replica holders
+	Off         ResilienceCounters
+	On          ResilienceCounters
 }
 
-// RunChurn builds two identical deployments (replication off/on), trains and
-// learns, fails the given fraction of peers, and probes retrieval quality.
-// Documents owned by failed peers remain judged (their owners are gone, but
-// their index entries — and with replication, the replicas — survive at
-// other peers).
+// RunChurn builds identical deployments, trains and learns, injects faults
+// into the given fraction of peers, and probes retrieval quality.
+//
+// Dead-peer arms (replication off/on) fail the peers outright: lookups route
+// around them and the question is whether the index state survives. Documents
+// owned by failed peers remain judged (their owners are gone, but their index
+// entries — and with replication, the replicas — survive at other peers).
+//
+// Transient arms (failover off/on, both with replication) keep the faulty
+// peers alive but drop every call addressed to them, the failure signature
+// retries and replica failover exist for; each arm runs under its own
+// telemetry registry so its resilience counters are separable.
 func RunChurn(cfg Config, failFraction float64, replicas int) (*ChurnResult, error) {
 	cfg = cfg.fillDefaults()
 	if failFraction < 0 || failFraction >= 1 {
@@ -242,9 +285,7 @@ func RunChurn(cfg Config, failFraction float64, replicas int) (*ChurnResult, err
 	}
 	centralAbs := Measure(env.CentralSearcher(), env.Test, cfg.TopK)
 
-	build := func(reps int) (*Deployment, error) {
-		coreCfg := cfg.Core
-		coreCfg.ReplicationFactor = reps
+	build := func(coreCfg core.Config) (*Deployment, error) {
 		dep, err := env.NewDeployment(coreCfg)
 		if err != nil {
 			return nil, err
@@ -261,23 +302,33 @@ func RunChurn(cfg Config, failFraction float64, replicas int) (*ChurnResult, err
 		return dep, nil
 	}
 
-	failPeers := func(dep *Deployment) {
+	// The same seeded permutation picks the faulty peers in every arm.
+	faulty := func(dep *Deployment) []*chord.Node {
 		nodes := dep.Ring.Nodes()
 		rng := rand.New(rand.NewSource(cfg.Seed + 99))
 		toFail := int(failFraction * float64(len(nodes)))
+		picked := make([]*chord.Node, 0, toFail)
 		for _, i := range rng.Perm(len(nodes))[:toFail] {
-			dep.Ring.Fail(nodes[i])
+			picked = append(picked, nodes[i])
 		}
+		return picked
 	}
 
 	res := &ChurnResult{FailedFraction: failFraction, Replicas: replicas}
 
-	noRep, err := build(0)
+	withReplication := cfg.Core
+	withReplication.ReplicationFactor = replicas
+	noReplication := cfg.Core
+	noReplication.ReplicationFactor = 0
+
+	noRep, err := build(noReplication)
 	if err != nil {
 		return nil, err
 	}
 	res.Baseline = ir.Ratio(Measure(noRep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
-	failPeers(noRep)
+	for _, n := range faulty(noRep) {
+		noRep.Ring.Fail(n)
+	}
 	res.NoReplication = ir.Ratio(Measure(noRep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
 	total, lost := 0, 0
 	for _, p := range noRep.Net.Peers() {
@@ -291,24 +342,99 @@ func RunChurn(cfg Config, failFraction float64, replicas int) (*ChurnResult, err
 		res.PostingsLost = float64(lost) / float64(total)
 	}
 
-	rep, err := build(replicas)
+	rep, err := build(withReplication)
 	if err != nil {
 		return nil, err
 	}
-	failPeers(rep)
+	for _, n := range faulty(rep) {
+		rep.Ring.Fail(n)
+	}
 	res.Replicated = ir.Ratio(Measure(rep.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+
+	// Transient arms: the faulty peers stay alive (so lookups still resolve
+	// them as holders — chord only routes around the dead) but drop every call
+	// addressed to them, and the faulty set rotates mid-stream — every
+	// interval queries the current set recovers and a freshly drawn one starts
+	// dropping. Both arms replay the same seeded fault schedule, so the only
+	// difference is the read path. Each arm gets its own registry, otherwise
+	// the two arms' counters would blend.
+	rotateEvery := cfg.ChurnRotateEvery
+	if rotateEvery <= 0 {
+		rotateEvery = (len(env.Test) + 3) / 4
+	}
+	transient := func(rc core.ResilienceConfig) (ir.Metrics, ResilienceCounters, error) {
+		reg := telemetry.NewRegistry()
+		saved := env.Cfg.Telemetry
+		env.Cfg.Telemetry = reg
+		coreCfg := withReplication
+		coreCfg.Resilience = rc
+		dep, err := build(coreCfg)
+		env.Cfg.Telemetry = saved
+		if err != nil {
+			return ir.Metrics{}, ResilienceCounters{}, err
+		}
+		nodes := dep.Ring.Nodes()
+		toFail := int(failFraction * float64(len(nodes)))
+		rng := rand.New(rand.NewSource(cfg.Seed + 99))
+		var down []simnet.Addr
+		rotate := func() {
+			for _, a := range down {
+				dep.Sim.DropCalls(a, 0) // recover
+			}
+			down = down[:0]
+			for _, i := range rng.Perm(len(nodes))[:toFail] {
+				a := nodes[i].Addr()
+				down = append(down, a)
+				dep.Sim.DropCalls(a, 1<<30)
+			}
+		}
+		rotate()
+		base := dep.SpriteSearcher()
+		issued := 0
+		churny := func(terms []string, k int) ir.RankedList {
+			if issued > 0 && issued%rotateEvery == 0 {
+				rotate()
+			}
+			issued++
+			return base(terms, k)
+		}
+		m := ir.Ratio(Measure(churny, env.Test, cfg.TopK), centralAbs)
+		return m, snapshotResilience(reg), nil
+	}
+
+	res.FailoverOff, res.Off, err = transient(core.ResilienceConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res.FailoverOn, res.On, err = transient(core.ResilienceConfig{
+		MaxRetries:         2,
+		BaseBackoff:        100 * time.Microsecond,
+		FailoverToReplicas: true,
+		JitterSeed:         cfg.Seed + 7,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // Table renders the result.
 func (r *ChurnResult) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Churn: %.0f%% of peers failed, %.0f%% of postings lost (ratios to centralized)\n",
+	fmt.Fprintf(&b, "Churn: %.0f%% of peers faulty, %.0f%% of postings lost (ratios to centralized)\n",
 		r.FailedFraction*100, r.PostingsLost*100)
-	fmt.Fprintf(&b, "%-24s %-12s %-12s\n", "configuration", "precision", "recall")
-	fmt.Fprintf(&b, "%-24s %-12.3f %-12.3f\n", "healthy network", r.Baseline.Precision, r.Baseline.Recall)
-	fmt.Fprintf(&b, "%-24s %-12.3f %-12.3f\n", "failed, no replication", r.NoReplication.Precision, r.NoReplication.Recall)
-	fmt.Fprintf(&b, "%-24s %-12.3f %-12.3f\n",
-		fmt.Sprintf("failed, %d replicas", r.Replicas), r.Replicated.Precision, r.Replicated.Recall)
+	fmt.Fprintf(&b, "%-28s %-12s %-12s %s\n", "configuration", "precision", "recall", "retries/failovers/hedges/partials")
+	row := func(name string, m ir.Metrics, c *ResilienceCounters) {
+		counters := ""
+		if c != nil {
+			counters = fmt.Sprintf("%d/%d/%d/%d", c.Retries, c.Failovers, c.Hedges, c.Partials)
+		}
+		fmt.Fprintf(&b, "%-28s %-12.3f %-12.3f %s\n", name, m.Precision, m.Recall, counters)
+	}
+	row("healthy network", r.Baseline, nil)
+	row("dead, no replication", r.NoReplication, nil)
+	row(fmt.Sprintf("dead, %d replicas", r.Replicas), r.Replicated, nil)
+	row("transient, failover off", r.FailoverOff, &r.Off)
+	row("transient, failover on", r.FailoverOn, &r.On)
 	return b.String()
 }

@@ -2,7 +2,10 @@ package eval
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+
+	"github.com/spritedht/sprite/internal/ir"
 )
 
 // This file renders every experiment result as CSV, for plotting pipelines.
@@ -93,12 +96,20 @@ func (r *AblationResult) CSV() string {
 	return csvRows("variant,precision,recall", rows)
 }
 
-// CSV renders the churn experiment.
+// CSV renders the churn experiment, including the per-arm resilience
+// counters (sprite.resilience.*) so they surface in spritebench -json.
 func (r *ChurnResult) CSV() string {
-	return csvRows("state,precision,recall", [][]string{
-		{"healthy", f4(r.Baseline.Precision), f4(r.Baseline.Recall)},
-		{"failed_no_replication", f4(r.NoReplication.Precision), f4(r.NoReplication.Recall)},
-		{fmt.Sprintf("failed_%d_replicas", r.Replicas), f4(r.Replicated.Precision), f4(r.Replicated.Recall)},
+	row := func(state string, m ir.Metrics, c ResilienceCounters) []string {
+		return []string{state, f4(m.Precision), f4(m.Recall),
+			strconv.FormatInt(c.Retries, 10), strconv.FormatInt(c.Failovers, 10),
+			strconv.FormatInt(c.Hedges, 10), strconv.FormatInt(c.Partials, 10)}
+	}
+	return csvRows("state,precision,recall,retries,failovers,hedges,partials", [][]string{
+		row("healthy", r.Baseline, ResilienceCounters{}),
+		row("dead_no_replication", r.NoReplication, ResilienceCounters{}),
+		row(fmt.Sprintf("dead_%d_replicas", r.Replicas), r.Replicated, ResilienceCounters{}),
+		row("transient_failover_off", r.FailoverOff, r.Off),
+		row("transient_failover_on", r.FailoverOn, r.On),
 	})
 }
 

@@ -13,6 +13,7 @@
 package nettransport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -247,23 +248,49 @@ func (t *Transport) handleConn(addr simnet.Addr, l *listener, conn net.Conn) {
 // overlay's routing-around-failures logic treats a hung peer like a dead
 // one.
 func (t *Transport) Call(from, to simnet.Addr, msg simnet.Message) (simnet.Message, error) {
+	return t.CallCtx(context.Background(), from, to, msg)
+}
+
+// CallCtx is Call honoring ctx: the dial is canceled with the context, the
+// connection deadline is the earlier of the call timeout and the context's
+// deadline, and failures caused by the caller's own cancellation are reported
+// wrapping ctx.Err() — never simnet.ErrUnreachable — so retry layers do not
+// re-dial on behalf of a caller that gave up.
+func (t *Transport) CallCtx(ctx context.Context, from, to simnet.Addr, msg simnet.Message) (simnet.Message, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		t.count("net.errors.ctx")
+		return simnet.Message{}, fmt.Errorf("nettransport: %s to %s aborted: %w", msg.Type, to, cerr)
+	}
 	start := time.Now()
 	// Local fast path: a peer calling itself (or a co-hosted peer) still
 	// goes over the socket so the wire path is exercised uniformly — with
 	// one exception: a self-call while single-threaded would deadlock only
 	// if the handler were not served concurrently, which it is (one
 	// goroutine per connection), so no special case is needed.
-	conn, err := net.DialTimeout("tcp", string(to), t.dialTimeout)
+	d := net.Dialer{Timeout: t.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			t.count("net.errors.ctx")
+			return simnet.Message{}, fmt.Errorf("nettransport: dial %s: %w", to, cerr)
+		}
 		t.markDead(to)
 		t.count("net.errors.dial")
 		return simnet.Message{}, fmt.Errorf("%w: %s: %v", simnet.ErrUnreachable, to, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(t.callTimeout))
+	deadline := time.Now().Add(t.callTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(wireRequest{From: from, Type: msg.Type, Size: msg.Size, Payload: msg.Payload}); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			t.count("net.errors.ctx")
+			return simnet.Message{}, fmt.Errorf("nettransport: send to %s: %w", to, cerr)
+		}
 		if isTimeout(err) {
 			t.markDead(to)
 			t.count("net.errors.timeout")
@@ -274,6 +301,10 @@ func (t *Transport) Call(from, to simnet.Addr, msg simnet.Message) (simnet.Messa
 	}
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			t.count("net.errors.ctx")
+			return simnet.Message{}, fmt.Errorf("nettransport: reply from %s: %w", to, cerr)
+		}
 		if isTimeout(err) {
 			t.markDead(to)
 			t.count("net.errors.timeout")

@@ -1,0 +1,326 @@
+// Package resilience is the fault-tolerance layer of the query path: a retry
+// policy (exponential backoff with full jitter, per-attempt timeouts), typed
+// classification of transport versus application errors, a concurrency budget
+// for hedged requests, and a hedged-execution combinator.
+//
+// The SPRITE paper argues (§7) that successor replication makes the system
+// tolerate node dynamism, but replication only helps if the read path knows
+// when — and when not — to try somewhere else. Real DHT deployments live or
+// die by this discipline: a transient drop deserves a retried call, a dead
+// peer deserves a failover to the replica holder, and an application error
+// ("no such document") deserves neither. This package encodes those
+// decisions once so every layer classifies and retries the same way.
+//
+// All randomness (jitter) is injected, so retry schedules are reproducible
+// in tests; all waiting honors context cancellation, so deadlines set at the
+// facade reach every backoff sleep and every attempt.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// Class is the typed outcome of classifying an error.
+type Class int
+
+const (
+	// Success: no error.
+	Success Class = iota
+	// Transient: a transport-level failure (unreachable peer, dropped or
+	// timed-out call) that a retry or failover may recover from.
+	Transient
+	// Canceled: the caller's context was canceled or its deadline expired;
+	// retrying cannot help and the error must propagate unchanged.
+	Canceled
+	// Permanent: an application-level error; retrying would repeat it.
+	Permanent
+)
+
+// String implements fmt.Stringer for logs and trace annotations.
+func (c Class) String() string {
+	switch c {
+	case Success:
+		return "success"
+	case Transient:
+		return "transient"
+	case Canceled:
+		return "canceled"
+	case Permanent:
+		return "permanent"
+	}
+	return "unknown"
+}
+
+// Classify types an error for retry decisions. Context errors dominate:
+// an attempt that failed because the caller gave up is Canceled even if the
+// failure surfaced as a wrapped transport error.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return Success
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return Canceled
+	case errors.Is(err, simnet.ErrUnreachable):
+		return Transient
+	default:
+		return Permanent
+	}
+}
+
+// Policy is one retry discipline. The zero value performs a single attempt
+// with no timeout — exactly the pre-resilience behavior — so a disabled
+// policy is representable without a separate code path.
+type Policy struct {
+	// MaxRetries is the number of re-attempts after the first try (0 = one
+	// attempt total).
+	MaxRetries int
+	// BaseBackoff is the cap of the first retry's jittered sleep (full
+	// jitter: the sleep is uniform in [0, cap)). Zero retries immediately.
+	BaseBackoff time.Duration
+	// MaxBackoff bounds the exponential growth of the backoff cap
+	// (default 50× BaseBackoff when zero).
+	MaxBackoff time.Duration
+	// Multiplier scales the backoff cap between attempts (default 2).
+	Multiplier float64
+	// PerCallTimeout bounds each individual attempt; the attempt's context
+	// is the caller's with this deadline layered on. Zero applies none.
+	PerCallTimeout time.Duration
+	// Rand supplies jitter draws in [0, 1). Nil uses a process-wide seeded
+	// source; inject one (see NewJitter) for deterministic schedules.
+	Rand func() float64
+	// Sleep waits between attempts, honoring ctx. Nil uses a timer. Tests
+	// inject a recorder to assert the schedule without real waiting.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewJitter returns a concurrency-safe deterministic jitter source for
+// Policy.Rand, seeded with seed.
+func NewJitter(seed int64) func() float64 {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64()
+	}
+}
+
+var defaultJitter = NewJitter(1)
+
+// BackoffCap returns the un-jittered backoff cap before retry attempt
+// (attempt 1 is the first retry): min(MaxBackoff, BaseBackoff·Multiplier^(attempt-1)).
+func (p Policy) BackoffCap(attempt int) time.Duration {
+	if p.BaseBackoff <= 0 || attempt < 1 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 50 * p.BaseBackoff
+	}
+	d := float64(p.BaseBackoff)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if d >= float64(max) {
+			return max
+		}
+	}
+	if d > float64(max) {
+		return max
+	}
+	return time.Duration(d)
+}
+
+// backoff returns the jittered sleep before retry attempt: uniform in
+// [0, BackoffCap(attempt)) — "full jitter", which desynchronizes retry storms
+// better than equal or decorrelated jitter at the same mean load.
+func (p Policy) backoff(attempt int) time.Duration {
+	cap := p.BackoffCap(attempt)
+	if cap <= 0 {
+		return 0
+	}
+	r := p.Rand
+	if r == nil {
+		r = defaultJitter
+	}
+	return time.Duration(r() * float64(cap))
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attemptCtx layers the per-attempt timeout onto the caller's context.
+func (p Policy) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.PerCallTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.PerCallTimeout)
+}
+
+// Do runs op under the policy: up to 1+MaxRetries attempts, each with the
+// per-attempt timeout, jittered exponential backoff between attempts. Only
+// Transient errors are retried; Canceled and Permanent errors return
+// immediately. It returns op's value, the number of retries actually
+// performed (0 when the first attempt settled it), and the final error.
+func Do[T any](ctx context.Context, p Policy, op func(ctx context.Context) (T, error)) (T, int, error) {
+	var (
+		val T
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		actx, cancel := p.attemptCtx(ctx)
+		val, err = op(actx)
+		cancel()
+		class := Classify(err)
+		// An attempt killed by its own per-call deadline — not the caller's —
+		// is a slow peer, not a canceled caller: retryable.
+		if class == Canceled && ctx.Err() == nil {
+			class = Transient
+		}
+		if class != Transient || attempt >= p.MaxRetries {
+			return val, attempt, err
+		}
+		// Aborting mid-backoff is the caller's doing: surface its ctx error
+		// (so upper layers classify Canceled) while keeping the last attempt's
+		// failure inspectable.
+		if serr := p.sleep(ctx, p.backoff(attempt+1)); serr != nil {
+			return val, attempt, fmt.Errorf("resilience: retry aborted: %w (last attempt: %w)", serr, err)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return val, attempt, fmt.Errorf("resilience: retry aborted: %w (last attempt: %w)", cerr, err)
+		}
+	}
+}
+
+// Budget caps the number of concurrently outstanding hedged requests, so a
+// latency spike cannot double the offered load network-wide. The zero Budget
+// is unlimited; use NewBudget for a cap.
+type Budget struct {
+	max int64
+	out atomic.Int64
+	// denied counts hedges suppressed by an exhausted budget.
+	denied atomic.Int64
+}
+
+// NewBudget returns a budget allowing at most max concurrent hedges
+// (max <= 0 = unlimited).
+func NewBudget(max int) *Budget {
+	return &Budget{max: int64(max)}
+}
+
+// Acquire takes a hedge token, returning false (and counting the denial)
+// when the budget is exhausted. A nil budget always grants.
+func (b *Budget) Acquire() bool {
+	if b == nil || b.max <= 0 {
+		return true
+	}
+	if b.out.Add(1) > b.max {
+		b.out.Add(-1)
+		b.denied.Add(1)
+		return false
+	}
+	return true
+}
+
+// Release returns a token taken by Acquire. Only call after a successful
+// Acquire on a capped budget.
+func (b *Budget) Release() {
+	if b != nil && b.max > 0 {
+		b.out.Add(-1)
+	}
+}
+
+// Denied reports how many hedges the budget suppressed.
+func (b *Budget) Denied() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.denied.Load()
+}
+
+// Outstanding reports the hedges currently in flight.
+func (b *Budget) Outstanding() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.out.Load()
+}
+
+// DoHedged runs op and, if it has not settled after hedgeAfter, launches one
+// duplicate attempt, returning whichever settles first with a usable outcome
+// (a transient failure on one arm waits for the other). hedged reports
+// whether the duplicate was actually launched — the caller's signal to count
+// a hedge. The budget caps concurrent duplicates network-wide; when it is
+// exhausted, op runs unhedged. A hedgeAfter of 0 disables hedging entirely.
+//
+// The loser's goroutine is not interrupted beyond ctx: ops must be safe to
+// run to completion after the race is decided (every SPRITE fetch is — it is
+// an idempotent read).
+func DoHedged[T any](ctx context.Context, hedgeAfter time.Duration, budget *Budget, op func(ctx context.Context) (T, error)) (val T, hedged bool, err error) {
+	if hedgeAfter <= 0 {
+		val, err = op(ctx)
+		return val, false, err
+	}
+	type outcome struct {
+		val T
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func() {
+		go func() {
+			v, e := op(ctx)
+			results <- outcome{v, e}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(hedgeAfter)
+	defer timer.Stop()
+	launched := 1
+	for settled := 0; settled < launched; {
+		select {
+		case <-timer.C:
+			if launched == 1 && budget.Acquire() {
+				defer budget.Release()
+				launch()
+				launched, hedged = 2, true
+			}
+		case r := <-results:
+			settled++
+			// First success wins; a failure only settles the race when no
+			// other arm can still answer.
+			if r.err == nil || settled == launched {
+				return r.val, hedged, r.err
+			}
+		case <-ctx.Done():
+			var zero T
+			return zero, hedged, ctx.Err()
+		}
+	}
+	var zero T
+	return zero, hedged, err
+}

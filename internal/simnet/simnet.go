@@ -14,6 +14,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -68,8 +69,14 @@ type Transport interface {
 	// Unregister removes the peer.
 	Unregister(addr Addr)
 	// Call performs a synchronous RPC; transport-level failures are
-	// reported with errors wrapping ErrUnreachable.
+	// reported with errors wrapping ErrUnreachable. It is CallCtx without
+	// cancellation, kept for call sites with no deadline to carry.
 	Call(from, to Addr, msg Message) (Message, error)
+	// CallCtx is Call honoring the caller's context: an already-canceled
+	// or expired context fails immediately with an error wrapping ctx.Err()
+	// (never ErrUnreachable, so retry layers do not retry a caller that
+	// gave up), and deadlines bound the call's duration.
+	CallCtx(ctx context.Context, from, to Addr, msg Message) (Message, error)
 	// Alive reports whether addr is believed reachable. Implementations may
 	// be optimistic — a true result does not guarantee the next Call
 	// succeeds — but must return false for peers known to be gone.
@@ -109,6 +116,8 @@ func UniformLatency(lo, hi time.Duration) LatencyModel {
 type Stats struct {
 	Calls       int64            // total RPCs attempted
 	Failed      int64            // RPCs that hit an unreachable peer
+	Dropped     int64            // RPCs lost to injected packet loss or drop schedules
+	Expired     int64            // RPCs refused because the caller's context was done
 	Bytes       int64            // sum of request+reply Size fields
 	SimLatency  time.Duration    // accumulated simulated round-trip latency
 	CallsByType map[string]int64 // per message type
@@ -146,6 +155,15 @@ type Network struct {
 	stats    Stats
 	countOwn bool // whether from==to calls count as network traffic
 	tel      *telemetry.Registry
+
+	// Fault-injection knobs for resilience testing. lossRng is a separate
+	// source (seeded from the main seed) so enabling packet loss never
+	// perturbs the latency draw sequence existing experiments depend on.
+	lossRng  *rand.Rand
+	lossProb float64
+	// dropNext schedules deterministic transient faults: the next
+	// dropNext[addr] calls to addr are dropped (the peer stays Alive).
+	dropNext map[Addr]int
 }
 
 // Option configures a Network.
@@ -171,13 +189,34 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(n *Network) { n.tel = reg }
 }
 
-// New creates a network whose pseudo-random choices (latency draws) derive
-// from seed.
+// WithPacketLoss drops each inter-peer call independently with probability
+// p (clamped to [0, 1]). Lost calls fail with ErrUnreachable while the
+// destination stays Alive — the transient-fault signature retry layers are
+// built for. Loss draws come from a dedicated rng, so turning the knob does
+// not change the latency sequences of loss-free runs.
+func WithPacketLoss(p float64) Option {
+	return func(n *Network) { n.lossProb = clamp01(p) }
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}
+
+// New creates a network whose pseudo-random choices (latency draws, loss
+// draws) derive from seed.
 func New(seed int64, opts ...Option) *Network {
 	n := &Network{
-		peers:  make(map[Addr]Handler),
-		failed: make(map[Addr]bool),
-		rng:    rand.New(rand.NewSource(seed)),
+		peers:    make(map[Addr]Handler),
+		failed:   make(map[Addr]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+		lossRng:  rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
+		dropNext: make(map[Addr]int),
 		stats: Stats{
 			CallsByType: make(map[string]int64),
 			BytesByType: make(map[string]int64),
@@ -188,6 +227,30 @@ func New(seed int64, opts ...Option) *Network {
 		o(n)
 	}
 	return n
+}
+
+// SetPacketLoss changes the packet-loss probability at runtime (clamped to
+// [0, 1]); see WithPacketLoss. The churn experiment uses it to switch loss on
+// only for the query phase.
+func (n *Network) SetPacketLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossProb = clamp01(p)
+}
+
+// DropCalls schedules the next count calls addressed to to (local-bypass
+// calls excluded) to be dropped with ErrUnreachable while the peer stays
+// Alive. count <= 0 clears the schedule. This is the deterministic
+// counterpart of WithPacketLoss for retry/failover tests: exactly the first
+// count attempts fail, every later one succeeds.
+func (n *Network) DropCalls(to Addr, count int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if count <= 0 {
+		delete(n.dropNext, to)
+		return
+	}
+	n.dropNext[to] = count
 }
 
 // Register attaches a handler at addr, replacing any previous registration
@@ -243,6 +306,24 @@ func (n *Network) aliveLocked(addr Addr) bool {
 // as ErrUnreachable. Calls from a peer to itself bypass the network and are
 // not metered unless WithLocalCallsCounted was set.
 func (n *Network) Call(from, to Addr, msg Message) (Message, error) {
+	return n.CallCtx(context.Background(), from, to, msg)
+}
+
+// CallCtx is Call honoring ctx: a context that is already done fails
+// immediately with an error wrapping ctx.Err() (never ErrUnreachable), and a
+// call whose simulated round trip would overrun the context's deadline fails
+// with context.DeadlineExceeded — the simulator's stand-in for a wall-clock
+// timeout, since simulated latency is accounted rather than slept.
+func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Message, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		n.mu.Lock()
+		n.stats.Expired++
+		n.mu.Unlock()
+		if n.tel != nil {
+			n.tel.Counter("simnet.ctx_expired").Inc()
+		}
+		return Message{}, fmt.Errorf("simnet: %s to %s aborted: %w", msg.Type, to, cerr)
+	}
 	n.mu.Lock()
 	h, ok := n.peers[to]
 	alive := ok && !n.failed[to]
@@ -277,6 +358,40 @@ func (n *Network) Call(from, to Addr, msg Message) (Message, error) {
 			n.tel.Counter("simnet.unreachable").Inc()
 		}
 		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	// Injected transient faults: a scheduled drop (DropCalls) takes priority,
+	// then probabilistic loss. Either way the destination stays Alive — the
+	// failure looks exactly like a packet lost on the wire.
+	drop := false
+	if c := n.dropNext[to]; c > 0 {
+		n.dropNext[to] = c - 1
+		drop = true
+	} else if n.lossProb > 0 && n.lossRng.Float64() < n.lossProb {
+		drop = true
+	}
+	if drop {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		if n.tel != nil {
+			n.tel.Counter("simnet.calls."+msg.Type).Inc()
+			n.tel.Counter("simnet.bytes."+msg.Type).Add(int64(msg.Size))
+			n.tel.Counter("simnet.dropped").Inc()
+		}
+		return Message{}, fmt.Errorf("%w: %s (packet lost)", ErrUnreachable, to)
+	}
+	// A simulated round trip that overruns the caller's deadline is a timeout:
+	// latency is accounted, not slept, so the deadline must be enforced here
+	// for it to mean anything in simulation.
+	if dl, ok := ctx.Deadline(); ok && simRTT > 0 && time.Now().Add(simRTT).After(dl) {
+		n.stats.Expired++
+		n.mu.Unlock()
+		if n.tel != nil {
+			n.tel.Counter("simnet.calls."+msg.Type).Inc()
+			n.tel.Counter("simnet.bytes."+msg.Type).Add(int64(msg.Size))
+			n.tel.Counter("simnet.ctx_expired").Inc()
+		}
+		return Message{}, fmt.Errorf("simnet: %s to %s overran deadline (simulated rtt %v): %w",
+			msg.Type, to, simRTT, context.DeadlineExceeded)
 	}
 	n.mu.Unlock()
 

@@ -24,6 +24,8 @@
 package sprite
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -37,6 +39,28 @@ import (
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/text"
 )
+
+// Sentinel errors for programmatic handling with errors.Is. They are shared
+// with the core layer, so errors surfaced by either compare equal.
+var (
+	// ErrNoSuchPeer marks an operation naming a peer that is not part of the
+	// network.
+	ErrNoSuchPeer = core.ErrNoSuchPeer
+	// ErrNoSuchDoc marks an operation naming a document that is not shared.
+	ErrNoSuchDoc = core.ErrNoSuchDoc
+	// ErrPartialResults marks a context-first search that lost one or more
+	// query terms to unreachable holders and ranked the remainder (§7's
+	// degraded mode made visible). Inspect the per-term causes with
+	// errors.As(err, *(*PartialError)).
+	ErrPartialResults = core.ErrPartialResults
+)
+
+// PartialError reports which query terms a degraded search dropped and why.
+// It satisfies errors.Is(err, ErrPartialResults).
+type PartialError = core.PartialError
+
+// TermFailure is one dropped term and the final error that felled it.
+type TermFailure = core.TermFailure
 
 // Options configures a Network. The zero value gives the paper's defaults:
 // 16 peers, 5 initial terms per document, 5 new terms per learning
@@ -91,6 +115,31 @@ type Options struct {
 	// postings are never served; see the README's Caching section for the
 	// staleness/TTL trade-off under transport-level failures.
 	Cache CacheOptions
+	// Resilience configures the query path's fault tolerance: retry with
+	// backoff, per-attempt timeouts, hedged fetches, and failover to the §7
+	// successor replicas. The zero value disables it all — one attempt per
+	// fetch, exactly the paper's message accounting. Validated in New.
+	Resilience ResilienceOptions
+}
+
+// ResilienceOptions tunes the fault-tolerant read path; see Options.Resilience
+// and the README's "Fault tolerance" section.
+type ResilienceOptions struct {
+	// MaxRetries re-attempts a failed postings fetch against the same holder
+	// (0 = single attempt).
+	MaxRetries int
+	// BaseBackoff caps the first retry's full-jitter sleep; each further
+	// retry doubles the cap.
+	BaseBackoff time.Duration
+	// PerCallTimeout bounds each individual fetch attempt (0 = none).
+	PerCallTimeout time.Duration
+	// Hedge, when positive, duplicates a fetch that has not settled after
+	// this long; the first usable answer wins.
+	Hedge time.Duration
+	// FailoverToReplicas retries a term whose holder stayed unreachable
+	// against the successor peers holding its replicas. Requires
+	// Replicas > 0 to find anything.
+	FailoverToReplicas bool
 }
 
 // CacheOptions tunes the query-path caches; see Options.Cache.
@@ -213,6 +262,14 @@ func New(opts Options) (*Network, error) {
 			ResultTTL:       opts.Cache.ResultTTL,
 			DisableResults:  opts.Cache.NoResults,
 		},
+		Resilience: core.ResilienceConfig{
+			MaxRetries:         opts.Resilience.MaxRetries,
+			BaseBackoff:        opts.Resilience.BaseBackoff,
+			PerCallTimeout:     opts.Resilience.PerCallTimeout,
+			HedgeAfter:         opts.Resilience.Hedge,
+			FailoverToReplicas: opts.Resilience.FailoverToReplicas,
+			JitterSeed:         opts.Seed,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sprite: %w", err)
@@ -241,12 +298,19 @@ func (n *Network) Peers() []string {
 // Share publishes a document from the named owner peer. The raw text runs
 // through the standard pipeline (tokenize, stop words, Porter stemming) and
 // the document's most frequent terms become its initial global index terms.
+// An unknown peer wraps ErrNoSuchPeer.
 func (n *Network) Share(peer, docID, rawText string) error {
+	return n.ShareCtx(context.Background(), peer, docID, rawText)
+}
+
+// ShareCtx is Share honoring ctx: the per-term DHT publications carry the
+// caller's deadline and stop at the first cancellation.
+func (n *Network) ShareCtx(ctx context.Context, peer, docID, rawText string) error {
 	doc := corpus.NewDocumentFromText(n.analyzer, index.DocID(docID), rawText)
 	if doc.Length == 0 {
 		return fmt.Errorf("sprite: document %q has no indexable terms", docID)
 	}
-	return n.core.Share(simnet.Addr(peer), doc)
+	return n.core.ShareCtx(ctx, simnet.Addr(peer), doc)
 }
 
 // ShareTerms publishes a pre-analyzed document given its term frequencies.
@@ -265,26 +329,47 @@ func (n *Network) ShareTerms(peer, docID string, termFreq map[string]int) error 
 // Search runs a keyword query from the named peer and returns the top k
 // results. The query text runs through the same pipeline as documents, and
 // its keywords are cached at the contacted indexing peers, feeding future
-// learning.
+// learning. Terms whose holders are unreachable are silently dropped from
+// the ranking (use SearchCtx to observe them as ErrPartialResults).
 func (n *Network) Search(peer, query string, k int) ([]Result, error) {
+	res, err := n.SearchCtx(context.Background(), peer, query, k)
+	return res, stripPartial(err)
+}
+
+// SearchCtx is Search under a context, with the full error contract:
+// deadlines and cancellation reach every DHT hop and postings fetch, and a
+// canceled context aborts the search with an error wrapping ctx.Err(). A
+// search that lost some terms to unreachable holders returns the ranking
+// over the remaining terms together with an error wrapping ErrPartialResults
+// (inspect the dropped terms via errors.As with *PartialError). An unknown
+// peer wraps ErrNoSuchPeer.
+func (n *Network) SearchCtx(ctx context.Context, peer, query string, k int) ([]Result, error) {
 	terms := n.analyzer.Terms(query)
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("sprite: query %q has no searchable terms", query)
 	}
-	return n.searchTerms(peer, terms, k)
+	return n.searchTermsCtx(ctx, peer, terms, k)
 }
 
-// SearchTerms runs a query given pre-analyzed terms.
+// SearchTerms runs a query given pre-analyzed terms, with Search's
+// drop-silently degraded mode.
 func (n *Network) SearchTerms(peer string, terms []string, k int) ([]Result, error) {
+	res, err := n.SearchTermsCtx(context.Background(), peer, terms, k)
+	return res, stripPartial(err)
+}
+
+// SearchTermsCtx is SearchTerms under a context, with the SearchCtx error
+// contract.
+func (n *Network) SearchTermsCtx(ctx context.Context, peer string, terms []string, k int) ([]Result, error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("sprite: empty term list")
 	}
-	return n.searchTerms(peer, terms, k)
+	return n.searchTermsCtx(ctx, peer, terms, k)
 }
 
-func (n *Network) searchTerms(peer string, terms []string, k int) ([]Result, error) {
-	rl, err := n.core.Search(simnet.Addr(peer), terms, k)
-	if err != nil {
+func (n *Network) searchTermsCtx(ctx context.Context, peer string, terms []string, k int) ([]Result, error) {
+	rl, err := n.core.SearchCtx(ctx, simnet.Addr(peer), terms, k)
+	if err != nil && !errors.Is(err, ErrPartialResults) {
 		return nil, err
 	}
 	out := make([]Result, 0, len(rl))
@@ -295,7 +380,16 @@ func (n *Network) searchTerms(peer string, terms []string, k int) ([]Result, err
 		}
 		out = append(out, Result{DocID: string(h.Doc), Score: h.Score, Owner: owner})
 	}
-	return out, nil
+	return out, err
+}
+
+// stripPartial drops a partial-results error, restoring the pre-context
+// entry points' contract (degraded results, nil error).
+func stripPartial(err error) error {
+	if errors.Is(err, ErrPartialResults) {
+		return nil
+	}
+	return err
 }
 
 // Learn runs one learning iteration over every shared document: owners poll
@@ -303,7 +397,13 @@ func (n *Network) searchTerms(peer string, terms []string, k int) ([]Result, err
 // re-tune their documents' index terms. It returns the number of index-term
 // changes applied.
 func (n *Network) Learn() (int, error) {
-	return n.core.LearnAll()
+	return n.LearnCtx(context.Background())
+}
+
+// LearnCtx is Learn honoring ctx: polls and re-publications carry the
+// caller's deadline and the sweep stops at the first cancellation.
+func (n *Network) LearnCtx(ctx context.Context) (int, error) {
+	return n.core.LearnAllCtx(ctx)
 }
 
 // IndexedTerms reports the current global index terms of a document.
