@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover smoke-churn vulncheck
+.PHONY: check vet build test race bench cover smoke-churn smoke-parallel vulncheck
 
 check: vet build race
 
@@ -29,6 +29,12 @@ cover:
 # race detector, without the rest of the suite.
 smoke-churn:
 	$(GO) test -race -run 'Churn|Resilien|Failover|Partial|TestDo|Backoff|Jitter|Classify|Budget' ./...
+
+# Fast concurrency smoke: the query execution engine's determinism and race
+# regression tests (sequential ≡ parallel), plus the fanout executor and
+# accumulator-merge property tests, all under the race detector.
+smoke-parallel:
+	$(GO) test -race -run 'Parallel|Fanout|Map|ForEach|AccumulatorMerge|SleepingLatency' ./internal/fanout/ ./internal/core/ ./internal/ir/ ./internal/simnet/
 
 # Known-vulnerability scan. Advisory: requires network access to the vuln DB,
 # so CI runs it non-blocking and local runs may skip it offline.

@@ -6,7 +6,8 @@
 //
 //	spritebench [flags] <experiment>...
 //
-// Experiments: fig4a fig4b fig4c chord cost ablation churn cache config all
+// Experiments: fig4a fig4b fig4c chord cost ablation churn cache parallel
+// config all
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -30,29 +31,31 @@ import (
 
 func main() {
 	var (
-		docs     = flag.Int("docs", 2000, "corpus size (documents)")
-		topics   = flag.Int("topics", 12, "latent topics in the synthetic corpus")
-		queries  = flag.Int("queries", 63, "original judged queries (paper: 63)")
-		perOrig  = flag.Int("per-original", 9, "derived queries per original (paper: 9)")
-		overlap  = flag.Float64("overlap", 0.7, "query-generator term overlap O (paper: 0.7)")
-		peers    = flag.Int("peers", 64, "DHT peers")
-		topK     = flag.Int("topk", 20, "answers retrieved per query (paper: 20)")
-		iters    = flag.Int("iterations", 3, "learning iterations for fig4a (paper: 3)")
-		seed     = flag.Int64("seed", 17, "master random seed")
-		failFrac = flag.Float64("fail", 0.25, "fraction of peers failed in the churn experiment")
-		replicas = flag.Int("replicas", 2, "successor replicas in the churn experiment")
-		churnRot = flag.Int("churn-interval", 0, "queries between fault rotations in the churn experiment's transient arms (0 = quarter of the test stream)")
-		colPath  = flag.String("collection", "", "run against an external judged collection (JSON, as emitted by corpusgen) instead of synthesizing one")
-		asCSV    = flag.Bool("csv", false, "emit CSV instead of tables")
-		asJSON   = flag.Bool("json", false, "emit one JSON document with all experiment results")
-		withTel  = flag.Bool("telemetry", false, "record metrics/traces during experiments; report to stderr")
-		repeats  = flag.Int("repeats", 5, "independent replications for fig4a-replicated")
-		cacheVol = flag.Int("cache-volume", 0, "replayed queries in the cache experiment (0 = 4x the test set)")
-		cacheZip = flag.Float64("cache-slope", 0.5, "Zipf slope of the cache experiment's repeated-query stream")
+		docs      = flag.Int("docs", 2000, "corpus size (documents)")
+		topics    = flag.Int("topics", 12, "latent topics in the synthetic corpus")
+		queries   = flag.Int("queries", 63, "original judged queries (paper: 63)")
+		perOrig   = flag.Int("per-original", 9, "derived queries per original (paper: 9)")
+		overlap   = flag.Float64("overlap", 0.7, "query-generator term overlap O (paper: 0.7)")
+		peers     = flag.Int("peers", 64, "DHT peers")
+		topK      = flag.Int("topk", 20, "answers retrieved per query (paper: 20)")
+		iters     = flag.Int("iterations", 3, "learning iterations for fig4a (paper: 3)")
+		seed      = flag.Int64("seed", 17, "master random seed")
+		failFrac  = flag.Float64("fail", 0.25, "fraction of peers failed in the churn experiment")
+		replicas  = flag.Int("replicas", 2, "successor replicas in the churn experiment")
+		churnRot  = flag.Int("churn-interval", 0, "queries between fault rotations in the churn experiment's transient arms (0 = quarter of the test stream)")
+		colPath   = flag.String("collection", "", "run against an external judged collection (JSON, as emitted by corpusgen) instead of synthesizing one")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of tables")
+		asJSON    = flag.Bool("json", false, "emit one JSON document with all experiment results")
+		withTel   = flag.Bool("telemetry", false, "record metrics/traces during experiments; report to stderr")
+		repeats   = flag.Int("repeats", 5, "independent replications for fig4a-replicated")
+		cacheVol  = flag.Int("cache-volume", 0, "replayed queries in the cache experiment (0 = 4x the test set)")
+		cacheZip  = flag.Float64("cache-slope", 0.5, "Zipf slope of the cache experiment's repeated-query stream")
+		parallel  = flag.Int("parallel", 0, "query fan-out parallelism for all experiments (0 = GOMAXPROCS, 1 = sequential)")
+		linkDelay = flag.Duration("link-delay", time.Millisecond, "constant link delay slept in the parallel experiment")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,7 +79,7 @@ func main() {
 			Seed:        *seed + 6,
 		},
 		Peers:              *peers,
-		Core:               core.Config{},
+		Core:               core.Config{Parallelism: *parallel},
 		TopK:               *topK,
 		LearningIterations: *iters,
 		Seed:               *seed + 14,
@@ -105,7 +108,7 @@ func main() {
 	}
 	for _, exp := range args {
 		if exp == "all" {
-			args = []string{"config", "fig4a", "fig4b", "fig4c", "chord", "cost", "ablation", "churn", "expansion", "maintenance", "load", "learncost", "cache"}
+			args = []string{"config", "fig4a", "fig4b", "fig4c", "chord", "cost", "ablation", "churn", "expansion", "maintenance", "load", "learncost", "cache", "parallel"}
 			break
 		}
 	}
@@ -113,7 +116,7 @@ func main() {
 	out := &output{asCSV: *asCSV, asJSON: *asJSON}
 	for _, exp := range args {
 		start := time.Now()
-		if err := run(exp, cfg, *failFrac, *replicas, *repeats, *cacheVol, *cacheZip, out); err != nil {
+		if err := run(exp, cfg, *failFrac, *replicas, *repeats, *cacheVol, *cacheZip, *linkDelay, out); err != nil {
 			fmt.Fprintf(os.Stderr, "spritebench: %s: %v\n", exp, err)
 			os.Exit(1)
 		}
@@ -205,7 +208,7 @@ func csvRows(doc string) []map[string]string {
 	return rows
 }
 
-func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cacheVol int, cacheSlope float64, out *output) error {
+func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cacheVol int, cacheSlope float64, linkDelay time.Duration, out *output) error {
 	switch exp {
 	case "config":
 		if !out.asJSON {
@@ -291,6 +294,12 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		out.emit(res)
 	case "cache":
 		res, err := eval.RunCacheRepeat(cfg, cacheVol, cacheSlope)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+	case "parallel":
+		res, err := eval.RunParallel(cfg, nil, linkDelay)
 		if err != nil {
 			return err
 		}

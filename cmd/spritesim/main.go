@@ -6,7 +6,7 @@
 // Usage:
 //
 //	spritesim [-peers N] [-replicas R] [-seed S] [-script file]
-//	          [-telemetry] [-telemetry-http addr]
+//	          [-telemetry] [-telemetry-http addr] [-parallel P]
 //	          [-cache] [-cache-result-ttl D] [-cache-postings N]
 //
 // Commands (also shown by "help"):
@@ -48,6 +48,7 @@ func main() {
 		withCache = flag.Bool("cache", false, "enable the query-path caches (postings + results)")
 		cacheTTL  = flag.Duration("cache-result-ttl", 0, "result cache TTL (0 = default 2s; implies -cache)")
 		cacheSize = flag.Int("cache-postings", 0, "postings cache capacity in terms (0 = default 4096; implies -cache)")
+		parallel  = flag.Int("parallel", 0, "query fan-out parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		ResultTTL:       *cacheTTL,
 		PostingsEntries: *cacheSize,
 	}
-	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache})
+	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache, Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)

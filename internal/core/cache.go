@@ -209,12 +209,22 @@ func (p *Peer) fetchPostingsCached(ctx context.Context, term string, tsp *teleme
 // msgGetPostings — so caching never starves learning. Best-effort: an
 // unreachable peer is skipped, exactly as the uncached path would skip it.
 func (p *Peer) recordQueryAt(peer simnet.Addr, query []string) {
+	p.recordQueryAtErr(context.Background(), peer, query)
+}
+
+// recordQueryAtErr is recordQueryAt surfacing the recording failure, so the
+// result-cache-hit replay can count dropped history entries (a silent drop
+// skews learning) instead of swallowing them. An unknown peer ("" — the term
+// matched nothing when the entry was cached) records nothing and is not an
+// error.
+func (p *Peer) recordQueryAtErr(ctx context.Context, peer simnet.Addr, query []string) error {
 	if peer == "" {
-		return
+		return nil
 	}
-	p.net.ring.Net().Call(p.Addr(), peer, simnet.Message{
+	_, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), peer, simnet.Message{
 		Type:    msgCacheQuery,
 		Payload: cacheQueryReq{Query: query},
 		Size:    sizeTerms(query),
 	})
+	return err
 }

@@ -26,6 +26,7 @@ import (
 
 	"github.com/spritedht/sprite/internal/chord"
 	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/fanout"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
@@ -74,6 +75,12 @@ type Config struct {
 	// per-attempt timeouts, hedging, replica failover). The zero value
 	// disables it all, preserving the paper's exact message counts.
 	Resilience ResilienceConfig
+	// Parallelism bounds the query execution engine's per-term fan-out: the
+	// number of concurrent DHT lookups/postings fetches per query, and the
+	// concurrent document sweeps in LearnAll/RefreshAll. 0 derives the bound
+	// from GOMAXPROCS; 1 is the legacy sequential path. Results are
+	// bit-identical across settings (see internal/fanout).
+	Parallelism int
 }
 
 // netMetrics caches the SPRITE-level instrument handles; all nil (inert)
@@ -97,7 +104,9 @@ type netMetrics struct {
 	failovers       *telemetry.Counter
 	hedges          *telemetry.Counter
 	partials        *telemetry.Counter
+	recordErrors    *telemetry.Counter
 	fetchAttempts   *telemetry.Histogram
+	queryLatency    *telemetry.Histogram
 }
 
 func newNetMetrics(reg *telemetry.Registry) netMetrics {
@@ -120,7 +129,9 @@ func newNetMetrics(reg *telemetry.Registry) netMetrics {
 		failovers:       reg.Counter("sprite.resilience.failovers"),
 		hedges:          reg.Counter("sprite.resilience.hedges"),
 		partials:        reg.Counter("sprite.resilience.partials"),
+		recordErrors:    reg.Counter("sprite.fanout.record_errors"),
 		fetchAttempts:   reg.Histogram("sprite.resilience.fetch_attempts"),
+		queryLatency:    reg.Histogram("sprite.query.latency_us"),
 	}
 }
 
@@ -197,6 +208,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: SurrogateN = %d, need >= 2", c.SurrogateN)
 	case c.HotTermDF < 0:
 		return fmt.Errorf("core: HotTermDF = %d, need >= 0", c.HotTermDF)
+	case c.Parallelism < 0:
+		return fmt.Errorf("core: Parallelism = %d, need >= 0", c.Parallelism)
 	}
 	if err := c.Cache.validate(); err != nil {
 		return err
@@ -213,6 +226,10 @@ type Network struct {
 	met    netMetrics
 	caches netCaches
 	resil  resil
+	// exec is the query execution engine's fan-out executor. Per-term
+	// pipelines (searchCtx, insertQuery, expansion) and owner sweeps
+	// (LearnAll, RefreshAll, replication) all share its concurrency bound.
+	exec *fanout.Executor
 
 	// mu guards the membership and ownership maps below. It is never held
 	// across a network call, only around map reads/writes, so it cannot
@@ -240,6 +257,7 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 		met:     newNetMetrics(cfg.Telemetry),
 		caches:  newNetCaches(cfg.Cache, cfg.Telemetry),
 		resil:   newResil(cfg.Resilience),
+		exec:    fanout.New(cfg.Parallelism, cfg.Telemetry),
 		peers:   make(map[simnet.Addr]*Peer),
 		ownerOf: make(map[index.DocID]*Peer),
 	}
@@ -451,6 +469,13 @@ func (n *Network) LearnAll() (changes int, err error) {
 
 // LearnAllCtx is LearnAll honoring ctx: polls and re-publications carry the
 // caller's deadline, and the sweep stops at the first cancellation.
+//
+// With Parallelism > 1 the per-document iterations run concurrently (each
+// document's polls and publishes are independent of the others'), except when
+// the HotTermDF advisory is enabled: the advisory reads each poll's IndexedDF,
+// which concurrent publishes from other documents would perturb in a
+// schedule-dependent way, so that configuration keeps the sequential sweep to
+// preserve determinism.
 func (n *Network) LearnAllCtx(ctx context.Context) (changes int, err error) {
 	n.mu.RLock()
 	docs := make([]index.DocID, len(n.docOrder))
@@ -460,19 +485,37 @@ func (n *Network) LearnAllCtx(ctx context.Context) (changes int, err error) {
 		owners[i] = n.ownerOf[id]
 	}
 	n.mu.RUnlock()
-	for i, id := range docs {
-		p := owners[i]
-		if p == nil {
-			continue
+	if !n.exec.Parallel() || n.cfg.HotTermDF > 0 {
+		for i, id := range docs {
+			p := owners[i]
+			if p == nil {
+				continue
+			}
+			ch, lerr := p.learnDoc(ctx, id)
+			if lerr != nil {
+				if errors.Is(lerr, errNotOwned) {
+					continue
+				}
+				return changes, fmt.Errorf("core: learning %s: %w", id, lerr)
+			}
+			changes += ch
 		}
-		ch, lerr := p.learnDoc(ctx, id)
+		return changes, nil
+	}
+	chs, errs := fanout.Map(ctx, n.exec, "learn_doc", len(docs), func(ctx context.Context, i int) (int, error) {
+		if owners[i] == nil {
+			return 0, nil
+		}
+		return owners[i].learnDoc(ctx, docs[i])
+	})
+	for i, lerr := range errs {
 		if lerr != nil {
 			if errors.Is(lerr, errNotOwned) {
 				continue
 			}
-			return changes, fmt.Errorf("core: learning %s: %w", id, lerr)
+			return changes, fmt.Errorf("core: learning %s: %w", docs[i], lerr)
 		}
-		changes += ch
+		changes += chs[i]
 	}
 	return changes, nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/fanout"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
@@ -115,25 +117,35 @@ func (p *Peer) searchWithOwners(terms []string, k int) ownedHits {
 		qtf[t]++
 	}
 	nTotal := p.net.cfg.SurrogateN
-	acc := ir.NewAccumulator()
-	owners := make(map[index.DocID]simnet.Addr)
-	for _, term := range distinctTerms(terms) {
-		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+	// Per-term fetches fan out (network I/O only); scoring and owner
+	// collection fold in term order below, reproducing the sequential result.
+	dts := distinctTerms(terms)
+	type fetchOut struct {
+		resp getPostingsResp
+		ok   bool
+	}
+	outs, _ := fanout.Map(context.Background(), p.net.exec, "expand_fetch", len(dts), func(_ context.Context, i int) (fetchOut, error) {
+		ref, _, err := p.node.Lookup(chordid.HashKey(dts[i]))
 		if err != nil {
-			continue
+			return fetchOut{}, nil
 		}
 		reply, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
 			Type:    msgGetPostings,
-			Payload: getPostingsReq{Term: term, Query: terms},
-			Size:    len(term) + sizeTerms(terms),
+			Payload: getPostingsReq{Term: dts[i], Query: terms},
+			Size:    len(dts[i]) + sizeTerms(terms),
 		})
 		if err != nil {
+			return fetchOut{}, nil
+		}
+		return fetchOut{resp: reply.Payload.(getPostingsResp), ok: true}, nil
+	})
+	acc := ir.NewAccumulator()
+	owners := make(map[index.DocID]simnet.Addr)
+	for i, term := range dts {
+		if !outs[i].ok || outs[i].resp.IndexedDF == 0 {
 			continue
 		}
-		resp := reply.Payload.(getPostingsResp)
-		if resp.IndexedDF == 0 {
-			continue
-		}
+		resp := outs[i].resp
 		wq := ir.QueryWeight(qtf[term], len(terms), nTotal, resp.IndexedDF)
 		for _, posting := range resp.Postings {
 			wd := ir.Weight(posting.NormFreq(), nTotal, resp.IndexedDF)
@@ -156,22 +168,32 @@ func (p *Peer) localContextTerms(queryTerms []string, first ownedHits, want int)
 	for _, t := range queryTerms {
 		inQuery[t] = true
 	}
-	scores := make(map[string]float64)
-	for _, hit := range first.hits {
-		owner, ok := first.owners[hit.Doc]
+	// Term-vector downloads from the feedback documents' owners fan out;
+	// the co-occurrence scores fold in hit-rank order so the float sums match
+	// the sequential loop exactly.
+	type vecOut struct {
+		resp docTermsResp
+		ok   bool
+	}
+	outs, _ := fanout.Map(context.Background(), p.net.exec, "expand_vectors", len(first.hits), func(_ context.Context, i int) (vecOut, error) {
+		owner, ok := first.owners[first.hits[i].Doc]
 		if !ok {
-			continue
+			return vecOut{}, nil
 		}
 		reply, err := p.net.ring.Net().Call(p.Addr(), owner, simnet.Message{
 			Type:    msgDocTerms,
-			Payload: docTermsReq{Doc: hit.Doc},
-			Size:    len(hit.Doc),
+			Payload: docTermsReq{Doc: first.hits[i].Doc},
+			Size:    len(first.hits[i].Doc),
 		})
 		if err != nil {
-			continue // owner offline: skip its evidence
+			return vecOut{}, nil // owner offline: skip its evidence
 		}
-		resp := reply.Payload.(docTermsResp)
-		if !resp.Found || resp.Length == 0 {
+		return vecOut{resp: reply.Payload.(docTermsResp), ok: true}, nil
+	})
+	scores := make(map[string]float64)
+	for i, hit := range first.hits {
+		resp := outs[i].resp
+		if !outs[i].ok || !resp.Found || resp.Length == 0 {
 			continue
 		}
 		for t, f := range resp.TF {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/fanout"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
 )
@@ -96,15 +97,33 @@ func (n *Network) RefreshAll() (int, error) {
 	}
 	n.mu.RUnlock()
 	moved := 0
-	for i, id := range docs {
+	if !n.exec.Parallel() {
+		for i, id := range docs {
+			if owners[i] == nil {
+				continue
+			}
+			m, err := owners[i].refresh(id)
+			if err != nil {
+				return moved, fmt.Errorf("core: refresh %s: %w", id, err)
+			}
+			moved += m
+		}
+		return moved, nil
+	}
+	// Per-document refreshes are independent (each touches only its own
+	// docState and publishes idempotently), so the sweep fans out; move
+	// counts and the first error fold in share order.
+	ms, errs := fanout.Map(context.Background(), n.exec, "refresh_doc", len(docs), func(_ context.Context, i int) (int, error) {
 		if owners[i] == nil {
-			continue
+			return 0, nil
 		}
-		m, err := owners[i].refresh(id)
-		if err != nil {
-			return moved, fmt.Errorf("core: refresh %s: %w", id, err)
+		return owners[i].refresh(docs[i])
+	})
+	for i := range docs {
+		if errs[i] != nil {
+			return moved, fmt.Errorf("core: refresh %s: %w", docs[i], errs[i])
 		}
-		moved += m
+		moved += ms[i]
 	}
 	return moved, nil
 }
@@ -118,11 +137,15 @@ func (p *Peer) refresh(docID index.DocID) (int, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	moved := 0
-	for _, term := range sortedIndexedTerms(st) {
+	// Per-term lookups and re-publications fan out (network I/O only); the
+	// migration accounting against publishedAt folds in term order under
+	// st.mu, which is held across the fan-out.
+	terms := sortedIndexedTerms(st)
+	outs, _ := fanout.Map(context.Background(), p.net.exec, "refresh_term", len(terms), func(_ context.Context, i int) (simnet.Addr, error) {
+		term := terms[i]
 		ref, _, err := p.node.Lookup(chordid.HashKey(term))
 		if err != nil {
-			continue // no live owner for this key right now
+			return "", nil // no live owner for this key right now
 		}
 		posting := index.Posting{
 			Doc:    docID,
@@ -135,17 +158,25 @@ func (p *Peer) refresh(docID index.DocID) (int, error) {
 			Payload: publishReq{Term: term, Posting: posting},
 			Size:    len(term) + posting.WireSize(),
 		}); err != nil {
+			return "", nil
+		}
+		return ref.Addr, nil
+	})
+	moved := 0
+	for i, term := range terms {
+		addr := outs[i]
+		if addr == "" {
 			continue
 		}
 		// The publish is idempotent at the destination; a move is counted
 		// when the responsible peer differs from the last known address.
-		if last, known := st.publishedAt[term]; known && last != ref.Addr {
+		if last, known := st.publishedAt[term]; known && last != addr {
 			moved++
 		}
 		if st.publishedAt == nil {
 			st.publishedAt = make(map[string]simnet.Addr)
 		}
-		st.publishedAt[term] = ref.Addr
+		st.publishedAt[term] = addr
 	}
 	return moved, nil
 }

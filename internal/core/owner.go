@@ -7,9 +7,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/fanout"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
@@ -182,30 +184,24 @@ func (p *Peer) indexedTerms(doc index.DocID) []string {
 }
 
 // insertQuery caches the keywords at every responsible indexing peer without
-// retrieving postings.
+// retrieving postings. Per-term insertions are independent, so they fan out;
+// every reachable peer is reached even when some fail, and the first failure
+// in term order is reported (the sequential loop's contract).
 func (p *Peer) insertQuery(ctx context.Context, terms []string) error {
-	var firstErr error
-	for _, term := range distinctTerms(terms) {
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
-		}
-		ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
+	dts := distinctTerms(terms)
+	errs := fanout.ForEach(ctx, p.net.exec, "insert", len(dts), func(ctx context.Context, i int) error {
+		ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(dts[i]), nil)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+			return err
 		}
 		_, err = p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
 			Type:    msgCacheQuery,
 			Payload: cacheQueryReq{Query: terms},
 			Size:    sizeTerms(terms),
 		})
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+		return err
+	})
+	return fanout.FirstError(errs)
 }
 
 // errNotOwned reports a learning request for a document this peer no longer
@@ -242,6 +238,12 @@ func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
 // undone by a search that read the pre-invalidation state.
 func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool, span *telemetry.Span) (ir.RankedList, error) {
 	p.net.met.searches.Inc()
+	if p.net.cfg.Telemetry != nil {
+		start := time.Now()
+		defer func() {
+			p.net.met.queryLatency.Observe(time.Since(start).Microseconds())
+		}()
+	}
 
 	rc := p.net.caches.results
 	var rkey string
@@ -252,9 +254,17 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 			if record {
 				// The uncached path records the query once per distinct term
 				// at that term's indexing peer; replay the same fan-out so
-				// query histories (and hence learning) don't diverge.
-				for _, term := range distinctTerms(terms) {
-					p.recordQueryAt(ent.peers[term], terms)
+				// query histories (and hence learning) don't diverge. A failed
+				// recording is a dropped history entry — counted, so skewed
+				// learning under partial outages is visible in telemetry.
+				dts := distinctTerms(terms)
+				errs := fanout.ForEach(ctx, p.net.exec, "record", len(dts), func(ctx context.Context, i int) error {
+					return p.recordQueryAtErr(ctx, ent.peers[dts[i]], terms)
+				})
+				for _, rerr := range errs {
+					if rerr != nil {
+						p.net.met.recordErrors.Inc()
+					}
 				}
 			}
 			return append(ir.RankedList(nil), ent.rl...), nil
@@ -270,56 +280,79 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 		qtf[t]++
 	}
 	n := p.net.cfg.SurrogateN
-	acc := ir.NewAccumulator()
 	var termPeers map[string]simnet.Addr
 	if rc != nil {
 		termPeers = make(map[string]simnet.Addr, len(terms))
 	}
-	var failed []TermFailure
-	for _, term := range distinctTerms(terms) {
+
+	// Per-term pipeline, fanned out: each worker performs the Chord lookup,
+	// postings fetch (cached or resilient), query-history recording, and
+	// scores its term into a private partial accumulator. The single-threaded
+	// collection below folds the partials in term order, so ranked lists,
+	// failure lists, and counters are bit-identical to the sequential loop
+	// regardless of completion order.
+	type termOut struct {
+		resp getPostingsResp
+		peer simnet.Addr
+		part *ir.Accumulator
+	}
+	dts := distinctTerms(terms)
+	outs, errs := fanout.Map(ctx, p.net.exec, "fetch", len(dts), func(ctx context.Context, i int) (termOut, error) {
+		term := dts[i]
 		tsp := span.StartChild("term " + term)
 		var resp getPostingsResp
+		var peer simnet.Addr
 		if pc != nil {
 			ent, outcome, err := p.fetchPostingsCached(ctx, term, tsp)
 			if err != nil {
-				if skipErr := p.skipTerm(ctx, term, err, tsp, &failed); skipErr != nil {
-					return nil, skipErr
-				}
-				continue
+				tsp.Annotate("error", err.Error())
+				tsp.Finish()
+				return termOut{}, err
 			}
 			tsp.Annotate("postings_cache", outcome.String())
 			if record {
 				p.recordQueryAt(ent.peer, terms)
 			}
-			if termPeers != nil {
-				termPeers[term] = ent.peer
-			}
-			resp = ent.resp
-			tsp.Finish()
+			resp, peer = ent.resp, ent.peer
 		} else {
-			var peer simnet.Addr
 			var err error
 			resp, peer, err = p.fetchTermPostings(ctx, term, terms, record, tsp)
 			if err != nil {
-				if skipErr := p.skipTerm(ctx, term, err, tsp, &failed); skipErr != nil {
-					return nil, skipErr
-				}
-				continue
+				tsp.Annotate("error", err.Error())
+				tsp.Finish()
+				return termOut{}, err
 			}
 			tsp.Annotate("indexing_peer", string(peer))
-			if termPeers != nil {
-				termPeers[term] = peer
-			}
-			tsp.Finish()
 		}
-		if resp.IndexedDF == 0 {
+		tsp.Finish()
+		part := ir.NewAccumulator()
+		if resp.IndexedDF > 0 {
+			wq := ir.QueryWeight(qtf[term], len(terms), n, resp.IndexedDF)
+			for _, posting := range resp.Postings {
+				wd := ir.Weight(posting.NormFreq(), n, resp.IndexedDF)
+				part.Accumulate(posting.Doc, wq*wd, posting.DocLen)
+			}
+		}
+		return termOut{resp: resp, peer: peer, part: part}, nil
+	})
+
+	acc := ir.NewAccumulator()
+	var failed []TermFailure
+	for i, term := range dts {
+		if errs[i] != nil {
+			// A done caller context aborts the whole search; any other fetch
+			// failure records the term as skipped and degrades (§7).
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("core: search term %q: %w", term, errs[i])
+			}
+			p.net.met.termsSkipped.Inc()
+			failed = append(failed, TermFailure{Term: term, Err: errs[i]})
 			continue
 		}
-		wq := ir.QueryWeight(qtf[term], len(terms), n, resp.IndexedDF)
-		for _, posting := range resp.Postings {
-			wd := ir.Weight(posting.NormFreq(), n, resp.IndexedDF)
-			acc.Accumulate(posting.Doc, wq*wd, posting.DocLen)
+		if termPeers != nil {
+			termPeers[term] = outs[i].peer
 		}
+		acc.Merge(outs[i].part)
 	}
 	rl := acc.Ranked().Top(k)
 	if rc != nil && len(failed) == 0 {
@@ -331,20 +364,6 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 		return rl, &PartialError{Failures: failed}
 	}
 	return rl, nil
-}
-
-// skipTerm handles one term's fetch failure: a done caller context aborts the
-// whole search (returns the error to propagate), anything else records the
-// term as skipped and lets the search degrade (§7).
-func (p *Peer) skipTerm(ctx context.Context, term string, err error, tsp *telemetry.Span, failed *[]TermFailure) error {
-	tsp.Annotate("error", err.Error())
-	tsp.Finish()
-	if ctx.Err() != nil {
-		return fmt.Errorf("core: search term %q: %w", term, err)
-	}
-	p.net.met.termsSkipped.Inc()
-	*failed = append(*failed, TermFailure{Term: term, Err: err})
-	return nil
 }
 
 // learnDoc runs one learning iteration for a document (§5.3, Algorithm 1):
@@ -376,15 +395,18 @@ func (p *Peer) learnDoc(ctx context.Context, docID index.DocID) (int, error) {
 	}
 	sort.Strings(docTerms)
 
-	var incremental [][]string
-	var hot []string
-	for _, term := range docTerms {
-		if cerr := ctx.Err(); cerr != nil {
-			return 0, cerr
-		}
+	// The polls are pure reads of the indexing peers' histories, so they fan
+	// out; the watermark updates and incremental-set assembly fold in term
+	// order below (st.mu is held across the fan-out — workers never touch st).
+	type pollOut struct {
+		resp pollResp
+		ok   bool
+	}
+	outs, perrs := fanout.Map(ctx, p.net.exec, "poll", len(docTerms), func(ctx context.Context, i int) (pollOut, error) {
+		term := docTerms[i]
 		ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
 		if err != nil {
-			continue // indexing peer unreachable; learn from the rest
+			return pollOut{}, nil // indexing peer unreachable; learn from the rest
 		}
 		reply, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
 			Type: msgPoll,
@@ -397,9 +419,23 @@ func (p *Peer) learnDoc(ctx context.Context, docID index.DocID) (int, error) {
 			Size: len(term) + sizeTerms(docTerms) + 8,
 		})
 		if err != nil {
+			return pollOut{}, nil
+		}
+		return pollOut{resp: reply.Payload.(pollResp), ok: true}, nil
+	})
+	// Workers never return errors themselves; a non-nil slot means the item
+	// was skipped because the context was done — abort, as the sequential
+	// loop's per-term ctx check did.
+	if cerr := fanout.FirstError(perrs); cerr != nil {
+		return 0, cerr
+	}
+	var incremental [][]string
+	var hot []string
+	for i, term := range docTerms {
+		if !outs[i].ok {
 			continue
 		}
-		resp := reply.Payload.(pollResp)
+		resp := outs[i].resp
 		st.since[term] = resp.NewSince
 		if p.net.cfg.HotTermDF > 0 && resp.IndexedDF >= p.net.cfg.HotTermDF {
 			hot = append(hot, term)

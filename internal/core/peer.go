@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"github.com/spritedht/sprite/internal/chord"
 	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/fanout"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
 )
@@ -126,14 +128,14 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 	return simnet.Message{}, fmt.Errorf("core: peer %s: unknown message type %q", p.Addr(), msg.Type)
 }
 
-// replicateOut pushes a freshly published entry to this peer's first
-// ReplicationFactor successors (§7: "we can replicate the indexes of a peer
-// in its successor peers").
-func (p *Peer) replicateOut(term string, posting index.Posting) {
+// replicaTargets returns the first ReplicationFactor successors excluding the
+// peer itself — the §7 replica set for entries this peer indexes.
+func (p *Peer) replicaTargets() []simnet.Addr {
 	r := p.net.cfg.ReplicationFactor
 	if r <= 0 {
-		return
+		return nil
 	}
+	var out []simnet.Addr
 	for i, succ := range p.node.SuccessorList() {
 		if i >= r {
 			break
@@ -141,32 +143,37 @@ func (p *Peer) replicateOut(term string, posting index.Posting) {
 		if succ.Addr == p.Addr() {
 			continue
 		}
-		p.net.ring.Net().Call(p.Addr(), succ.Addr, simnet.Message{
+		out = append(out, succ.Addr)
+	}
+	return out
+}
+
+// replicateOut pushes a freshly published entry to this peer's first
+// ReplicationFactor successors (§7: "we can replicate the indexes of a peer
+// in its successor peers"). The per-successor pushes are independent
+// best-effort calls, so they fan out.
+func (p *Peer) replicateOut(term string, posting index.Posting) {
+	targets := p.replicaTargets()
+	fanout.ForEach(context.Background(), p.net.exec, "replicate", len(targets), func(_ context.Context, i int) error {
+		p.net.ring.Net().Call(p.Addr(), targets[i], simnet.Message{
 			Type:    msgReplica,
 			Payload: replicaReq{Term: term, Posting: posting},
 			Size:    len(term) + posting.WireSize(),
 		})
-	}
+		return nil
+	})
 }
 
 func (p *Peer) replicateDrop(term string, doc index.DocID) {
-	r := p.net.cfg.ReplicationFactor
-	if r <= 0 {
-		return
-	}
-	for i, succ := range p.node.SuccessorList() {
-		if i >= r {
-			break
-		}
-		if succ.Addr == p.Addr() {
-			continue
-		}
-		p.net.ring.Net().Call(p.Addr(), succ.Addr, simnet.Message{
+	targets := p.replicaTargets()
+	fanout.ForEach(context.Background(), p.net.exec, "replicate", len(targets), func(_ context.Context, i int) error {
+		p.net.ring.Net().Call(p.Addr(), targets[i], simnet.Message{
 			Type:    msgReplicaDrop,
 			Payload: replicaDropReq{Term: term, Doc: doc},
 			Size:    len(term) + len(doc),
 		})
-	}
+		return nil
+	})
 }
 
 // indexingState is the indexing-peer role's state: primary inverted lists,

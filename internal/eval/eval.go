@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"github.com/spritedht/sprite/internal/central"
 	"github.com/spritedht/sprite/internal/chord"
@@ -57,6 +58,11 @@ type Config struct {
 	// peers recover and a freshly drawn set starts dropping calls. Zero
 	// rotates four times over the test stream.
 	ChurnRotateEvery int
+	// LinkDelay, when positive, gives every simulated call a constant
+	// one-way link delay. Constant (not drawn) so the transport's RNG stream
+	// — and therefore every routed message — is identical with the delay on
+	// or off; the parallel experiment depends on that invariance.
+	LinkDelay time.Duration
 }
 
 // DefaultConfig returns the paper's experimental setup (§6.2) at the
@@ -169,6 +175,9 @@ func (e *Env) NewDeployment(coreCfg core.Config) (*Deployment, error) {
 	var snetOpts []simnet.Option
 	if e.Cfg.Telemetry != nil {
 		snetOpts = append(snetOpts, simnet.WithTelemetry(e.Cfg.Telemetry))
+	}
+	if e.Cfg.LinkDelay > 0 {
+		snetOpts = append(snetOpts, simnet.WithLatency(simnet.UniformLatency(e.Cfg.LinkDelay, e.Cfg.LinkDelay)))
 	}
 	snet := simnet.New(e.Cfg.Seed+1, snetOpts...)
 	ring := chord.NewRing(snet, chord.Config{Telemetry: e.Cfg.Telemetry})

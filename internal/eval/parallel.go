@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/telemetry"
+)
+
+// ParallelArm is one point of the parallelism sweep: a fully trained
+// deployment measured over the test stream at a fixed fan-out limit, with the
+// simulated link delay actually slept so per-query wall latency is real.
+type ParallelArm struct {
+	// Parallelism is the core fan-out limit (1 = the legacy sequential path).
+	Parallelism int
+	// Per-query wall latency in microseconds over the test stream, from the
+	// sprite.query.latency_us histogram.
+	MeanUS float64
+	P50US  int64
+	P95US  int64
+	P99US  int64
+	// Speedup is arm-1 mean latency divided by this arm's mean latency.
+	Speedup float64
+	// Transport accounting over the measured phase. The engine's determinism
+	// contract makes these identical across arms.
+	Messages int64
+	Bytes    int64
+	// Quality on the test set at TopK — must not move with parallelism.
+	Quality ir.Metrics
+}
+
+// ParallelResult is the parallelism sweep: identical deployments, identical
+// query streams, fan-out limit varied.
+type ParallelResult struct {
+	// Delay is the constant one-way link delay slept during measurement.
+	Delay time.Duration
+	// Queries is the number of measured test queries per arm.
+	Queries int
+	Arms    []ParallelArm
+}
+
+// RunParallel measures query wall latency as a function of the fan-out limit.
+// Every arm builds the same §6.2 deployment (insert training queries, share,
+// learn) over a transport with a constant link delay, then replays the test
+// stream with sleeping latency on. Because per-term work overlaps at limits
+// above 1 while the engine's collection stays index-ordered, latency drops
+// with parallelism while ranked lists, precision/recall, and message counts
+// stay bit-identical — both halves are asserted by the determinism tests and
+// visible in the emitted columns. levels defaults to {1, 2, 4, 8}; delay <= 0
+// defaults to 1ms.
+func RunParallel(cfg Config, levels []int, delay time.Duration) (*ParallelResult, error) {
+	cfg = cfg.fillDefaults()
+	if len(levels) == 0 {
+		levels = []int{1, 2, 4, 8}
+	}
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	cfg.LinkDelay = delay
+	env, err := Setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ParallelResult{Delay: delay, Queries: len(env.Test)}
+	for _, level := range levels {
+		// Each arm gets a private registry (the swap pattern the churn
+		// experiment uses) so one arm's latency histogram never bleeds into
+		// another's.
+		reg := telemetry.NewRegistry()
+		saved := env.Cfg.Telemetry
+		env.Cfg.Telemetry = reg
+		coreCfg := cfg.Core
+		coreCfg.Parallelism = level
+		dep, err := env.NewDeployment(coreCfg)
+		env.Cfg.Telemetry = saved
+		if err != nil {
+			return nil, fmt.Errorf("eval: parallel arm %d: %w", level, err)
+		}
+		if err := dep.InsertQueries(env.Train); err != nil {
+			return nil, err
+		}
+		if err := dep.ShareAll(); err != nil {
+			return nil, err
+		}
+		if err := dep.Learn(cfg.LearningIterations); err != nil {
+			return nil, err
+		}
+
+		// Training ran with latency accounted but not slept (it would
+		// dominate the run without informing the measurement). Only the
+		// measured query phase sleeps.
+		dep.Sim.ResetStats()
+		dep.Sim.SetSleepLatency(true)
+		quality := Measure(dep.SpriteSearcher(), env.Test, cfg.TopK)
+		dep.Sim.SetSleepLatency(false)
+
+		st := dep.Sim.Stats()
+		h := reg.Histogram("sprite.query.latency_us")
+		arm := ParallelArm{
+			Parallelism: level,
+			MeanUS:      h.Mean(),
+			P50US:       h.Quantile(0.50),
+			P95US:       h.Quantile(0.95),
+			P99US:       h.Quantile(0.99),
+			Messages:    st.Calls,
+			Bytes:       st.Bytes,
+			Quality:     quality,
+		}
+		if base := res.Arms; len(base) > 0 && arm.MeanUS > 0 {
+			arm.Speedup = base[0].MeanUS / arm.MeanUS
+		} else if arm.MeanUS > 0 {
+			arm.Speedup = 1
+		}
+		res.Arms = append(res.Arms, arm)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *ParallelResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query latency vs fan-out parallelism (%d queries, %v link delay)\n",
+		r.Queries, r.Delay)
+	fmt.Fprintf(&b, "%-12s %-12s %-10s %-10s %-10s %-9s %-10s %-18s\n",
+		"parallelism", "mean_us", "p50_us", "p95_us", "p99_us", "speedup", "messages", "precision/recall")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%-12d %-12.1f %-10d %-10d %-10d %-9.2f %-10d P=%.4f R=%.4f\n",
+			a.Parallelism, a.MeanUS, a.P50US, a.P95US, a.P99US, a.Speedup,
+			a.Messages, a.Quality.Precision, a.Quality.Recall)
+	}
+	return b.String()
+}
+
+// CSV renders one row per arm.
+func (r *ParallelResult) CSV() string {
+	rows := make([][]string, 0, len(r.Arms))
+	for _, a := range r.Arms {
+		rows = append(rows, []string{
+			fmt.Sprint(a.Parallelism), fmt.Sprint(r.Delay.Microseconds()), fmt.Sprint(r.Queries),
+			fmt.Sprintf("%.1f", a.MeanUS), fmt.Sprint(a.P50US), fmt.Sprint(a.P95US), fmt.Sprint(a.P99US),
+			f4(a.Speedup), fmt.Sprint(a.Messages), fmt.Sprint(a.Bytes),
+			f4(a.Quality.Precision), f4(a.Quality.Recall),
+		})
+	}
+	return csvRows("parallelism,link_delay_us,queries,mean_us,p50_us,p95_us,p99_us,speedup,messages,bytes,precision,recall", rows)
+}

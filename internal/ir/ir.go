@@ -101,29 +101,58 @@ func (rl RankedList) Rank(doc index.DocID) int {
 // Accumulator consolidates per-term partial scores into document scores —
 // the querying peer's job in SPRITE (§3: "index entries for the same
 // document are consolidated"). Document lengths arrive with postings.
+//
+// Contributions are not summed eagerly: float addition is not associative,
+// so summing in completion order would make parallel query execution drift
+// from the sequential ranking by ULPs — enough to flip ties. Instead each
+// document keeps its contributions in arrival order and Ranked sums them
+// left to right, which makes split-and-Merge bit-identical to a single
+// sequential accumulation over the same (term, posting) stream.
 type Accumulator struct {
-	dot    map[index.DocID]float64
-	docLen map[index.DocID]int
+	contrib map[index.DocID][]float64
+	docLen  map[index.DocID]int
 }
 
 // NewAccumulator returns an empty accumulator.
 func NewAccumulator() *Accumulator {
 	return &Accumulator{
-		dot:    make(map[index.DocID]float64),
-		docLen: make(map[index.DocID]int),
+		contrib: make(map[index.DocID][]float64),
+		docLen:  make(map[index.DocID]int),
 	}
 }
 
 // Accumulate adds the contribution of one (query term, posting) pair.
 func (a *Accumulator) Accumulate(doc index.DocID, contribution float64, docLen int) {
-	a.dot[doc] += contribution
+	a.contrib[doc] = append(a.contrib[doc], contribution)
 	a.docLen[doc] = docLen
 }
 
-// Ranked finalizes all documents into a sorted ranked list.
+// Merge appends other's per-document contributions after a's own, leaving
+// other unchanged. Merging per-term partial accumulators in term order
+// reproduces, bit for bit, the result of accumulating every term into a
+// single accumulator sequentially: each document's contribution sequence is
+// the concatenation of the per-term sequences in merge order, exactly as the
+// sequential loop would have produced.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other == nil {
+		return
+	}
+	for doc, cs := range other.contrib {
+		a.contrib[doc] = append(a.contrib[doc], cs...)
+		a.docLen[doc] = other.docLen[doc]
+	}
+}
+
+// Ranked finalizes all documents into a sorted ranked list. Per-document
+// contributions are summed left to right in arrival order so the result is
+// independent of how the accumulator was assembled (direct vs merged).
 func (a *Accumulator) Ranked() RankedList {
-	rl := make(RankedList, 0, len(a.dot))
-	for doc, dot := range a.dot {
+	rl := make(RankedList, 0, len(a.contrib))
+	for doc, cs := range a.contrib {
+		dot := 0.0
+		for _, c := range cs {
+			dot += c
+		}
 		rl = append(rl, Hit{Doc: doc, Score: Similarity(dot, a.docLen[doc])})
 	}
 	rl.Sort()

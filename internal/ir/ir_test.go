@@ -1,7 +1,9 @@
 package ir
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -99,6 +101,77 @@ func TestAccumulator(t *testing.T) {
 	}
 	if math.Abs(rl[0].Score-0.3) > 1e-12 || math.Abs(rl[1].Score-0.2) > 1e-12 {
 		t.Fatalf("scores = %v", rl)
+	}
+}
+
+func TestAccumulatorMergeEquivalentToSequential(t *testing.T) {
+	// Property: accumulating a randomized stream of (doc, contribution,
+	// docLen) triples into one accumulator is bit-identical to splitting the
+	// stream at arbitrary points into partial accumulators and merging them
+	// back in split order — scores must match exactly (==), not just within
+	// epsilon, since the parallel query engine relies on this to reproduce
+	// sequential rankings.
+	rng := rand.New(rand.NewSource(42))
+	type posting struct {
+		doc     index.DocID
+		contrib float64
+		docLen  int
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		stream := make([]posting, n)
+		for i := range stream {
+			stream[i] = posting{
+				doc: index.DocID(fmt.Sprintf("d%d", rng.Intn(12))),
+				// Irregular magnitudes make float addition order-sensitive,
+				// so any ordering bug shows up as a score mismatch.
+				contrib: rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3)),
+				docLen:  1 + rng.Intn(500),
+			}
+		}
+
+		seq := NewAccumulator()
+		for _, p := range stream {
+			seq.Accumulate(p.doc, p.contrib, p.docLen)
+		}
+
+		// Split into 1..5 contiguous chunks (per-term partials in the real
+		// engine), accumulate each separately, merge in order.
+		parts := 1 + rng.Intn(5)
+		merged := NewAccumulator()
+		start := 0
+		for c := 0; c < parts; c++ {
+			end := start + rng.Intn(n-start+1)
+			if c == parts-1 {
+				end = n
+			}
+			partial := NewAccumulator()
+			for _, p := range stream[start:end] {
+				partial.Accumulate(p.doc, p.contrib, p.docLen)
+			}
+			merged.Merge(partial)
+			start = end
+		}
+
+		want, got := seq.Ranked(), merged.Ranked()
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d rank %d: sequential %+v, merged %+v (must be bit-identical)",
+					trial, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestAccumulatorMergeNil(t *testing.T) {
+	acc := NewAccumulator()
+	acc.Accumulate("d", 1.0, 4)
+	acc.Merge(nil)
+	if rl := acc.Ranked(); len(rl) != 1 || rl[0].Score != 0.5 {
+		t.Fatalf("Merge(nil) disturbed accumulator: %v", rl)
 	}
 }
 

@@ -154,6 +154,7 @@ type Network struct {
 	latency  LatencyModel
 	stats    Stats
 	countOwn bool // whether from==to calls count as network traffic
+	sleep    bool // whether simulated latency is also slept (wall-clock mode)
 	tel      *telemetry.Registry
 
 	// Fault-injection knobs for resilience testing. lossRng is a separate
@@ -172,6 +173,15 @@ type Option func(*Network)
 // WithLatency installs a latency model. The default is zero latency.
 func WithLatency(m LatencyModel) Option {
 	return func(n *Network) { n.latency = m }
+}
+
+// WithSleepingLatency makes each call actually sleep its simulated round
+// trip (context-aware) in addition to accounting it in Stats. By default
+// latency is accounted only, keeping experiments fast; sleeping mode turns
+// simulated latency into wall-clock latency so concurrency benefits (e.g.
+// parallel per-term fan-out) become measurable with real clocks.
+func WithSleepingLatency() Option {
+	return func(n *Network) { n.sleep = true }
 }
 
 // WithLocalCallsCounted makes calls where from == to count toward traffic
@@ -236,6 +246,15 @@ func (n *Network) SetPacketLoss(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.lossProb = clamp01(p)
+}
+
+// SetSleepLatency toggles sleeping-latency mode at runtime; see
+// WithSleepingLatency. The parallel experiment enables it only for the
+// measured query phase so deployment construction stays fast.
+func (n *Network) SetSleepLatency(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sleep = on
 }
 
 // DropCalls schedules the next count calls addressed to to (local-bypass
@@ -349,6 +368,7 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 		simRTT = 2 * n.latency(n.rng) // round trip
 		n.stats.SimLatency += simRTT
 	}
+	sleep := n.sleep
 	if !alive {
 		n.stats.Failed++
 		n.mu.Unlock()
@@ -394,6 +414,26 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 			msg.Type, to, simRTT, context.DeadlineExceeded)
 	}
 	n.mu.Unlock()
+
+	// Sleeping-latency mode: actually wait out the simulated round trip
+	// (outside the lock, context-aware) so wall clocks observe it.
+	if sleep && simRTT > 0 {
+		timer := time.NewTimer(simRTT)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			n.mu.Lock()
+			n.stats.Expired++
+			n.mu.Unlock()
+			if n.tel != nil {
+				n.tel.Counter("simnet.calls."+msg.Type).Inc()
+				n.tel.Counter("simnet.bytes."+msg.Type).Add(int64(msg.Size))
+				n.tel.Counter("simnet.ctx_expired").Inc()
+			}
+			return Message{}, fmt.Errorf("simnet: %s to %s aborted in flight: %w", msg.Type, to, ctx.Err())
+		}
+	}
 
 	reply, err := h.HandleMessage(from, msg)
 	if err == nil {

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -316,5 +317,65 @@ func TestTelemetryMirrorsAccounting(t *testing.T) {
 	}
 	if bytes := reg.Counter("simnet.bytes.ping").Value(); bytes < 60 {
 		t.Fatalf("simnet.bytes.ping = %d, want >= 60", bytes)
+	}
+}
+
+func TestSleepingLatencyWallClock(t *testing.T) {
+	const d = 10 * time.Millisecond
+	n := New(1, WithLatency(UniformLatency(d, d)), WithSleepingLatency())
+	n.Register("b", echoHandler(t))
+	start := time.Now()
+	if _, err := n.Call("a", "b", Message{Type: "ping"}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("sleeping-latency call took %v, want >= %v (round trip)", elapsed, 2*d)
+	}
+	if s := n.Stats(); s.SimLatency != 2*d {
+		t.Fatalf("SimLatency = %v, want %v (accounting must not change)", s.SimLatency, 2*d)
+	}
+}
+
+func TestSleepingLatencyCancellation(t *testing.T) {
+	n := New(1, WithLatency(UniformLatency(time.Second, time.Second)), WithSleepingLatency())
+	n.Register("b", echoHandler(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := n.CallCtx(ctx, "a", "b", Message{Type: "ping"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not interrupt the sleep")
+	}
+	if s := n.Stats(); s.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", s.Expired)
+	}
+}
+
+func TestSetSleepLatencyRuntimeToggle(t *testing.T) {
+	const d = 20 * time.Millisecond
+	n := New(1, WithLatency(UniformLatency(d, d)))
+	n.Register("b", echoHandler(t))
+	start := time.Now()
+	n.Call("a", "b", Message{Type: "ping"})
+	if time.Since(start) >= 2*d {
+		t.Fatal("latency slept while sleep mode off")
+	}
+	n.SetSleepLatency(true)
+	start = time.Now()
+	n.Call("a", "b", Message{Type: "ping"})
+	if time.Since(start) < 2*d {
+		t.Fatal("latency not slept after SetSleepLatency(true)")
+	}
+	n.SetSleepLatency(false)
+	start = time.Now()
+	n.Call("a", "b", Message{Type: "ping"})
+	if time.Since(start) >= 2*d {
+		t.Fatal("latency slept after SetSleepLatency(false)")
 	}
 }

@@ -120,6 +120,14 @@ type Options struct {
 	// successor replicas. The zero value disables it all — one attempt per
 	// fetch, exactly the paper's message accounting. Validated in New.
 	Resilience ResilienceOptions
+	// Parallelism bounds the query execution engine's fan-out: how many
+	// per-term pipelines (DHT lookup → postings fetch → history recording →
+	// scoring) run concurrently per query, and how many documents the
+	// learning/refresh sweeps process at once. 0 (the default) derives the
+	// bound from GOMAXPROCS; 1 forces the legacy sequential path. Rankings,
+	// query histories, and message accounting are bit-identical across
+	// settings — only wall-clock latency changes.
+	Parallelism int
 }
 
 // ResilienceOptions tunes the fault-tolerant read path; see Options.Resilience
@@ -252,6 +260,7 @@ func New(opts Options) (*Network, error) {
 		HistoryCap:        opts.HistoryCap,
 		ReplicationFactor: opts.Replicas,
 		HotTermDF:         opts.HotTermDF,
+		Parallelism:       opts.Parallelism,
 		Telemetry:         reg,
 		Cache: core.CacheConfig{
 			Enabled:         opts.Cache.Enabled,
