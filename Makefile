@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover smoke-churn smoke-parallel vulncheck
+.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel chaos-smoke fuzz-smoke vulncheck
 
 check: vet build race
 
@@ -35,6 +35,32 @@ smoke-churn:
 # accumulator-merge property tests, all under the race detector.
 smoke-parallel:
 	$(GO) test -race -run 'Parallel|Fanout|Map|ForEach|AccumulatorMerge|SleepingLatency' ./internal/fanout/ ./internal/core/ ./internal/ir/ ./internal/simnet/
+
+# Deterministic whole-system smoke: the chaos harness on its fixed seed set.
+# Violations print a shrunk repro and a `-chaos.seed=N` replay recipe (see
+# DESIGN.md § Correctness tooling). Kept under a minute for CI.
+chaos-smoke:
+	$(GO) test ./internal/chaos -run TestChaos -chaos.steps=150 -timeout 5m
+
+# Native Go fuzz targets, 10s each: the text pipeline (never panic, stemming
+# idempotent) and the wire codec (payload round-trip, garbage never panics).
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzStem -fuzztime=10s ./internal/text
+	$(GO) test -run=NONE -fuzz=FuzzTokenize -fuzztime=10s ./internal/text
+	$(GO) test -run=NONE -fuzz=FuzzAnalyzerTerms -fuzztime=10s ./internal/text
+	$(GO) test -run=NONE -fuzz=FuzzCodec -fuzztime=10s ./internal/wire
+
+# Coverage floor on the invariant-bearing packages. The threshold guards the
+# correctness tooling itself: chaos checkers or core introspection that rot
+# uncovered would silently stop guarding everything else.
+COVER_PKGS = ./internal/core ./internal/ir ./internal/chaos
+COVER_MIN  = 70
+
+coverage-gate:
+	$(GO) test -coverprofile=cover.out -coverpkg=$(shell echo $(COVER_PKGS) | tr ' ' ',') $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_MIN))}" || { echo "coverage $$total% below $(COVER_MIN)%"; exit 1; }
 
 # Known-vulnerability scan. Advisory: requires network access to the vuln DB,
 # so CI runs it non-blocking and local runs may skip it offline.

@@ -7,7 +7,8 @@
 //	spritebench [flags] <experiment>...
 //
 // Experiments: fig4a fig4b fig4c chord cost ablation churn cache parallel
-// config all
+// chaos config all ("chaos" is the correctness smoke gate, not a figure; it
+// is excluded from "all")
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -55,7 +56,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel chaos config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -304,6 +305,15 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 			return err
 		}
 		out.emit(res)
+	case "chaos":
+		res, err := eval.RunChaos(nil, 0, cfg.Core.Parallelism)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+		if n := res.Failures(); n > 0 {
+			return fmt.Errorf("%d/%d seeds violated an invariant", n, len(res.Seeds))
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -1,0 +1,389 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/spritedht/sprite/internal/core"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// Kind enumerates the operations the generator can emit.
+type Kind int
+
+const (
+	KShare Kind = iota
+	KUnshare
+	KSearch
+	KSearchExpanded
+	KInsertQuery
+	KLearn
+	KRefresh
+	KFail
+	KRecover
+	KJoin
+	KLoss
+	KDrop
+	KHeal
+)
+
+var kindNames = map[Kind]string{
+	KShare: "share", KUnshare: "unshare", KSearch: "search",
+	KSearchExpanded: "search_expanded", KInsertQuery: "insert_query",
+	KLearn: "learn", KRefresh: "refresh", KFail: "fail", KRecover: "recover",
+	KJoin: "join", KLoss: "loss", KDrop: "drop", KHeal: "heal",
+}
+
+// read reports whether the op only reads index state (it may append to query
+// histories); read runs execute concurrently under Parallelism > 1.
+func (k Kind) read() bool {
+	return k == KSearch || k == KSearchExpanded || k == KInsertQuery
+}
+
+// Op is one concrete, self-contained operation. Every field is fixed at
+// generation time, so any subsequence replays deterministically; an op whose
+// precondition no longer holds (sharing a shared doc, failing a failed peer)
+// executes as a deterministic no-op rather than depending on prior ops.
+type Op struct {
+	Kind  Kind
+	Peer  string   // actor: search origin, share owner, fail/drop target, join name
+	Doc   string   // document id for share/unshare
+	Terms []string // query terms
+	K     int      // top-k for searches
+	Skip  int      // drop schedule: calls to let through first
+	Count int      // drop schedule: calls to drop
+	Loss  float64  // packet loss probability
+}
+
+func (o Op) String() string {
+	var b strings.Builder
+	b.WriteString(kindNames[o.Kind])
+	switch o.Kind {
+	case KShare, KUnshare:
+		fmt.Fprintf(&b, " %s", o.Doc)
+		if o.Kind == KShare {
+			fmt.Fprintf(&b, " at %s", o.Peer)
+		}
+	case KSearch, KSearchExpanded, KInsertQuery:
+		fmt.Fprintf(&b, " %q from %s k=%d", strings.Join(o.Terms, " "), o.Peer, o.K)
+	case KFail, KRecover, KJoin:
+		fmt.Fprintf(&b, " %s", o.Peer)
+	case KLoss:
+		fmt.Fprintf(&b, " p=%.2f", o.Loss)
+	case KDrop:
+		fmt.Fprintf(&b, " to=%s skip=%d count=%d", o.Peer, o.Skip, o.Count)
+	}
+	return b.String()
+}
+
+const maxJoins = 6
+
+// Generate emits cfg.Steps operations as a pure function of cfg. A small
+// generation-time model (what is shared, who is failed) biases choices toward
+// effectual ops; the executor re-validates every precondition, so the
+// sequence stays replayable after the shrinker removes arbitrary ops.
+func Generate(cfg Config) []Op {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type wk struct {
+		kind   Kind
+		weight int
+	}
+	table := []wk{
+		{KShare, 14}, {KUnshare, 5}, {KSearch, 28}, {KSearchExpanded, 5},
+		{KInsertQuery, 8}, {KLearn, 8}, {KRefresh, 5},
+	}
+	if cfg.FaultOps {
+		table = append(table, wk{KFail, 6}, wk{KRecover, 5}, wk{KJoin, 2}, wk{KHeal, 4})
+		if !cfg.Twin {
+			// Probabilistic loss consumes per-call randomness, so it cannot be
+			// mirrored onto a twin with a different call pattern.
+			table = append(table, wk{KLoss, 3}, wk{KDrop, 3})
+		}
+	}
+	total := 0
+	for _, e := range table {
+		total += e.weight
+	}
+
+	pickKind := func() Kind {
+		r := rng.Intn(total)
+		for _, e := range table {
+			if r < e.weight {
+				return e.kind
+			}
+			r -= e.weight
+		}
+		return KSearch
+	}
+	pickTerm := func() string {
+		return fmt.Sprintf("w%02d", int(float64(cfg.Vocab)*rng.Float64()*rng.Float64()))
+	}
+	pickTerms := func() []string {
+		out := make([]string, 1+rng.Intn(3))
+		for i := range out {
+			out[i] = pickTerm()
+		}
+		return out
+	}
+	basePeer := func() string { return fmt.Sprintf("c%d", rng.Intn(cfg.Peers)) }
+	pickDoc := func() string { return fmt.Sprintf("doc%02d", rng.Intn(cfg.Docs)) }
+
+	shared := make(map[string]bool)
+	failed := make(map[string]bool)
+	joins := 0
+
+	ops := make([]Op, 0, cfg.Steps)
+	for len(ops) < cfg.Steps {
+		op := Op{Kind: pickKind()}
+		switch op.Kind {
+		case KShare:
+			op.Doc, op.Peer = pickDoc(), basePeer()
+			shared[op.Doc] = true
+		case KUnshare:
+			op.Doc = pickDoc()
+			if len(shared) > 0 && !shared[op.Doc] {
+				// Bias toward an actually shared doc (sorted for determinism).
+				ids := make([]string, 0, len(shared))
+				for id := range shared {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				op.Doc = ids[rng.Intn(len(ids))]
+			}
+			delete(shared, op.Doc)
+		case KSearch, KSearchExpanded, KInsertQuery:
+			op.Peer, op.Terms, op.K = basePeer(), pickTerms(), 3+rng.Intn(8)
+		case KFail:
+			op.Peer = basePeer()
+			failed[op.Peer] = true
+		case KRecover:
+			op.Peer = basePeer()
+			if len(failed) > 0 {
+				names := make([]string, 0, len(failed))
+				for n := range failed {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				op.Peer = names[rng.Intn(len(names))]
+			}
+			delete(failed, op.Peer)
+		case KJoin:
+			if joins >= maxJoins {
+				continue
+			}
+			op.Peer = fmt.Sprintf("j%d", joins)
+			joins++
+		case KLoss:
+			op.Loss = 0.05 + 0.2*rng.Float64()
+			if rng.Intn(4) == 0 {
+				op.Loss = 0
+			}
+		case KDrop:
+			op.Peer, op.Skip, op.Count = basePeer(), rng.Intn(20), 1+rng.Intn(3)
+		case KHeal:
+			failed = make(map[string]bool)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// opOut is the observable outcome of one op on one deployment.
+type opOut struct {
+	rl  ir.RankedList
+	exp []string
+	err error
+}
+
+// effective validates op against the execution-time model. Invalid ops are
+// deterministic no-ops so any subsequence of a generated run replays cleanly.
+func (h *harness) effective(op Op) bool {
+	switch op.Kind {
+	case KShare:
+		return !h.shared[op.Doc]
+	case KUnshare:
+		return h.shared[op.Doc]
+	case KFail:
+		if h.failed[op.Peer] || !h.nodeExists(op.Peer) {
+			return false
+		}
+		if len(h.failed) >= h.cfg.MaxFailed {
+			return false
+		}
+		return h.aliveCount()-1 >= h.cfg.MinAlive
+	case KRecover:
+		return h.failed[op.Peer]
+	case KJoin:
+		return !h.nodeExists(op.Peer)
+	case KDrop:
+		return h.nodeExists(op.Peer)
+	}
+	return true
+}
+
+func (h *harness) nodeExists(name string) bool {
+	_, ok := h.pri.nodes[simnet.Addr(name)]
+	return ok
+}
+
+func (h *harness) aliveCount() int {
+	return len(h.pri.nodes) - len(h.failed)
+}
+
+// updateModel folds a (validated) op into the shared fault/share model. ok
+// is the primary deployment's outcome: Share rolls back its registration
+// when the initial publishes fail, so a faulted share leaves the document
+// unshared.
+func (h *harness) updateModel(op Op, ok bool) {
+	switch op.Kind {
+	case KShare:
+		if ok {
+			h.shared[op.Doc] = true
+		}
+	case KUnshare:
+		delete(h.shared, op.Doc)
+	case KFail:
+		h.failed[op.Peer] = true
+		h.churned = true
+	case KRecover:
+		delete(h.failed, op.Peer)
+		h.churned = true
+	case KJoin:
+		h.churned = true
+	case KLoss:
+		h.loss = op.Loss
+		if op.Loss > 0 {
+			h.taint = true
+		}
+	case KDrop:
+		h.taint = true
+	}
+}
+
+// stabilizeRounds bounds ring repair after a liveness or membership change.
+const stabilizeRounds = 64
+
+// apply executes op against one deployment. Preconditions were already
+// validated by effective(); fault-model bookkeeping happens in updateModel.
+func (h *harness) apply(d *deployment, op Op) opOut {
+	switch op.Kind {
+	case KShare:
+		doc, ok := h.docs[op.Doc]
+		if !ok {
+			return opOut{err: fmt.Errorf("chaos: unknown doc %s", op.Doc)}
+		}
+		return opOut{err: d.net.Share(simnet.Addr(op.Peer), doc)}
+	case KUnshare:
+		return opOut{err: d.net.Unshare(index.DocID(op.Doc))}
+	case KSearch:
+		rl, err := d.net.SearchCtx(context.Background(), simnet.Addr(op.Peer), op.Terms, op.K)
+		return opOut{rl: rl, err: err}
+	case KSearchExpanded:
+		rl, exp, err := d.net.SearchExpanded(simnet.Addr(op.Peer), op.Terms, op.K, core.ExpandOptions{})
+		return opOut{rl: rl, exp: exp, err: err}
+	case KInsertQuery:
+		return opOut{err: d.net.InsertQueryCtx(context.Background(), simnet.Addr(op.Peer), op.Terms)}
+	case KLearn:
+		_, err := d.net.LearnAllCtx(context.Background())
+		return opOut{err: err}
+	case KRefresh:
+		_, err := d.net.RefreshAll()
+		return opOut{err: err}
+	case KFail:
+		d.sim.Fail(simnet.Addr(op.Peer))
+		d.ring.StabilizeLists(stabilizeRounds)
+		d.ring.RepairFingers()
+		d.net.InvalidateCaches()
+		return opOut{}
+	case KRecover:
+		d.sim.Recover(simnet.Addr(op.Peer))
+		d.ring.StabilizeLists(stabilizeRounds)
+		d.ring.RepairFingers()
+		d.net.InvalidateCaches()
+		return opOut{}
+	case KJoin:
+		return opOut{err: h.join(d, op.Peer)}
+	case KLoss:
+		d.sim.SetPacketLoss(op.Loss)
+		return opOut{}
+	case KDrop:
+		d.sim.DropCallsAfter(simnet.Addr(op.Peer), op.Skip, op.Count)
+		return opOut{}
+	}
+	return opOut{err: fmt.Errorf("chaos: unhandled op %s", op)}
+}
+
+// join adds a named node to a deployment's ring through the join protocol and
+// adopts it into the SPRITE network.
+func (h *harness) join(d *deployment, name string) error {
+	node, err := d.ring.AddNode(name)
+	if err != nil {
+		return err
+	}
+	d.net.Adopt(node)
+	var boot simnet.Addr
+	for i := 0; i < h.cfg.Peers; i++ {
+		cand := simnet.Addr(fmt.Sprintf("c%d", i))
+		if !h.failed[string(cand)] {
+			boot = cand
+			break
+		}
+	}
+	if boot == "" {
+		return fmt.Errorf("chaos: no alive bootstrap for join")
+	}
+	bootNode, ok := d.nodes[boot]
+	if !ok {
+		return fmt.Errorf("chaos: bootstrap node %s missing", boot)
+	}
+	if err := node.Join(bootNode); err != nil {
+		return err
+	}
+	d.nodes[node.Addr()] = node
+	d.ring.StabilizeLists(stabilizeRounds)
+	d.ring.RepairFingers()
+	d.net.InvalidateCaches()
+	return nil
+}
+
+// heal is the recover-everything super-op: revive all failed peers, clear all
+// injected faults, repair the ring, and migrate every index entry back to its
+// oracle owner. It is also the first stage of the final sweep, so a heal must
+// always converge — failure to do so is itself a violation.
+func (h *harness) heal() *Violation {
+	names := make([]string, 0, len(h.failed))
+	for n := range h.failed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, d := range h.deployments() {
+		for _, n := range names {
+			d.sim.Recover(simnet.Addr(n))
+		}
+		d.sim.ClearDrops()
+		d.sim.SetPacketLoss(0)
+		d.ring.StabilizeLists(stabilizeRounds)
+		d.ring.RepairFingers()
+		if !d.ring.ConvergedLists() {
+			return &Violation{Invariant: "heal",
+				Msg: fmt.Sprintf("%s: ring did not converge after %d stabilization rounds", d.label, stabilizeRounds)}
+		}
+		d.net.InvalidateCaches()
+		if _, err := d.net.RefreshAll(); err != nil {
+			return &Violation{Invariant: "heal",
+				Msg: fmt.Sprintf("%s: refresh on healed network: %v", d.label, err)}
+		}
+	}
+	h.failed = make(map[string]bool)
+	h.loss = 0
+	h.taint = false
+	h.churned = false
+	return nil
+}

@@ -1,0 +1,50 @@
+package chaos
+
+// shrink reduces a failing operation sequence to a (locally) minimal
+// reproduction. It is a greedy ddmin-lite: truncate to the failing step, then
+// repeatedly try deleting chunks — halving the chunk size down to single ops —
+// keeping any deletion after which Execute still reports a violation. Ops are
+// self-contained (invalid ones replay as no-ops), so any subsequence is a
+// legal program.
+//
+// Returns the shrunk sequence and the number of replays spent. If the
+// violation does not reproduce on the first replay (a schedule-dependent
+// failure under Parallelism > 1), it returns nil and the caller reports the
+// violation unshrunk.
+func shrink(cfg Config, ops []Op, v *Violation) ([]Op, int) {
+	cfg = cfg.withDefaults()
+	end := v.Step + 1
+	if end > len(ops) {
+		end = len(ops) // final-sweep violations need the whole sequence
+	}
+	cur := append([]Op(nil), ops[:end]...)
+
+	replays := 0
+	fails := func(sub []Op) bool {
+		if replays >= cfg.MaxShrinkReplays {
+			return false
+		}
+		replays++
+		return Execute(cfg, sub) != nil
+	}
+
+	if !fails(cur) {
+		return nil, replays
+	}
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand // same start: the next chunk slid into place
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 {
+			break
+		}
+	}
+	return cur, replays
+}

@@ -479,7 +479,7 @@ func (n *Node) stabilize() {
 			n.succs = newSuccs
 			n.mu.Unlock()
 			n.net.Call(self.Addr, succ.Addr, simnet.Message{Type: msgNotify, Payload: self, Size: refSize})
-		} else {
+		} else if !n.net.Alive(succ.Addr) {
 			// Successor died between the liveness check and the call; drop it.
 			n.mu.Lock()
 			if len(n.succs) > 1 {
@@ -489,6 +489,11 @@ func (n *Node) stabilize() {
 			}
 			n.mu.Unlock()
 		}
+		// A failed call to a successor that is still alive was message loss,
+		// not death: keep the list and retry next round. Dropping on loss is
+		// not just slow to heal — a fresh joiner whose only successor entry
+		// loses one packet would collapse to a self-loop that no amount of
+		// stabilization can ever re-absorb, since no other node knows it yet.
 	} else {
 		// We are our own successor. If a predecessor appeared, absorb it.
 		n.mu.Lock()

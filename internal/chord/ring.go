@@ -228,6 +228,51 @@ func (r *Ring) Converged() bool {
 	return true
 }
 
+// ConvergedLists reports whether every alive node's full successor list
+// matches the oracle — its next min(SuccessorListLen, alive-1) alive nodes in
+// ring order. This is strictly stronger than Converged: routing only needs
+// immediate successors, but successor-dependent placement (§7 replica
+// targets) reads the whole list, which lags behind by up to one ring hop per
+// stabilization round.
+func (r *Ring) ConvergedLists() bool {
+	alive := r.aliveNodes()
+	if len(alive) <= 1 {
+		return true
+	}
+	for i, n := range alive {
+		want := n.cfg.SuccessorListLen
+		if want > len(alive)-1 {
+			want = len(alive) - 1
+		}
+		succs := n.SuccessorList()
+		if len(succs) < want {
+			return false
+		}
+		for j := 0; j < want; j++ {
+			if succs[j].ID != alive[(i+1+j)%len(alive)].ID() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StabilizeLists is Stabilize run to the stronger ConvergedLists fixed
+// point. Use it when an experiment needs replica placement — not just
+// routing — to match the ring oracle before proceeding.
+func (r *Ring) StabilizeLists(rounds int) int {
+	for round := 1; round <= rounds; round++ {
+		for _, n := range r.aliveNodes() {
+			n.stabilize()
+			n.fixFinger()
+		}
+		if r.ConvergedLists() {
+			return round
+		}
+	}
+	return rounds
+}
+
 // RepairFingers fully refreshes every alive node's finger table via lookups.
 // Used after churn when an experiment needs log-N routing restored promptly.
 func (r *Ring) RepairFingers() {

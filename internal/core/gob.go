@@ -9,6 +9,7 @@ func init() {
 	wire.Register(
 		publishReq{},
 		unpublishReq{},
+		unpublishResp{},
 		getPostingsReq{},
 		getPostingsResp{},
 		cacheQueryReq{},

@@ -56,17 +56,73 @@ func (p *Peer) unshare(docID index.DocID) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	p.flushStale(st)
 	for _, term := range sortedIndexedTerms(st) {
 		// Best-effort: a dead indexing peer takes its entries with it.
 		if err := p.unpublishTerm(context.Background(), st, term); err != nil {
 			delete(st.indexed, term)
 			delete(st.since, term)
+			delete(st.publishedAt, term)
 		}
 	}
 	p.mu.Lock()
 	delete(p.owned, docID)
 	p.mu.Unlock()
 	return nil
+}
+
+// flushStale retries the withdrawals of possibly-stale copies left by failed
+// refresh migrations (see docState.stale). Successfully reached holders are
+// forgotten; unreachable ones stay recorded for the next sweep. Callers hold
+// st.mu.
+func (p *Peer) flushStale(st *docState) {
+	for _, term := range sortedStaleTerms(st) {
+		var remaining []simnet.Addr
+		for _, addr := range st.stale[term] {
+			if st.publishedAt[term] == addr {
+				// The entry legitimately lives here now — it migrated back,
+				// or a failed replica drop at this peer was superseded by a
+				// fresh publish. The record is obsolete, not stale: retrying
+				// the withdrawal would delete the live entry.
+				continue
+			}
+			stale, err := p.sendUnpublish(context.Background(), addr, term, st.doc.ID)
+			if err != nil {
+				remaining = append(remaining, addr)
+				continue
+			}
+			// The reached holder may itself have failed to withdraw replica
+			// copies it pushed earlier; keep chasing those.
+			remaining = append(remaining, stale...)
+		}
+		if len(remaining) == 0 {
+			delete(st.stale, term)
+		} else {
+			st.stale[term] = remaining
+		}
+	}
+}
+
+// markStale records that addr may still hold a withdrawn copy of term.
+func markStale(st *docState, term string, addr simnet.Addr) {
+	if st.stale == nil {
+		st.stale = make(map[string][]simnet.Addr)
+	}
+	for _, a := range st.stale[term] {
+		if a == addr {
+			return
+		}
+	}
+	st.stale[term] = append(st.stale[term], addr)
+}
+
+func sortedStaleTerms(st *docState) []string {
+	out := make([]string, 0, len(st.stale))
+	for t := range st.stale {
+		out = append(out, t)
+	}
+	insertionSort(out)
+	return out
 }
 
 // RefreshDoc re-publishes every current index term of a document through a
@@ -137,9 +193,13 @@ func (p *Peer) refresh(docID index.DocID) (int, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	// Per-term lookups and re-publications fan out (network I/O only); the
-	// migration accounting against publishedAt folds in term order under
-	// st.mu, which is held across the fan-out.
+	// First retry any withdrawals owed from earlier failed migrations, so a
+	// recovered holder sheds its stale copy before fresh publishes go out.
+	p.flushStale(st)
+	// Per-term lookups — and, for terms whose responsible peer is unchanged,
+	// the idempotent re-publication — fan out (network I/O only: workers read
+	// st but never write it, st.mu being held across the fan-out). Terms
+	// whose responsible peer changed migrate sequentially in the fold below.
 	terms := sortedIndexedTerms(st)
 	outs, _ := fanout.Map(context.Background(), p.net.exec, "refresh_term", len(terms), func(_ context.Context, i int) (simnet.Addr, error) {
 		term := terms[i]
@@ -147,17 +207,10 @@ func (p *Peer) refresh(docID index.DocID) (int, error) {
 		if err != nil {
 			return "", nil // no live owner for this key right now
 		}
-		posting := index.Posting{
-			Doc:    docID,
-			Owner:  string(p.Addr()),
-			Freq:   st.doc.TF[term],
-			DocLen: st.doc.Length,
+		if last, known := st.publishedAt[term]; known && last != ref.Addr {
+			return ref.Addr, nil // migration: withdraw-then-publish in the fold
 		}
-		if _, err := p.net.ring.Net().Call(p.Addr(), ref.Addr, simnet.Message{
-			Type:    msgPublish,
-			Payload: publishReq{Term: term, Posting: posting},
-			Size:    len(term) + posting.WireSize(),
-		}); err != nil {
+		if err := p.sendPublish(context.Background(), st, term, ref.Addr); err != nil {
 			return "", nil
 		}
 		return ref.Addr, nil
@@ -168,11 +221,36 @@ func (p *Peer) refresh(docID index.DocID) (int, error) {
 		if addr == "" {
 			continue
 		}
-		// The publish is idempotent at the destination; a move is counted
-		// when the responsible peer differs from the last known address.
-		if last, known := st.publishedAt[term]; known && last != addr {
+		last, known := st.publishedAt[term]
+		if known && last != addr {
+			// The responsible peer changed: withdraw the old copy first —
+			// its replica withdrawals target the old holder's recorded
+			// locations, which can overlap the new owner's replica set, so
+			// publishing first would let the withdrawal erase fresh replicas
+			// — then publish at the new owner. A failed withdrawal queues
+			// the old holder on the stale list for later retries.
+			stale, err := p.sendUnpublish(context.Background(), last, term, st.doc.ID)
+			if err != nil {
+				markStale(st, term, last)
+			}
+			for _, a := range stale {
+				markStale(st, term, a)
+			}
+			if err := p.publishTermTo(context.Background(), st, term, addr); err != nil {
+				// Old copy withdrawn (or queued for withdrawal), new publish
+				// failed: the term is no longer indexed anywhere the owner
+				// knows of. Forget it; the next learning iteration
+				// re-selects it if it still matters.
+				delete(st.indexed, term)
+				delete(st.since, term)
+				delete(st.publishedAt, term)
+				continue
+			}
 			moved++
+			continue
 		}
+		// Same responsible peer: the worker already re-published (restoring
+		// replicas at the current successors as a side effect).
 		if st.publishedAt == nil {
 			st.publishedAt = make(map[string]simnet.Addr)
 		}

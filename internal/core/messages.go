@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/simnet"
 )
 
 // SPRITE's application-level message types, dispatched by chord.Node to the
@@ -38,6 +39,16 @@ type publishReq struct {
 type unpublishReq struct {
 	Term string
 	Doc  index.DocID
+}
+
+type unpublishResp struct {
+	// StaleReplicas are replica holders the indexing peer failed to reach
+	// while withdrawing the entry's copies. Without reporting them, a drop
+	// lost to a crashed holder would orphan that replica forever: the holder
+	// list is consumed by the withdrawal, and no later operation addresses
+	// the entry at that peer. The owner queues these on the document's stale
+	// list and retries them like any other stale withdrawal.
+	StaleReplicas []simnet.Addr
 }
 
 type getPostingsReq struct {

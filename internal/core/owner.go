@@ -50,6 +50,11 @@ type docState struct {
 	// re-selected for this document ("The document owner peers can then
 	// discard the term and pick an analogously important term to index").
 	banned map[string]bool
+	// stale records peers that may still hold a withdrawn copy of a term's
+	// posting: a refresh migration whose withdrawal at the old indexing peer
+	// failed leaves the address here, and later refreshes/unshares retry
+	// until the copy is confirmed gone (or the holder leaves for good).
+	stale map[string][]simnet.Addr
 }
 
 type termStat struct {
@@ -105,6 +110,14 @@ func (p *Peer) share(ctx context.Context, doc *corpus.Document) error {
 	}
 	for _, term := range doc.TopTerms(p.net.cfg.InitialTerms) {
 		if err := p.publishTerm(ctx, st, term); err != nil {
+			// Roll back the terms already published: a failed share must not
+			// leave entries behind for a document the network will never list
+			// as shared. Best-effort, on a fresh context — the caller's may
+			// already be done, and an unreachable indexing peer keeps its
+			// copy only until it dies or is recycled.
+			for _, t := range sortedIndexedTerms(st) {
+				p.unpublishTerm(context.Background(), st, t) //nolint:errcheck
+			}
 			return err
 		}
 	}
@@ -121,48 +134,93 @@ func (p *Peer) publishTerm(ctx context.Context, st *docState, term string) error
 	if err != nil {
 		return fmt.Errorf("core: publish %q: %w", term, err)
 	}
-	posting := index.Posting{
-		Doc:    st.doc.ID,
-		Owner:  string(p.Addr()),
-		Freq:   st.doc.TF[term],
-		DocLen: st.doc.Length,
-	}
-	_, err = p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
-		Type:    msgPublish,
-		Payload: publishReq{Term: term, Posting: posting},
-		Size:    len(term) + posting.WireSize(),
-	})
-	if err != nil {
-		return fmt.Errorf("core: publish %q to %s: %w", term, ref.Addr, err)
+	return p.publishTermTo(ctx, st, term, ref.Addr)
+}
+
+// publishTermTo publishes to a known indexing peer and, on success, records
+// the term as indexed there. Callers that resolved the target themselves
+// (refresh) use it to keep the lookup and the bookkeeping apart.
+func (p *Peer) publishTermTo(ctx context.Context, st *docState, term string, target simnet.Addr) error {
+	if err := p.sendPublish(ctx, st, term, target); err != nil {
+		return err
 	}
 	p.net.met.termsPublished.Inc()
 	st.indexed[term] = true
 	if st.publishedAt == nil {
 		st.publishedAt = make(map[string]simnet.Addr)
 	}
-	st.publishedAt[term] = ref.Addr
+	st.publishedAt[term] = target
 	return nil
 }
 
-// unpublishTerm removes a retired term's posting from its indexing peer.
+// sendPublish performs the raw publish call with no docState bookkeeping; it
+// is safe to fan out while st.mu is held by the caller (workers only read).
+func (p *Peer) sendPublish(ctx context.Context, st *docState, term string, target simnet.Addr) error {
+	posting := index.Posting{
+		Doc:    st.doc.ID,
+		Owner:  string(p.Addr()),
+		Freq:   st.doc.TF[term],
+		DocLen: st.doc.Length,
+	}
+	_, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), target, simnet.Message{
+		Type:    msgPublish,
+		Payload: publishReq{Term: term, Posting: posting},
+		Size:    len(term) + posting.WireSize(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: publish %q to %s: %w", term, target, err)
+	}
+	return nil
+}
+
+// unpublishTerm removes a retired term's posting from its indexing peer. The
+// entry lives at the peer that last accepted it (publishedAt), so the
+// removal is addressed there directly — after churn a fresh lookup can name
+// a different peer than the one actually holding the entry, and unpublishing
+// at the wrong peer would orphan the real copy. Local bookkeeping is dropped
+// only once the remote removal succeeds; on failure the term stays indexed,
+// so callers can retry, force-forget (unshare), or leave it for the next
+// refresh.
 func (p *Peer) unpublishTerm(ctx context.Context, st *docState, term string) error {
+	target, known := st.publishedAt[term]
+	if !known {
+		ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
+		if err != nil {
+			return fmt.Errorf("core: unpublish %q: %w", term, err)
+		}
+		target = ref.Addr
+	}
+	stale, err := p.sendUnpublish(ctx, target, term, st.doc.ID)
+	if err != nil {
+		return err
+	}
+	for _, a := range stale {
+		markStale(st, term, a)
+	}
 	delete(st.indexed, term)
 	delete(st.since, term)
 	delete(st.publishedAt, term)
-	ref, _, err := p.node.LookupCtx(ctx, chordid.HashKey(term), nil)
-	if err != nil {
-		return fmt.Errorf("core: unpublish %q: %w", term, err)
-	}
-	_, err = p.net.ring.Net().CallCtx(ctx, p.Addr(), ref.Addr, simnet.Message{
-		Type:    msgUnpublish,
-		Payload: unpublishReq{Term: term, Doc: st.doc.ID},
-		Size:    len(term) + len(st.doc.ID),
-	})
-	if err != nil {
-		return fmt.Errorf("core: unpublish %q from %s: %w", term, ref.Addr, err)
-	}
 	p.net.met.termsRetired.Inc()
 	return nil
+}
+
+// sendUnpublish performs the raw unpublish call against a known holder. It
+// returns the replica holders the indexing peer could not reach while
+// dropping the entry's copies; callers must queue those on the document's
+// stale list or the copies leak.
+func (p *Peer) sendUnpublish(ctx context.Context, target simnet.Addr, term string, doc index.DocID) ([]simnet.Addr, error) {
+	reply, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), target, simnet.Message{
+		Type:    msgUnpublish,
+		Payload: unpublishReq{Term: term, Doc: doc},
+		Size:    len(term) + len(doc),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: unpublish %q from %s: %w", term, target, err)
+	}
+	if resp, ok := reply.Payload.(unpublishResp); ok {
+		return resp.StaleReplicas, nil
+	}
+	return nil, nil
 }
 
 // indexedTerms returns the document's current global index terms, sorted.
@@ -455,10 +513,15 @@ func (p *Peer) learnDoc(ctx context.Context, docID index.DocID) (int, error) {
 			st.banned = make(map[string]bool)
 		}
 		st.banned[term] = true
-		// Best-effort: if the indexing peer died between the poll and the
-		// removal, the local retirement still stands and the orphaned entry
-		// dies with the peer.
+		// The advisory commits only if the entry's removal went through. On
+		// failure (the indexing peer died between the poll and the removal)
+		// the ban is rolled back and the term stays indexed, so the next
+		// iteration retries. Keeping the ban while the entry survives would
+		// wedge the document: the term would never be re-selected or
+		// refreshed, and the stale entry would resurface ownerless when the
+		// indexing peer recovers.
 		if err := p.unpublishTerm(ctx, st, term); err != nil {
+			delete(st.banned, term)
 			continue
 		}
 	}

@@ -69,9 +69,17 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 	case msgUnpublish:
 		req := msg.Payload.(unpublishReq)
 		p.indexing.unpublish(req.Term, req.Doc)
-		p.replicateDrop(req.Term, req.Doc)
+		// Also shed any replica copy held locally: stale-withdrawal retries
+		// address the holder directly, and a former replica target must be
+		// able to clear its copy through the same message.
+		p.indexing.dropReplica(req.Term, req.Doc)
+		stale := p.replicateDrop(req.Term, req.Doc)
 		p.net.caches.invalidate()
-		return simnet.Message{Type: msg.Type, Size: 1}, nil
+		return simnet.Message{
+			Type:    msg.Type,
+			Payload: unpublishResp{StaleReplicas: stale},
+			Size:    1 + 8*len(stale),
+		}, nil
 
 	case msgGetPostings:
 		req := msg.Payload.(getPostingsReq)
@@ -150,10 +158,13 @@ func (p *Peer) replicaTargets() []simnet.Addr {
 
 // replicateOut pushes a freshly published entry to this peer's first
 // ReplicationFactor successors (§7: "we can replicate the indexes of a peer
-// in its successor peers"). The per-successor pushes are independent
+// in its successor peers"). The push targets are recorded so a later
+// withdrawal reaches every peer that actually holds a copy, even after the
+// successor set has rotated. The per-successor pushes are independent
 // best-effort calls, so they fan out.
 func (p *Peer) replicateOut(term string, posting index.Posting) {
 	targets := p.replicaTargets()
+	p.indexing.recordReplicaLocs(term, posting.Doc, targets)
 	fanout.ForEach(context.Background(), p.net.exec, "replicate", len(targets), func(_ context.Context, i int) error {
 		p.net.ring.Net().Call(p.Addr(), targets[i], simnet.Message{
 			Type:    msgReplica,
@@ -164,27 +175,96 @@ func (p *Peer) replicateOut(term string, posting index.Posting) {
 	})
 }
 
-func (p *Peer) replicateDrop(term string, doc index.DocID) {
-	targets := p.replicaTargets()
-	fanout.ForEach(context.Background(), p.net.exec, "replicate", len(targets), func(_ context.Context, i int) error {
-		p.net.ring.Net().Call(p.Addr(), targets[i], simnet.Message{
+// replicateDrop withdraws an entry's replicas: from every successor the
+// entry was ever pushed to (the recorded locations) plus the current replica
+// set, deduplicated. Without the recorded locations, copies pushed before a
+// successor-list rotation would leak forever. It returns the targets whose
+// withdrawal failed (dead or unreachable holders): the recorded locations are
+// consumed here, so an unreported failure would orphan that copy — no later
+// operation addresses the entry at that peer.
+func (p *Peer) replicateDrop(term string, doc index.DocID) []simnet.Addr {
+	targets := mergeAddrs(p.indexing.takeReplicaLocs(term, doc), p.replicaTargets())
+	_, errs := fanout.Map(context.Background(), p.net.exec, "replicate", len(targets), func(_ context.Context, i int) (struct{}, error) {
+		_, err := p.net.ring.Net().Call(p.Addr(), targets[i], simnet.Message{
 			Type:    msgReplicaDrop,
 			Payload: replicaDropReq{Term: term, Doc: doc},
 			Size:    len(term) + len(doc),
 		})
-		return nil
+		return struct{}{}, err
 	})
+	var failed []simnet.Addr
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, targets[i])
+		}
+	}
+	return failed
+}
+
+// mergeAddrs unions two address lists, sorted for deterministic fan-out.
+func mergeAddrs(a, b []simnet.Addr) []simnet.Addr {
+	seen := make(map[simnet.Addr]bool, len(a)+len(b))
+	out := make([]simnet.Addr, 0, len(a)+len(b))
+	for _, list := range [][]simnet.Addr{a, b} {
+		for _, addr := range list {
+			if !seen[addr] {
+				seen[addr] = true
+				out = append(out, addr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // indexingState is the indexing-peer role's state: primary inverted lists,
 // successor replicas held on behalf of other peers, and the query history.
 type indexingState struct {
-	mu         sync.Mutex
-	ix         *index.Inverted
-	replicas   *index.Inverted
-	history    []storedQuery
-	historyCap int
-	seq        uint64
+	mu       sync.Mutex
+	ix       *index.Inverted
+	replicas *index.Inverted
+	// replicaLocs records, per (term, doc) in the primary index, which
+	// successor addresses hold replicas pushed by this peer. replicateDrop
+	// consumes it so withdrawals reach stale locations too.
+	replicaLocs map[string]map[index.DocID][]simnet.Addr
+	history     []storedQuery
+	historyCap  int
+	seq         uint64
+}
+
+// recordReplicaLocs unions targets into the replica-location record for
+// (term, doc).
+func (s *indexingState) recordReplicaLocs(term string, doc index.DocID, targets []simnet.Addr) {
+	if len(targets) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replicaLocs == nil {
+		s.replicaLocs = make(map[string]map[index.DocID][]simnet.Addr)
+	}
+	byDoc := s.replicaLocs[term]
+	if byDoc == nil {
+		byDoc = make(map[index.DocID][]simnet.Addr)
+		s.replicaLocs[term] = byDoc
+	}
+	byDoc[doc] = mergeAddrs(byDoc[doc], targets)
+}
+
+// takeReplicaLocs removes and returns the recorded replica locations for
+// (term, doc).
+func (s *indexingState) takeReplicaLocs(term string, doc index.DocID) []simnet.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byDoc := s.replicaLocs[term]
+	locs := byDoc[doc]
+	if byDoc != nil {
+		delete(byDoc, doc)
+		if len(byDoc) == 0 {
+			delete(s.replicaLocs, term)
+		}
+	}
+	return locs
 }
 
 // storedQuery is one cached query: its keyword set, canonical key (for

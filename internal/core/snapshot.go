@@ -171,6 +171,9 @@ func (n *Network) Restore(r io.Reader) error {
 		p.indexing.mu.Lock()
 		p.indexing.ix = index.NewInverted()
 		p.indexing.replicas = index.NewInverted()
+		// Replica-location records are rebuilt as post-restore publishes
+		// happen; stale pre-snapshot locations must not leak into them.
+		p.indexing.replicaLocs = nil
 		p.indexing.history = nil
 		for _, e := range ps.Postings {
 			p.indexing.ix.Add(e.Term, e.Posting)

@@ -23,10 +23,10 @@ func TestNewDocument(t *testing.T) {
 func TestNewDocumentFromText(t *testing.T) {
 	var a text.Analyzer
 	d := NewDocumentFromText(a, "d1", "The databases are indexing. Databases!")
-	if d.TF["databas"] != 2 {
+	if d.TF["databa"] != 2 {
 		t.Fatalf("TF = %v", d.TF)
 	}
-	if d.Length != 3 { // databas, index, databas
+	if d.Length != 3 { // databa, index, databa
 		t.Fatalf("Length = %d, want 3", d.Length)
 	}
 }

@@ -65,12 +65,20 @@ func (s *System) Search(terms []string, topK int) ir.RankedList {
 		qtf[t]++
 	}
 	acc := ir.NewAccumulator()
-	for t, f := range qtf {
+	// Fold terms in first-occurrence order, not map order: float addition is
+	// not associative, so a map-ordered fold would let equal-score ties drift
+	// by ULPs between runs. SPRITE's querying peers fold the same way.
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
 		df := s.ix.DocFreq(t)
 		if df == 0 {
 			continue
 		}
-		wq := ir.QueryWeight(f, len(terms), s.n, df)
+		wq := ir.QueryWeight(qtf[t], len(terms), s.n, df)
 		for _, p := range s.ix.Postings(t) {
 			wd := ir.Weight(p.NormFreq(), s.n, df)
 			acc.Accumulate(p.Doc, wq*wd, p.DocLen)

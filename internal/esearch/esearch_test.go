@@ -1,9 +1,11 @@
 package esearch
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/index"
 )
 
 func testCorpus() *corpus.Corpus {
@@ -100,5 +102,65 @@ func TestLargerKIndexesMore(t *testing.T) {
 	// With k=4 every term of d1 is indexed, so gamma becomes findable.
 	if rl := s4.Search([]string{"gamma"}, 10); len(rl) != 1 {
 		t.Fatalf("gamma should be findable at k=4, got %v", rl)
+	}
+}
+
+// tieCorpus builds documents that are exact clones term-for-term, so every
+// query scores them bit-identically and ranking order is decided purely by
+// the tie-break rule.
+func tieCorpus(n int) *corpus.Corpus {
+	docs := make([]*corpus.Document, 0, n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, corpus.NewDocument(
+			index.DocID(fmt.Sprintf("d%02d", i)),
+			map[string]int{"alpha": 5, "beta": 3, "gamma": 2},
+		))
+	}
+	return corpus.MustNew(docs)
+}
+
+// TestSearchTieBreakByDocID: exact score ties must order by ascending DocID —
+// the RankedList contract — independent of insertion order or map iteration.
+func TestSearchTieBreakByDocID(t *testing.T) {
+	s, err := New(tieCorpus(8), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := s.Search([]string{"alpha", "beta"}, 5)
+	if len(rl) != 5 {
+		t.Fatalf("got %d hits, want 5", len(rl))
+	}
+	for i, h := range rl {
+		if want := index.DocID(fmt.Sprintf("d%02d", i)); h.Doc != want {
+			t.Fatalf("rank %d = %s, want %s (ties must break by DocID): %v", i, h.Doc, want, rl)
+		}
+		if h.Score != rl[0].Score {
+			t.Fatalf("scores of identical docs differ: %v", rl)
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossRuns: repeated searches must return
+// bit-identical rankings. The fold runs in first-occurrence term order, not
+// map order, so float summation order — and therefore every ULP of every
+// score — is fixed. A regression here shows up as flaky tie order.
+func TestSearchDeterministicAcrossRuns(t *testing.T) {
+	s, err := New(tieCorpus(16), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := []string{"gamma", "alpha", "beta", "alpha"}
+	first := s.Search(query, 10)
+	for run := 1; run < 200; run++ {
+		got := s.Search(query, 10)
+		if len(got) != len(first) {
+			t.Fatalf("run %d: %d hits vs %d", run, len(got), len(first))
+		}
+		for i := range got {
+			if got[i].Doc != first[i].Doc || got[i].Score != first[i].Score {
+				t.Fatalf("run %d rank %d: (%s, %v) vs (%s, %v)",
+					run, i, got[i].Doc, got[i].Score, first[i].Doc, first[i].Score)
+			}
+		}
 	}
 }

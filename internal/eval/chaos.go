@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/spritedht/sprite/internal/chaos"
+)
+
+// This file wires the internal/chaos whole-system harness into the
+// experiment runner as a smoke experiment: a fixed seed set at a modest step
+// count, runnable from `spritebench chaos` and CI's chaos-smoke job. It is
+// not a figure from the paper — it is the correctness gate DESIGN.md's
+// § Correctness tooling describes, surfaced alongside the benchmarks so a
+// regression shows up in the same harness operators already run.
+
+// ChaosResult reports one chaos run per seed.
+type ChaosResult struct {
+	Seeds     []int64
+	Steps     []int
+	Status    []string // "ok" or the violated invariant
+	Detail    []string // empty, or the violation message
+	ReproLen  []int    // shrunk repro length (0 when no violation)
+	ElapsedMS []int64
+}
+
+// RunChaos executes the chaos harness once per seed with the standard smoke
+// configuration: replication, caching, a cache-off twin, and fault operations
+// enabled. Any violation is reported in the result rather than as an error —
+// the caller decides whether a red row fails the run.
+func RunChaos(seeds []int64, steps, parallelism int) (*ChaosResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3, 4, 5}
+	}
+	if steps <= 0 {
+		steps = 150
+	}
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	res := &ChaosResult{}
+	for _, seed := range seeds {
+		start := time.Now()
+		r := chaos.Run(chaos.Config{
+			Seed:              seed,
+			Steps:             steps,
+			Parallelism:       parallelism,
+			Cache:             true,
+			Twin:              true,
+			FaultOps:          true,
+			ReplicationFactor: 2,
+			HotTermDF:         6,
+		})
+		res.Seeds = append(res.Seeds, seed)
+		res.Steps = append(res.Steps, steps)
+		res.ElapsedMS = append(res.ElapsedMS, time.Since(start).Milliseconds())
+		if r.Violation == nil {
+			res.Status = append(res.Status, "ok")
+			res.Detail = append(res.Detail, "")
+			res.ReproLen = append(res.ReproLen, 0)
+			continue
+		}
+		res.Status = append(res.Status, r.Violation.Invariant)
+		res.Detail = append(res.Detail, r.Violation.Msg)
+		res.ReproLen = append(res.ReproLen, len(r.Repro))
+	}
+	return res, nil
+}
+
+// Failures counts seeds that ended in a violation.
+func (r *ChaosResult) Failures() int {
+	n := 0
+	for _, s := range r.Status {
+		if s != "ok" {
+			n++
+		}
+	}
+	return n
+}
+
+// Table renders the per-seed outcomes.
+func (r *ChaosResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos smoke: seeded whole-system runs (invariants: index, oracle, cache, telemetry, leaks)\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-18s %-8s %-10s %s\n", "seed", "steps", "status", "repro", "ms", "detail")
+	for i := range r.Seeds {
+		fmt.Fprintf(&b, "%-8d %-8d %-18s %-8d %-10d %s\n",
+			r.Seeds[i], r.Steps[i], r.Status[i], r.ReproLen[i], r.ElapsedMS[i], r.Detail[i])
+	}
+	return b.String()
+}
+
+// CSV renders the same rows for machines.
+func (r *ChaosResult) CSV() string {
+	rows := make([][]string, 0, len(r.Seeds))
+	for i := range r.Seeds {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Seeds[i]), fmt.Sprint(r.Steps[i]), r.Status[i],
+			fmt.Sprint(r.ReproLen[i]), fmt.Sprint(r.ElapsedMS[i]),
+			strings.ReplaceAll(r.Detail[i], ",", ";"),
+		})
+	}
+	return csvRows("seed,steps,status,repro_len,elapsed_ms,detail", rows)
+}

@@ -1,6 +1,7 @@
 package querygen
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -302,5 +303,132 @@ func TestAlignJudgmentsEmptyInputs(t *testing.T) {
 	got := alignJudgments(map[index.DocID]bool{"a": true}, docids("a"), nil)
 	if len(got) != 0 {
 		t.Fatalf("no RL′: %v", got)
+	}
+}
+
+// TestReplacementPicksUniformOverNeighbourPool is a seeded KS-style sanity
+// check on Phase 1's distribution behaviour: a dropped term's replacement is
+// drawn uniformly from its top-S Distribution-neighbour pool. Samples are
+// restricted to derived queries with exactly one dropped term whose pool has
+// no member colliding with the kept terms, so the expected law is exactly
+// uniform over the S pool slots; the empirical CDF over pool ranks must then
+// stay within a KS band of the uniform CDF. A biased RNG path (reusing the
+// permutation, skewing toward pool head) fails this immediately.
+func TestReplacementPicksUniformOverNeighbourPool(t *testing.T) {
+	col, sys := testCollection(t)
+	const S = 5
+	g, err := Generate(col, sys, Config{PerOriginal: 400, Overlap: 0.7, TopSimilar: S, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*corpus.Query{}
+	for _, q := range col.Queries {
+		byID[q.ID] = q
+	}
+	counts := make([]int, S)
+	samples := 0
+	for _, q := range g.Queries {
+		orig := byID[g.Origin[q.ID]]
+		if q.ID == orig.ID {
+			continue
+		}
+		var dropped, added []string
+		inNew := map[string]bool{}
+		for _, tm := range q.Terms {
+			inNew[tm] = true
+		}
+		for _, tm := range orig.Terms {
+			if !inNew[tm] {
+				dropped = append(dropped, tm)
+			}
+		}
+		origHas := map[string]bool{}
+		for _, tm := range orig.Terms {
+			origHas[tm] = true
+		}
+		for _, tm := range q.Terms {
+			if !origHas[tm] {
+				added = append(added, tm)
+			}
+		}
+		if len(dropped) != 1 || len(added) != 1 {
+			continue // ambiguous attribution
+		}
+		pool := col.Corpus.SimilarTerms(dropped[0], S)
+		if len(pool) != S {
+			continue
+		}
+		collides := false
+		rank := -1
+		for i, p := range pool {
+			if origHas[p] && p != dropped[0] {
+				collides = true
+			}
+			if p == added[0] {
+				rank = i
+			}
+		}
+		if collides || rank < 0 {
+			continue // collision filtering skews the law; replacement outside pool impossible
+		}
+		counts[rank]++
+		samples++
+	}
+	if samples < 300 {
+		t.Fatalf("only %d clean samples; corpus/config no longer produce single-drop derivations", samples)
+	}
+	// One-sample KS test against the discrete uniform CDF. 1.63/sqrt(n) is
+	// the 1% critical value; the run is seeded, so a pass is stable.
+	cum, maxDev := 0.0, 0.0
+	for i := 0; i < S; i++ {
+		cum += float64(counts[i]) / float64(samples)
+		dev := cum - float64(i+1)/float64(S)
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if limit := 1.63 / math.Sqrt(float64(samples)); maxDev > limit {
+		t.Fatalf("KS statistic %.4f exceeds %.4f: pool-rank counts %v over %d samples not uniform",
+			maxDev, limit, counts, samples)
+	}
+}
+
+// TestDerivedSetPreservesTermDistribution checks the paper's property (b) at
+// the aggregate level: replacement terms are Distribution-neighbours of the
+// terms they replace, so the derived set's mean log-Distribution must stay
+// close to the original set's — the generator widens the query set without
+// shifting its term-importance profile.
+func TestDerivedSetPreservesTermDistribution(t *testing.T) {
+	col, sys := testCollection(t)
+	g, err := Generate(col, sys, Config{PerOriginal: 50, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanLogDist := func(qs []*corpus.Query, skipOriginals bool) float64 {
+		sum, n := 0.0, 0
+		for _, q := range qs {
+			if skipOriginals && q.ID == g.Origin[q.ID] {
+				continue
+			}
+			for _, tm := range q.Terms {
+				if d := col.Corpus.Distribution(tm); d > 0 {
+					sum += math.Log(float64(d))
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			t.Fatal("no terms with positive Distribution")
+		}
+		return sum / float64(n)
+	}
+	origMean := meanLogDist(col.Queries, false)
+	derivedMean := meanLogDist(g.Queries, true)
+	if diff := math.Abs(derivedMean - origMean); diff > 0.35 {
+		t.Fatalf("derived-set mean log-Distribution %.3f drifts %.3f from originals' %.3f",
+			derivedMean, diff, origMean)
 	}
 }

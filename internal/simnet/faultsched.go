@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// FaultKind enumerates the actions a FaultScheduler can take on one tick.
+type FaultKind string
+
+const (
+	// FaultNone is a tick on which the scheduler chose to do nothing.
+	FaultNone FaultKind = "none"
+	// FaultFail crashes a peer (state retained, see Fail).
+	FaultFail FaultKind = "fail"
+	// FaultRecover revives a previously failed peer.
+	FaultRecover FaultKind = "recover"
+)
+
+// FaultEvent is one concrete, replayable scheduler decision. Applying the
+// same sequence of events to an identically configured Network reproduces
+// the same fault history, which is what makes chaos runs shrinkable: a
+// recorded event stream can be replayed (or subsetted) without the rng.
+type FaultEvent struct {
+	Kind FaultKind
+	Peer Addr
+}
+
+// FaultSchedulerConfig bounds a FaultScheduler's behaviour.
+type FaultSchedulerConfig struct {
+	// MaxFailed caps how many peers may be down simultaneously. Zero means
+	// at most one.
+	MaxFailed int
+	// MinAlive refuses fails that would leave fewer than this many
+	// candidates reachable. Zero means no lower bound beyond MaxFailed.
+	MinAlive int
+	// FailBias is the probability in [0, 1] that a tick attempts a fail
+	// rather than a recover when both are possible. Zero means 0.5.
+	FailBias float64
+}
+
+// FaultScheduler draws fail/recover decisions from its own seeded source and
+// applies them to a Network. All randomness lives here — the emitted
+// FaultEvents are concrete — so a chaos harness can record the events it
+// observed and later replay any subsequence deterministically with Apply.
+type FaultScheduler struct {
+	net    *Network
+	rng    *rand.Rand
+	cfg    FaultSchedulerConfig
+	failed map[Addr]bool
+}
+
+// NewFaultScheduler creates a scheduler over net whose decisions derive only
+// from seed and the candidate sets passed to Tick.
+func NewFaultScheduler(net *Network, seed int64, cfg FaultSchedulerConfig) *FaultScheduler {
+	if cfg.MaxFailed <= 0 {
+		cfg.MaxFailed = 1
+	}
+	if cfg.FailBias <= 0 {
+		cfg.FailBias = 0.5
+	}
+	return &FaultScheduler{
+		net:    net,
+		rng:    rand.New(rand.NewSource(seed)),
+		cfg:    cfg,
+		failed: make(map[Addr]bool),
+	}
+}
+
+// Failed returns the peers the scheduler currently holds down, sorted.
+func (s *FaultScheduler) Failed() []Addr {
+	out := make([]Addr, 0, len(s.failed))
+	for a := range s.failed {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumFailed returns how many peers the scheduler currently holds down.
+func (s *FaultScheduler) NumFailed() int { return len(s.failed) }
+
+// Tick draws the next fault action over the given candidate peers and
+// applies it to the network. Candidates are sorted internally, so the
+// decision depends only on the candidate *set* and the seed, not on the
+// caller's ordering. The returned event records what happened (possibly
+// FaultNone when bounds forbid any action).
+func (s *FaultScheduler) Tick(candidates []Addr) FaultEvent {
+	sorted := append([]Addr(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var up, down []Addr
+	for _, a := range sorted {
+		if s.failed[a] {
+			down = append(down, a)
+		} else {
+			up = append(up, a)
+		}
+	}
+	canFail := len(down) < s.cfg.MaxFailed && len(up) > s.cfg.MinAlive && len(up) > 0
+	canRecover := len(down) > 0
+
+	var ev FaultEvent
+	switch {
+	case canFail && canRecover:
+		if s.rng.Float64() < s.cfg.FailBias {
+			ev = FaultEvent{Kind: FaultFail, Peer: up[s.rng.Intn(len(up))]}
+		} else {
+			ev = FaultEvent{Kind: FaultRecover, Peer: down[s.rng.Intn(len(down))]}
+		}
+	case canFail:
+		ev = FaultEvent{Kind: FaultFail, Peer: up[s.rng.Intn(len(up))]}
+	case canRecover:
+		ev = FaultEvent{Kind: FaultRecover, Peer: down[s.rng.Intn(len(down))]}
+	default:
+		return FaultEvent{Kind: FaultNone}
+	}
+	s.Apply(ev)
+	return ev
+}
+
+// Apply performs a concrete event against the network and the scheduler's
+// bookkeeping without consuming randomness. Replays use it to reproduce a
+// recorded fault history exactly.
+func (s *FaultScheduler) Apply(ev FaultEvent) {
+	switch ev.Kind {
+	case FaultFail:
+		s.net.Fail(ev.Peer)
+		s.failed[ev.Peer] = true
+	case FaultRecover:
+		s.net.Recover(ev.Peer)
+		delete(s.failed, ev.Peer)
+	}
+}
+
+// Heal recovers every peer the scheduler failed and clears all pending drop
+// schedules, returning the recovered peers (sorted). Packet loss is left to
+// the caller, which owns that knob.
+func (s *FaultScheduler) Heal() []Addr {
+	recovered := s.Failed()
+	for _, a := range recovered {
+		s.net.Recover(a)
+	}
+	s.failed = make(map[Addr]bool)
+	s.net.ClearDrops()
+	return recovered
+}

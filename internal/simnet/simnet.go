@@ -164,7 +164,9 @@ type Network struct {
 	lossProb float64
 	// dropNext schedules deterministic transient faults: the next
 	// dropNext[addr] calls to addr are dropped (the peer stays Alive).
+	// dropSkip delays a schedule: that many calls pass through first.
 	dropNext map[Addr]int
+	dropSkip map[Addr]int
 }
 
 // Option configures a Network.
@@ -227,6 +229,7 @@ func New(seed int64, opts ...Option) *Network {
 		rng:      rand.New(rand.NewSource(seed)),
 		lossRng:  rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
 		dropNext: make(map[Addr]int),
+		dropSkip: make(map[Addr]int),
 		stats: Stats{
 			CallsByType: make(map[string]int64),
 			BytesByType: make(map[string]int64),
@@ -263,13 +266,50 @@ func (n *Network) SetSleepLatency(on bool) {
 // counterpart of WithPacketLoss for retry/failover tests: exactly the first
 // count attempts fail, every later one succeeds.
 func (n *Network) DropCalls(to Addr, count int) {
+	n.DropCallsAfter(to, 0, count)
+}
+
+// DropCallsAfter is DropCalls with a delay: the next skip calls addressed to
+// to go through normally, then the following count calls are dropped. It
+// pins a fault to a precise point in a deterministic call sequence — e.g.
+// "let the poll through, then drop the unpublish that follows" — which is
+// how the regression tests reproduce mid-operation partial failures.
+// count <= 0 clears any schedule for to.
+func (n *Network) DropCallsAfter(to Addr, skip, count int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if count <= 0 {
 		delete(n.dropNext, to)
+		delete(n.dropSkip, to)
 		return
 	}
 	n.dropNext[to] = count
+	if skip > 0 {
+		n.dropSkip[to] = skip
+	} else {
+		delete(n.dropSkip, to)
+	}
+}
+
+// ClearDrops removes every pending drop schedule (but not packet loss).
+func (n *Network) ClearDrops() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropNext = make(map[Addr]int)
+	n.dropSkip = make(map[Addr]int)
+}
+
+// PendingDrops returns the total number of drops still scheduled across all
+// destinations. The chaos harness uses it to decide whether deterministic
+// invariant checks are currently meaningful.
+func (n *Network) PendingDrops() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, c := range n.dropNext {
+		total += c
+	}
+	return total
 }
 
 // Register attaches a handler at addr, replacing any previous registration
@@ -383,7 +423,9 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 	// then probabilistic loss. Either way the destination stays Alive — the
 	// failure looks exactly like a packet lost on the wire.
 	drop := false
-	if c := n.dropNext[to]; c > 0 {
+	if s := n.dropSkip[to]; s > 0 {
+		n.dropSkip[to] = s - 1
+	} else if c := n.dropNext[to]; c > 0 {
 		n.dropNext[to] = c - 1
 		drop = true
 	} else if n.lossProb > 0 && n.lossRng.Float64() < n.lossProb {

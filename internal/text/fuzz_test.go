@@ -31,6 +31,10 @@ func FuzzStem(f *testing.F) {
 		if len(got) > 0 && len(w) > 0 && got[0] != w[0] {
 			t.Fatalf("Stem(%q) changed the first byte: %q", w, got)
 		}
+		// Stems are DHT keys: re-analyzing a stored term must not move it.
+		if again := Stem(got); again != got {
+			t.Fatalf("Stem not idempotent: %q -> %q -> %q", w, got, again)
+		}
 	})
 }
 
@@ -52,6 +56,11 @@ func FuzzTokenize(f *testing.F) {
 			}
 			if tok != strings.ToLower(tok) {
 				t.Fatalf("token %q not lowercased", tok)
+			}
+			// A produced token is already canonical: re-tokenizing it must
+			// yield exactly itself, or terms would drift on re-analysis.
+			if again := Tokenize(tok); len(again) != 1 || again[0] != tok {
+				t.Fatalf("Tokenize not idempotent on token %q: %v", tok, again)
 			}
 		}
 	})

@@ -11,18 +11,32 @@ package text
 // returned unchanged where it does not match the algorithm's patterns) to
 // its Porter stem. Words of length <= 2 are returned as-is, per the
 // reference implementation.
+//
+// Unlike the 1980 algorithm, Stem is idempotent: Stem(Stem(w)) == Stem(w).
+// A single Porter pass is not — step 5a can strip a final e and expose a
+// trailing y that a later pass's step 1c would turn to i ("asjldsye" ->
+// "asjldsy" -> "asjldsi"). SPRITE uses stems as DHT keys, so a term that
+// re-enters the analyzer (query expansion over stored terms, cached-query
+// replay) must hash to the same key; Stem therefore iterates the pass to a
+// fixed point. Each pass never grows the word, so the loop terminates.
 func Stem(word string) string {
-	if len(word) <= 2 {
-		return word
+	for {
+		if len(word) <= 2 {
+			return word
+		}
+		s := stemmer{b: []byte(word), k: len(word) - 1}
+		s.step1ab()
+		s.step1c()
+		s.step2()
+		s.step3()
+		s.step4()
+		s.step5()
+		out := string(s.b[:s.k+1])
+		if out == word {
+			return out
+		}
+		word = out
 	}
-	s := stemmer{b: []byte(word), k: len(word) - 1}
-	s.step1ab()
-	s.step1c()
-	s.step2()
-	s.step3()
-	s.step4()
-	s.step5()
-	return string(s.b[:s.k+1])
 }
 
 // stemmer holds the working buffer. b[0..k] is the current word; j is the

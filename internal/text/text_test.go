@@ -66,7 +66,9 @@ func TestStopWords(t *testing.T) {
 }
 
 // Canonical examples from Porter's paper and the reference implementation's
-// vocabulary, covering every step of the algorithm.
+// vocabulary, covering every step of the algorithm. Where Stem's fixed-point
+// iteration (see the Stem doc comment) diverges from the single-pass 1980
+// output, the expected value is the fixed point and the line says so.
 func TestStemKnownVectors(t *testing.T) {
 	cases := map[string]string{
 		// step 1a
@@ -77,7 +79,7 @@ func TestStemKnownVectors(t *testing.T) {
 		"cats":     "cat",
 		// step 1b
 		"feed":      "feed",
-		"agreed":    "agre",
+		"agreed":    "agr", // fixed point: "agre" re-stems to "agr"
 		"plastered": "plaster",
 		"bled":      "bled",
 		"motoring":  "motor",
@@ -111,9 +113,9 @@ func TestStemKnownVectors(t *testing.T) {
 		"predication":    "predic",
 		"operator":       "oper",
 		"feudalism":      "feudal",
-		"decisiveness":   "decis",
+		"decisiveness":   "deci", // fixed point: "decis" sheds its plural-like s
 		"hopefulness":    "hope",
-		"callousness":    "callous",
+		"callousness":    "callou", // fixed point: "callous" sheds its final s
 		"formaliti":      "formal",
 		"sensitiviti":    "sensit",
 		"sensibiliti":    "sensibl",
@@ -132,7 +134,7 @@ func TestStemKnownVectors(t *testing.T) {
 		"airliner":    "airlin",
 		"gyroscopic":  "gyroscop",
 		"adjustable":  "adjust",
-		"defensible":  "defens",
+		"defensible":  "defen", // fixed point: "defens" sheds its final s
 		"irritant":    "irrit",
 		"replacement": "replac",
 		"adjustment":  "adjust",
@@ -148,12 +150,12 @@ func TestStemKnownVectors(t *testing.T) {
 		// step 5
 		"probate":  "probat",
 		"rate":     "rate",
-		"cease":    "ceas",
+		"cease":    "cea", // fixed point: "ceas" sheds its final s
 		"controll": "control",
 		"roll":     "roll",
 		// general IR examples the corpus relies on
 		"retrieval": "retriev",
-		"databases": "databas",
+		"databases": "databa", // fixed point: "databas" sheds its final s
 		"indexing":  "index",
 		"queries":   "queri",
 		"networks":  "network",
@@ -176,9 +178,9 @@ func TestStemShortWordsUnchanged(t *testing.T) {
 }
 
 func TestStemIdempotentOnCommonVocabulary(t *testing.T) {
-	// Porter is not idempotent in general, but for the overwhelming majority
-	// of real words a second application is a no-op; verify on a realistic
-	// vocabulary so pipeline double-stemming bugs would surface.
+	// Stem iterates the Porter pass to a fixed point, so idempotency holds by
+	// construction; verify on a realistic vocabulary anyway so a regression in
+	// the iteration would surface here before the fuzz target sees it.
 	words := []string{
 		"connection", "connections", "connective", "connected", "connecting",
 		"relate", "relativity", "generalization", "oscillators", "peers",
@@ -230,7 +232,7 @@ func TestStemUnifiesInflections(t *testing.T) {
 func TestAnalyzerDefaultPipeline(t *testing.T) {
 	var a Analyzer
 	got := a.Terms("The quick databases are indexing queries!")
-	want := []string{"quick", "databas", "index", "queri"}
+	want := []string{"quick", "databa", "index", "queri"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Terms = %v, want %v", got, want)
 	}
