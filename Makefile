@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel chaos-smoke fuzz-smoke vulncheck
+.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp chaos-smoke fuzz-smoke vulncheck
 
 check: vet build race
 
@@ -36,6 +36,14 @@ smoke-churn:
 smoke-parallel:
 	$(GO) test -race -run 'Parallel|Fanout|Map|ForEach|AccumulatorMerge|SleepingLatency' ./internal/fanout/ ./internal/core/ ./internal/ir/ ./internal/simnet/
 
+# Real-socket transport smoke: the pooled multiplexed TCP transport (pool
+# lifecycle, mux demux, reconnect, timeout taxonomy), the naive dial-per-RPC
+# baseline, the binary codec, and the facade twin test that demands identical
+# rankings from simnet and both TCP transports — all under the race detector.
+smoke-tcp:
+	$(GO) test -race ./internal/transport/ ./internal/nettransport/ ./internal/wire/ ./internal/fanout/
+	$(GO) test -race -run 'TransportTwin|TCPTransportOption' .
+
 # Deterministic whole-system smoke: the chaos harness on its fixed seed set.
 # Violations print a shrunk repro and a `-chaos.seed=N` replay recipe (see
 # DESIGN.md § Correctness tooling). Kept under a minute for CI.
@@ -49,11 +57,12 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzTokenize -fuzztime=10s ./internal/text
 	$(GO) test -run=NONE -fuzz=FuzzAnalyzerTerms -fuzztime=10s ./internal/text
 	$(GO) test -run=NONE -fuzz=FuzzCodec -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzBinaryProtocol -fuzztime=10s ./internal/wire
 
 # Coverage floor on the invariant-bearing packages. The threshold guards the
 # correctness tooling itself: chaos checkers or core introspection that rot
 # uncovered would silently stop guarding everything else.
-COVER_PKGS = ./internal/core ./internal/ir ./internal/chaos
+COVER_PKGS = ./internal/core ./internal/ir ./internal/chaos ./internal/transport ./internal/wire
 COVER_MIN  = 70
 
 coverage-gate:

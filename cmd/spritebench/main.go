@@ -7,8 +7,8 @@
 //	spritebench [flags] <experiment>...
 //
 // Experiments: fig4a fig4b fig4c chord cost ablation churn cache parallel
-// chaos config all ("chaos" is the correctness smoke gate, not a figure; it
-// is excluded from "all")
+// tcp chaos config all ("chaos" is the correctness smoke gate and "tcp" the
+// real-socket transport benchmark, not figures; both are excluded from "all")
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -56,7 +56,7 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel chaos config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel tcp chaos config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -301,6 +301,12 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		out.emit(res)
 	case "parallel":
 		res, err := eval.RunParallel(cfg, nil, linkDelay)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+	case "tcp":
+		res, err := eval.RunTCP(nil, nil, 0)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,87 @@
+package chord
+
+import (
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/wire"
+)
+
+// Binary codecs for the overlay's hot-path payloads. Every lookup hop is a
+// nextHopReq/nextHopResp exchange and every stabilization round a
+// stateResp, so these four types dominate the overlay's wire traffic; the
+// hand-rolled encoding spares each of them gob's per-stream type dictionary
+// and reflection walk. Gob registration (gob.go) is kept as the negotiated
+// fallback and for the simulator's by-value path.
+func init() {
+	wire.RegisterBinary(wire.KindChordBase+0, nextHopReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(nextHopReq)
+			e.Raw(r.Key[:])
+			e.Uint(uint64(len(r.Exclude)))
+			for _, id := range r.Exclude {
+				e.Raw(id[:])
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r nextHopReq
+			copy(r.Key[:], d.Raw(chordid.Bytes))
+			if n := d.Count(chordid.Bytes); n > 0 {
+				r.Exclude = make([]chordid.ID, n)
+				for i := range r.Exclude {
+					copy(r.Exclude[i][:], d.Raw(chordid.Bytes))
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindChordBase+1, nextHopResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(nextHopResp)
+			e.Bool(r.Done)
+			encodeRef(e, r.Ref)
+		},
+		func(d *wire.Decoder) any {
+			var r nextHopResp
+			r.Done = d.Bool()
+			r.Ref = decodeRef(d)
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindChordBase+2, stateResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(stateResp)
+			encodeRef(e, r.Pred)
+			e.Uint(uint64(len(r.Succs)))
+			for _, s := range r.Succs {
+				encodeRef(e, s)
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r stateResp
+			r.Pred = decodeRef(d)
+			// A Ref is at least ID + one length byte on the wire.
+			if n := d.Count(chordid.Bytes + 1); n > 0 {
+				r.Succs = make([]Ref, n)
+				for i := range r.Succs {
+					r.Succs[i] = decodeRef(d)
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindChordBase+3, Ref{},
+		func(e *wire.Encoder, v any) { encodeRef(e, v.(Ref)) },
+		func(d *wire.Decoder) any { return decodeRef(d) })
+}
+
+func encodeRef(e *wire.Encoder, r Ref) {
+	e.Raw(r.ID[:])
+	e.String(string(r.Addr))
+}
+
+func decodeRef(d *wire.Decoder) Ref {
+	var r Ref
+	copy(r.ID[:], d.Raw(chordid.Bytes))
+	r.Addr = simnet.Addr(d.String())
+	return r
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/wire"
+)
+
+// Binary codecs for SPRITE's application payloads — the postings fetches,
+// publishes/unpublishes, polls, and replica pushes that carry nearly all of
+// the system's bytes (§1's index-construction and maintenance cost). The
+// decoders mirror gob's empty-slice/map normalization (nil), so results are
+// identical whichever codec carried the frame; the transport tags each
+// payload with its codec and unregistered types still travel as gob.
+func init() {
+	wire.RegisterBinary(wire.KindCoreBase+0, publishReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(publishReq)
+			e.String(r.Term)
+			encodePosting(e, r.Posting)
+		},
+		func(d *wire.Decoder) any {
+			var r publishReq
+			r.Term = d.String()
+			r.Posting = decodePosting(d)
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+1, unpublishReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(unpublishReq)
+			e.String(r.Term)
+			e.String(string(r.Doc))
+		},
+		func(d *wire.Decoder) any {
+			var r unpublishReq
+			r.Term = d.String()
+			r.Doc = index.DocID(d.String())
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+2, unpublishResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(unpublishResp)
+			e.Uint(uint64(len(r.StaleReplicas)))
+			for _, a := range r.StaleReplicas {
+				e.String(string(a))
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r unpublishResp
+			if n := d.Count(1); n > 0 {
+				r.StaleReplicas = make([]simnet.Addr, n)
+				for i := range r.StaleReplicas {
+					r.StaleReplicas[i] = simnet.Addr(d.String())
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+3, getPostingsReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(getPostingsReq)
+			e.String(r.Term)
+			e.StringSlice(r.Query)
+			e.Bool(r.Record)
+		},
+		func(d *wire.Decoder) any {
+			var r getPostingsReq
+			r.Term = d.String()
+			r.Query = d.StringSlice()
+			r.Record = d.Bool()
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+4, getPostingsResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(getPostingsResp)
+			e.Uint(uint64(len(r.Postings)))
+			for _, p := range r.Postings {
+				encodePosting(e, p)
+			}
+			e.Int(int64(r.IndexedDF))
+			e.Bool(r.FromReplica)
+		},
+		func(d *wire.Decoder) any {
+			var r getPostingsResp
+			// A posting is at least two length bytes + two varints.
+			if n := d.Count(4); n > 0 {
+				r.Postings = make([]index.Posting, n)
+				for i := range r.Postings {
+					r.Postings[i] = decodePosting(d)
+				}
+			}
+			r.IndexedDF = int(d.Int())
+			r.FromReplica = d.Bool()
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+5, cacheQueryReq{},
+		func(e *wire.Encoder, v any) { e.StringSlice(v.(cacheQueryReq).Query) },
+		func(d *wire.Decoder) any { return cacheQueryReq{Query: d.StringSlice()} })
+
+	wire.RegisterBinary(wire.KindCoreBase+6, pollReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(pollReq)
+			e.String(r.Term)
+			e.String(string(r.Doc))
+			e.StringSlice(r.DocTerms)
+			e.Uint(r.Since)
+		},
+		func(d *wire.Decoder) any {
+			var r pollReq
+			r.Term = d.String()
+			r.Doc = index.DocID(d.String())
+			r.DocTerms = d.StringSlice()
+			r.Since = d.Uint()
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+7, pollResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(pollResp)
+			e.Uint(uint64(len(r.Queries)))
+			for _, q := range r.Queries {
+				e.StringSlice(q)
+			}
+			e.Uint(r.NewSince)
+			e.Int(int64(r.IndexedDF))
+		},
+		func(d *wire.Decoder) any {
+			var r pollResp
+			if n := d.Count(1); n > 0 {
+				r.Queries = make([][]string, n)
+				for i := range r.Queries {
+					r.Queries[i] = d.StringSlice()
+				}
+			}
+			r.NewSince = d.Uint()
+			r.IndexedDF = int(d.Int())
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+8, replicaReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(replicaReq)
+			e.String(r.Term)
+			encodePosting(e, r.Posting)
+		},
+		func(d *wire.Decoder) any {
+			var r replicaReq
+			r.Term = d.String()
+			r.Posting = decodePosting(d)
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+9, replicaDropReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(replicaDropReq)
+			e.String(r.Term)
+			e.String(string(r.Doc))
+		},
+		func(d *wire.Decoder) any {
+			var r replicaDropReq
+			r.Term = d.String()
+			r.Doc = index.DocID(d.String())
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+10, docTermsReq{},
+		func(e *wire.Encoder, v any) { e.String(string(v.(docTermsReq).Doc)) },
+		func(d *wire.Decoder) any { return docTermsReq{Doc: index.DocID(d.String())} })
+
+	wire.RegisterBinary(wire.KindCoreBase+11, docTermsResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(docTermsResp)
+			e.Bool(r.Found)
+			e.Uint(uint64(len(r.TF)))
+			for t, f := range r.TF {
+				e.String(t)
+				e.Int(int64(f))
+			}
+			e.Int(int64(r.Length))
+		},
+		func(d *wire.Decoder) any {
+			var r docTermsResp
+			r.Found = d.Bool()
+			// Each map entry is at least one length byte + one varint.
+			if n := d.Count(2); n > 0 {
+				r.TF = make(map[string]int, n)
+				for i := 0; i < n; i++ {
+					t := d.String()
+					f := int(d.Int())
+					if d.Err() != nil {
+						break
+					}
+					r.TF[t] = f
+				}
+			}
+			r.Length = int(d.Int())
+			return r
+		})
+}
+
+func encodePosting(e *wire.Encoder, p index.Posting) {
+	e.String(string(p.Doc))
+	e.String(p.Owner)
+	e.Int(int64(p.Freq))
+	e.Int(int64(p.DocLen))
+}
+
+func decodePosting(d *wire.Decoder) index.Posting {
+	var p index.Posting
+	p.Doc = index.DocID(d.String())
+	p.Owner = d.String()
+	p.Freq = int(d.Int())
+	p.DocLen = int(d.Int())
+	return p
+}

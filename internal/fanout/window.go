@@ -1,0 +1,90 @@
+package fanout
+
+import "sync"
+
+// Window is a many-producer, single-consumer coalescing queue: producers
+// Push items one at a time, and the consumer's Drain returns everything
+// queued since the previous Drain as one burst. It is the micro-batching
+// substrate of the pooled TCP transport's per-destination writer: the
+// per-term postings fetches this package's executor fans out land in the
+// destination's window concurrently, and the writer goroutine drains them
+// into a single buffered socket write — N frames, one flush, one syscall.
+//
+// The contract that makes it cheap: exactly one goroutine calls Drain. The
+// returned slice is reused as the queue buffer two Drains later, so the
+// consumer must finish with (or copy) a burst before its next-next Drain —
+// trivially satisfied by the usual "drain, write, flush, repeat" loop.
+type Window[T any] struct {
+	mu     sync.Mutex
+	buf    []T
+	spare  []T // previous burst's backing array, recycled
+	closed bool
+	ready  chan struct{} // capacity 1: "buf may be non-empty, or closed"
+}
+
+// NewWindow returns an empty, open window.
+func NewWindow[T any]() *Window[T] {
+	return &Window[T]{ready: make(chan struct{}, 1)}
+}
+
+// Push queues v and reports whether the window accepted it; it returns false
+// after Close (the item is dropped, and the producer should fail its caller
+// the way it would on a closed connection).
+func (w *Window[T]) Push(v T) bool {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return false
+	}
+	w.buf = append(w.buf, v)
+	w.mu.Unlock()
+	w.signal()
+	return true
+}
+
+// Drain blocks until at least one item is queued or the window is closed,
+// then returns the whole pending burst. ok is false only when the window is
+// closed and empty — the consumer's signal to exit. Closing with items still
+// queued delivers them first (shutdown drains, it does not drop).
+func (w *Window[T]) Drain() (burst []T, ok bool) {
+	for {
+		w.mu.Lock()
+		if len(w.buf) > 0 {
+			burst = w.buf
+			w.buf = w.spare[:0]
+			w.spare = burst
+			w.mu.Unlock()
+			return burst, true
+		}
+		if w.closed {
+			w.mu.Unlock()
+			return nil, false
+		}
+		w.mu.Unlock()
+		<-w.ready
+	}
+}
+
+// Close marks the window closed: future Pushes are refused, and Drain
+// returns pending items and then reports done. Safe to call more than once.
+func (w *Window[T]) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.signal()
+}
+
+// Len reports the items currently queued.
+func (w *Window[T]) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// signal wakes the consumer without blocking the producer.
+func (w *Window[T]) signal() {
+	select {
+	case w.ready <- struct{}{}:
+	default:
+	}
+}

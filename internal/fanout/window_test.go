@@ -1,0 +1,103 @@
+package fanout
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWindowDeliversEverythingOnce(t *testing.T) {
+	w := NewWindow[int]()
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if !w.Push(p*perProducer + i) {
+					t.Error("push refused on open window")
+					return
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); w.Close(); close(done) }()
+
+	seen := make(map[int]bool)
+	batches := 0
+	for {
+		burst, ok := w.Drain()
+		if !ok {
+			break
+		}
+		batches++
+		for _, v := range burst {
+			if seen[v] {
+				t.Fatalf("value %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	<-done
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d values, want %d", len(seen), producers*perProducer)
+	}
+	if batches > producers*perProducer {
+		t.Fatalf("batches %d exceed item count", batches)
+	}
+}
+
+// TestWindowCoalesces pins the batching property: items queued while the
+// consumer is away come back in one burst.
+func TestWindowCoalesces(t *testing.T) {
+	w := NewWindow[int]()
+	for i := 0; i < 10; i++ {
+		w.Push(i)
+	}
+	burst, ok := w.Drain()
+	if !ok || len(burst) != 10 {
+		t.Fatalf("Drain = %v, %v; want 10 items", burst, ok)
+	}
+	for i, v := range burst {
+		if v != i {
+			t.Fatalf("burst[%d] = %d, want %d (FIFO within a burst)", i, v, i)
+		}
+	}
+}
+
+func TestWindowCloseDrainsPendingThenReportsDone(t *testing.T) {
+	w := NewWindow[string]()
+	w.Push("a")
+	w.Push("b")
+	w.Close()
+	if w.Push("c") {
+		t.Fatal("push accepted after Close")
+	}
+	burst, ok := w.Drain()
+	if !ok || len(burst) != 2 {
+		t.Fatalf("Drain after close = %v, %v; want the 2 pending items", burst, ok)
+	}
+	if _, ok := w.Drain(); ok {
+		t.Fatal("Drain did not report done on closed empty window")
+	}
+	if _, ok := w.Drain(); ok {
+		t.Fatal("done is not sticky")
+	}
+}
+
+func TestWindowDrainBlocksUntilPush(t *testing.T) {
+	w := NewWindow[int]()
+	got := make(chan []int)
+	go func() {
+		burst, _ := w.Drain()
+		got <- burst
+	}()
+	w.Push(99)
+	if burst := <-got; len(burst) != 1 || burst[0] != 99 {
+		t.Fatalf("burst = %v, want [99]", burst)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after drain", w.Len())
+	}
+}

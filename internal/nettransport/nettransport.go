@@ -13,17 +13,55 @@
 package nettransport
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
 )
+
+// encBufs recycles the buffers gob frames are staged in before a single
+// conn.Write, and readBufs the buffered readers frames are decoded from.
+// Dial-per-RPC transports pay a dial per call by design; they should not
+// also pay a fresh 4KiB of encoder scratch per call.
+var (
+	encBufs  = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	readBufs = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 4<<10) }}
+)
+
+// encodeTo stages one gob frame in a pooled buffer and writes it to conn in
+// a single Write call.
+func encodeTo(conn net.Conn, v any) error {
+	buf := encBufs.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); encBufs.Put(buf) }()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf.Bytes())
+	return err
+}
+
+// isPeerGone reports whether err is the other end disappearing: connection
+// refused or reset, a broken pipe, or the stream ending mid-frame. Matched
+// structurally with errors.Is — never by substring — so wrapped *net.OpError
+// chains classify correctly.
+func isPeerGone(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE)
+}
 
 // wireRequest is one RPC frame on the wire.
 type wireRequest struct {
@@ -219,10 +257,11 @@ func (t *Transport) serve(addr simnet.Addr, l *listener) {
 func (t *Transport) handleConn(addr simnet.Addr, l *listener, conn net.Conn) {
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(t.callTimeout))
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := readBufs.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() { br.Reset(nil); readBufs.Put(br) }()
 	var req wireRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := gob.NewDecoder(br).Decode(&req); err != nil {
 		return
 	}
 	t.mu.Lock()
@@ -238,15 +277,16 @@ func (t *Transport) handleConn(addr simnet.Addr, l *listener, conn net.Conn) {
 	if err != nil {
 		out.Err = err.Error()
 	}
-	enc.Encode(out)
+	encodeTo(conn, out)
 }
 
 // Call dials the destination, sends one gob frame, and reads the reply.
 // Transport-level failures that make the destination look gone — dial
-// failures, and request/reply deadline expiry against a peer that accepted
-// but never answered — are reported wrapping simnet.ErrUnreachable, so the
-// overlay's routing-around-failures logic treats a hung peer like a dead
-// one.
+// failures, request/reply deadline expiry against a peer that accepted but
+// never answered, and connection resets / broken pipes / mid-frame EOF from
+// a peer that died mid-call — are reported wrapping simnet.ErrUnreachable,
+// so the overlay's routing-around-failures logic treats a hung or crashed
+// peer like a dead one.
 func (t *Transport) Call(from, to simnet.Addr, msg simnet.Message) (simnet.Message, error) {
 	return t.CallCtx(context.Background(), from, to, msg)
 }
@@ -278,15 +318,19 @@ func (t *Transport) CallCtx(ctx context.Context, from, to simnet.Addr, msg simne
 		t.count("net.errors.dial")
 		return simnet.Message{}, fmt.Errorf("%w: %s: %v", simnet.ErrUnreachable, to, err)
 	}
+	t.count("net.dials")
+	if t.tel != nil {
+		g := t.tel.Gauge("net.conns.open")
+		g.Add(1)
+		defer g.Add(-1)
+	}
 	defer conn.Close()
 	deadline := time.Now().Add(t.callTimeout)
 	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
 		deadline = dl
 	}
 	conn.SetDeadline(deadline)
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(wireRequest{From: from, Type: msg.Type, Size: msg.Size, Payload: msg.Payload}); err != nil {
+	if err := encodeTo(conn, wireRequest{From: from, Type: msg.Type, Size: msg.Size, Payload: msg.Payload}); err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			t.count("net.errors.ctx")
 			return simnet.Message{}, fmt.Errorf("nettransport: send to %s: %w", to, cerr)
@@ -296,11 +340,19 @@ func (t *Transport) CallCtx(ctx context.Context, from, to simnet.Addr, msg simne
 			t.count("net.errors.timeout")
 			return simnet.Message{}, fmt.Errorf("%w: %s: send timeout: %v", simnet.ErrUnreachable, to, err)
 		}
+		if isPeerGone(err) {
+			t.markDead(to)
+			t.count("net.errors.send")
+			return simnet.Message{}, fmt.Errorf("%w: %s: send: %v", simnet.ErrUnreachable, to, err)
+		}
 		t.count("net.errors.send")
 		return simnet.Message{}, fmt.Errorf("nettransport: send to %s: %w", to, err)
 	}
+	br := readBufs.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() { br.Reset(nil); readBufs.Put(br) }()
 	var reply wireReply
-	if err := dec.Decode(&reply); err != nil {
+	if err := gob.NewDecoder(br).Decode(&reply); err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			t.count("net.errors.ctx")
 			return simnet.Message{}, fmt.Errorf("nettransport: reply from %s: %w", to, cerr)
@@ -310,6 +362,14 @@ func (t *Transport) CallCtx(ctx context.Context, from, to simnet.Addr, msg simne
 			t.count("net.errors.timeout")
 			return simnet.Message{}, fmt.Errorf("%w: %s: reply timeout: %v", simnet.ErrUnreachable, to, err)
 		}
+		if isPeerGone(err) {
+			// The peer accepted the connection and then vanished (reset,
+			// restart, crash) before answering: to the overlay that is the
+			// same as never having been reachable.
+			t.markDead(to)
+			t.count("net.errors.reply")
+			return simnet.Message{}, fmt.Errorf("%w: %s: reply: %v", simnet.ErrUnreachable, to, err)
+		}
 		t.count("net.errors.reply")
 		return simnet.Message{}, fmt.Errorf("nettransport: reply from %s: %w", to, err)
 	}
@@ -318,8 +378,8 @@ func (t *Transport) CallCtx(ctx context.Context, from, to simnet.Addr, msg simne
 		return simnet.Message{}, fmt.Errorf("nettransport: remote %s: %s", to, reply.Err)
 	}
 	if t.tel != nil {
-		t.tel.Counter("net.calls."+msg.Type).Inc()
-		t.tel.Counter("net.bytes."+msg.Type).Add(int64(msg.Size) + int64(reply.Size))
+		t.tel.Counter("net.calls." + msg.Type).Inc()
+		t.tel.Counter("net.bytes." + msg.Type).Add(int64(msg.Size) + int64(reply.Size))
 		t.tel.Histogram("net.latency_us").Observe(time.Since(start).Microseconds())
 	}
 	return simnet.Message{Type: reply.Type, Payload: reply.Payload, Size: reply.Size}, nil

@@ -1,12 +1,16 @@
 package nettransport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -514,5 +518,102 @@ func TestDeadPeerTTLDefault(t *testing.T) {
 	}
 	if d := New(WithDeadPeerTTL(3 * time.Second)).deadTTL; d != 3*time.Second {
 		t.Fatalf("configured TTL = %v, want 3s", d)
+	}
+}
+
+// TestPeerDiesMidCallWrapsUnreachable pins the audit half of the error
+// contract: a peer that accepts the connection and then closes it before
+// replying (crash, restart) must classify as simnet.ErrUnreachable via
+// structural error matching, and be negative-cached — same as a peer that
+// never answered the dial.
+func TestPeerDiesMidCallWrapsUnreachable(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(WithTelemetry(reg))
+	defer tr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Slam the door: the caller's reply read sees EOF or a reset.
+			conn.Close()
+		}
+	}()
+	addr := simnet.Addr(ln.Addr().String())
+	_, err = tr.Call("c", addr, simnet.Message{Type: "ping"})
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Fatalf("mid-call peer death error = %v, want wrapping simnet.ErrUnreachable", err)
+	}
+	tr.mu.Lock()
+	_, dead := tr.deadUntil[addr]
+	tr.mu.Unlock()
+	if !dead {
+		t.Fatal("peer that died mid-call was not negative-cached")
+	}
+}
+
+// TestIsPeerGoneClassification drives the classifier with the error shapes
+// the net package actually produces — wrapped in *net.OpError chains, the
+// way Call sees them.
+func TestIsPeerGoneClassification(t *testing.T) {
+	gone := []error{
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		&net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNRESET)},
+		&net.OpError{Op: "write", Err: os.NewSyscallError("write", syscall.EPIPE)},
+		&net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)},
+		fmt.Errorf("wrapped: %w", io.EOF),
+	}
+	for _, err := range gone {
+		if !isPeerGone(err) {
+			t.Errorf("isPeerGone(%v) = false, want true", err)
+		}
+	}
+	notGone := []error{
+		nil,
+		errors.New("gob: type mismatch"),
+		context.Canceled,
+		&net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ENOMEM)},
+	}
+	for _, err := range notGone {
+		if isPeerGone(err) {
+			t.Errorf("isPeerGone(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestDialAndConnGaugeInstrumentation checks the pooling comparison's
+// denominators: every call on this transport dials once, and the
+// open-connection gauge returns to zero but retains its peak.
+func TestDialAndConnGaugeInstrumentation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(WithTelemetry(reg))
+	defer tr.Close()
+	addrs, err := FreeAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Register(addrs[0], echo())
+	const calls = 7
+	for i := 0; i < calls; i++ {
+		if _, err := tr.Call("c", addrs[0], simnet.Message{Type: "ping"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("net.dials").Value(); got != calls {
+		t.Fatalf("net.dials = %d, want %d (dial-per-RPC)", got, calls)
+	}
+	g := reg.Gauge("net.conns.open")
+	if got := g.Value(); got != 0 {
+		t.Fatalf("net.conns.open = %d after calls completed, want 0", got)
+	}
+	if g.Peak() < 1 {
+		t.Fatalf("net.conns.open peak = %d, want >= 1", g.Peak())
 	}
 }

@@ -14,10 +14,11 @@ import (
 // instrument's current value plus the retained trace trees. It marshals
 // directly to JSON and renders as a text report with WriteText.
 type Snapshot struct {
-	Counters   map[string]int64         `json:"counters,omitempty"`
-	Gauges     map[string]int64         `json:"gauges,omitempty"`
-	Histograms map[string]HistSnapshot  `json:"histograms,omitempty"`
-	Traces     []TraceSnapshot          `json:"traces,omitempty"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	GaugePeaks map[string]int64        `json:"gauge_peaks,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Traces     []TraceSnapshot         `json:"traces,omitempty"`
 }
 
 // HistSnapshot summarizes one histogram.
@@ -52,6 +53,7 @@ func (r *Registry) Snapshot() Snapshot {
 	out := Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
+		GaugePeaks: map[string]int64{},
 		Histograms: map[string]HistSnapshot{},
 	}
 	if r == nil {
@@ -63,6 +65,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		out.Gauges[name] = g.Value()
+		if p := g.Peak(); p != g.Value() {
+			out.GaugePeaks[name] = p
+		}
 	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {

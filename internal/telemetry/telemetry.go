@@ -53,9 +53,13 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// Gauge is a metric that can go up and down (e.g. peers alive).
+// Gauge is a metric that can go up and down (e.g. peers alive, connections
+// open). Alongside the current value it tracks the high-water mark, so a
+// snapshot taken after a burst still shows how high the gauge went — the
+// connection-pool experiments read peak open connections this way.
 type Gauge struct {
-	v atomic.Int64
+	v    atomic.Int64
+	peak atomic.Int64
 }
 
 // Set stores the gauge value. No-op on a nil receiver.
@@ -64,6 +68,7 @@ func (g *Gauge) Set(n int64) {
 		return
 	}
 	g.v.Store(n)
+	g.raisePeak(n)
 }
 
 // Add shifts the gauge by n. No-op on a nil receiver.
@@ -71,7 +76,26 @@ func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
 	}
-	g.v.Add(n)
+	g.raisePeak(g.v.Add(n))
+}
+
+// raisePeak lifts the high-water mark to at least v.
+func (g *Gauge) raisePeak(v int64) {
+	for {
+		cur := g.peak.Load()
+		if v <= cur || g.peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Peak returns the highest value the gauge has held (zero on a nil receiver
+// or if the gauge never went positive).
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
 }
 
 // Value returns the current value (zero on a nil receiver).

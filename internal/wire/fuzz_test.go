@@ -25,6 +25,35 @@ type fuzzInner struct {
 	Score float64
 }
 
+// kindFuzzPayload gives fuzzPayload a binary codec too, so FuzzCodec drives
+// both wire formats with the same values and can demand they agree.
+const kindFuzzPayload = KindTestBase + 100
+
+func init() {
+	RegisterBinary(kindFuzzPayload, fuzzPayload{},
+		func(e *Encoder, v any) {
+			p := v.(fuzzPayload)
+			e.String(p.Term)
+			e.String(p.Doc)
+			e.Int(p.Freq)
+			e.Int(int64(p.Hops))
+			e.StringSlice(p.Addrs)
+			e.String(p.Inner.Key)
+			e.Float(p.Inner.Score)
+		},
+		func(d *Decoder) any {
+			var p fuzzPayload
+			p.Term = d.String()
+			p.Doc = d.String()
+			p.Freq = d.Int()
+			p.Hops = int(d.Int())
+			p.Addrs = d.StringSlice()
+			p.Inner.Key = d.String()
+			p.Inner.Score = d.Float()
+			return p
+		})
+}
+
 // FuzzCodec fuzzes the wire codec the way nettransport uses it: the payload
 // travels as an interface value (wireRequest.Payload has type any), so
 // encoding depends on the Register machinery and decoding must return the
@@ -63,5 +92,26 @@ func FuzzCodec(f *testing.F) {
 		// A decoder fed arbitrary bytes may error, but must not panic.
 		var junk any
 		_ = gob.NewDecoder(bytes.NewReader(raw)).Decode(&junk)
+
+		// The binary codec must agree with gob's round trip of the same
+		// value — the codecs are interchangeable on the wire or they are
+		// wrong.
+		bin, ok := AppendBinary(nil, in.(fuzzPayload))
+		if !ok {
+			t.Fatal("binary codec not registered for fuzzPayload")
+		}
+		bout, err := DecodeBinary(bin)
+		if err != nil {
+			t.Fatalf("binary decode of own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(bout, out) {
+			t.Fatalf("binary and gob round trips disagree:\nbinary: %#v\ngob:    %#v", bout, out)
+		}
+		// Truncations and raw garbage must fail cleanly, never panic or
+		// size an allocation from an unvalidated declared length.
+		for n := 0; n < len(bin); n++ {
+			DecodeBinary(bin[:n])
+		}
+		DecodeBinary(raw)
 	})
 }

@@ -24,13 +24,18 @@ func Register(values ...any) {
 	mu.Lock()
 	defer mu.Unlock()
 	for _, v := range values {
-		t := reflect.TypeOf(v)
-		if registered[t] {
-			continue
-		}
-		gob.Register(v)
-		registered[t] = true
+		registerGobLocked(v)
 	}
+}
+
+// registerGobLocked is Register's single-value body; mu must be held.
+func registerGobLocked(v any) {
+	t := reflect.TypeOf(v)
+	if registered[t] {
+		return
+	}
+	gob.Register(v)
+	registered[t] = true
 }
 
 // Registered reports how many distinct types have been registered, for tests.

@@ -38,6 +38,7 @@ import (
 	"github.com/spritedht/sprite/internal/nettransport"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/text"
+	"github.com/spritedht/sprite/internal/transport"
 )
 
 // Sentinel errors for programmatic handling with errors.Is. They are shared
@@ -90,13 +91,20 @@ type Options struct {
 	KeepStopWords bool
 	// NoStemming disables Porter stemming in the text pipeline.
 	NoStemming bool
-	// TCP runs the peers over real loopback TCP sockets (gob-framed RPCs)
-	// instead of the in-process simulator. Peer names become their
-	// "host:port" addresses. Traffic statistics, FailPeer/RecoverPeer, and
-	// per-message accounting are simulator capabilities and are inert in
-	// TCP mode; everything else — sharing, searching, learning, expansion,
-	// replication, refresh — behaves identically.
+	// TCP runs the peers over real loopback TCP sockets instead of the
+	// in-process simulator. Peer names become their "host:port" addresses.
+	// Traffic statistics, FailPeer/RecoverPeer, and per-message accounting
+	// are simulator capabilities and are inert in TCP mode; everything else
+	// — sharing, searching, learning, expansion, replication, refresh —
+	// behaves identically.
 	TCP bool
+	// TCPTransport selects the socket layer when TCP is set: "pooled" (the
+	// default) multiplexes calls over pooled per-peer connections with the
+	// binary wire codec, "dial" opens one gob-framed connection per RPC
+	// (the naive baseline internal/nettransport). Rankings are
+	// byte-identical across both; see the tcp benchmark for the cost
+	// difference. Any other value is an error.
+	TCPTransport string
 	// HotTermDF enables the hot-term advisory: index terms whose indexed
 	// document frequency reaches this value are retired by their owners at
 	// the next learning iteration (0 = off).
@@ -224,16 +232,23 @@ func New(opts Options) (*Network, error) {
 	}
 	reg := opts.Telemetry.registry()
 	var (
-		transport simnet.Transport
-		sim       *simnet.Network
+		tport simnet.Transport
+		sim   *simnet.Network
 	)
 	if opts.TCP {
-		transport = nettransport.New(nettransport.WithTelemetry(reg))
+		switch opts.TCPTransport {
+		case "", "pooled":
+			tport = transport.New(transport.WithTelemetry(reg))
+		case "dial":
+			tport = nettransport.New(nettransport.WithTelemetry(reg))
+		default:
+			return nil, fmt.Errorf("sprite: TCPTransport = %q, want \"pooled\" or \"dial\"", opts.TCPTransport)
+		}
 	} else {
 		sim = simnet.New(opts.Seed, simnet.WithTelemetry(reg))
-		transport = sim
+		tport = sim
 	}
-	ring := chord.NewRing(transport, chord.Config{Telemetry: reg})
+	ring := chord.NewRing(tport, chord.Config{Telemetry: reg})
 	if opts.TCP {
 		addrs, err := nettransport.FreeAddrs(opts.Peers)
 		if err != nil {
@@ -244,10 +259,8 @@ func New(opts Options) (*Network, error) {
 				return nil, fmt.Errorf("sprite: %w", err)
 			}
 		}
-		if tt, ok := transport.(*nettransport.Transport); ok {
-			if err := tt.LastError(); err != nil {
-				return nil, fmt.Errorf("sprite: %w", err)
-			}
+		if err := transportLastError(tport); err != nil {
+			return nil, fmt.Errorf("sprite: %w", err)
 		}
 	} else if _, err := ring.AddNodes(opts.PeerPrefix, opts.Peers); err != nil {
 		return nil, fmt.Errorf("sprite: %w", err)
@@ -286,7 +299,7 @@ func New(opts Options) (*Network, error) {
 	n := &Network{
 		opts:      opts,
 		analyzer:  text.Analyzer{KeepStopWords: opts.KeepStopWords, NoStemming: opts.NoStemming},
-		transport: transport,
+		transport: tport,
 		sim:       sim,
 		ring:      ring,
 		core:      c,
@@ -498,13 +511,28 @@ func (n *Network) ResetStats() {
 	}
 }
 
-// Close releases transport resources (TCP listeners). Simulated networks
-// hold no external resources, so Close is then a no-op. The network is
-// unusable afterwards.
+// Close releases transport resources (TCP listeners, pooled connections).
+// Simulated networks hold no external resources, so Close is then a no-op.
+// The network is unusable afterwards.
 func (n *Network) Close() {
-	if t, ok := n.transport.(*nettransport.Transport); ok {
+	switch t := n.transport.(type) {
+	case *nettransport.Transport:
+		t.Close()
+	case *transport.Transport:
 		t.Close()
 	}
+}
+
+// transportLastError surfaces a TCP transport's listener-binding failure;
+// the Register interface cannot return one directly.
+func transportLastError(t simnet.Transport) error {
+	switch tt := t.(type) {
+	case *nettransport.Transport:
+		return tt.LastError()
+	case *transport.Transport:
+		return tt.LastError()
+	}
+	return nil
 }
 
 // Unshare withdraws a shared document: its index entries are removed from

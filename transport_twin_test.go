@@ -1,0 +1,105 @@
+package sprite
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTransportTwinDeterminism runs one workload — share, search, learn,
+// search again — on the simulator, the pooled multiplexed TCP transport, and
+// the naive dial-per-RPC TCP transport, and requires byte-identical rankings
+// (document IDs and scores) from all three. The transport is infrastructure:
+// if changing it changes what a search returns, the transport is wrong.
+func TestTransportTwinDeterminism(t *testing.T) {
+	docs := []string{
+		"chord scalable lookup protocol for internet applications",
+		"distributed hash tables partition keys across peers",
+		"progressive index tuning learns terms from query streams",
+		"replication keeps postings available through peer churn",
+		"text retrieval ranks documents by term frequency weights",
+	}
+	queries := []string{"lookup peers", "index tuning query", "replication churn", "retrieval weights"}
+
+	type hit struct {
+		doc   string
+		score float64
+	}
+	run := func(opts Options) [][]hit {
+		n, err := New(opts)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", opts, err)
+		}
+		defer n.Close()
+		peers := n.Peers()
+		for i, text := range docs {
+			if err := n.Share(peers[i%len(peers)], fmt.Sprintf("doc-%d", i), text); err != nil {
+				t.Fatalf("Share doc-%d: %v", i, err)
+			}
+		}
+		var rankings [][]hit
+		collect := func(peer, q string) {
+			res, err := n.Search(peer, q, 10)
+			if err != nil {
+				t.Fatalf("Search %q: %v", q, err)
+			}
+			hits := make([]hit, 0, len(res))
+			for _, r := range res {
+				hits = append(hits, hit{doc: r.DocID, score: r.Score})
+			}
+			rankings = append(rankings, hits)
+		}
+		for i, q := range queries {
+			collect(peers[(i+1)%len(peers)], q)
+		}
+		if _, err := n.Learn(); err != nil {
+			t.Fatalf("Learn: %v", err)
+		}
+		for i, q := range queries {
+			collect(peers[(i+2)%len(peers)], q)
+		}
+		return rankings
+	}
+
+	base := Options{Peers: 6, Seed: 7, InitialTerms: 3, TermsPerIteration: 2, MaxIndexTerms: 8}
+	variants := map[string][][]hit{}
+	variants["simnet"] = run(base)
+	pooled := base
+	pooled.TCP = true
+	variants["pooled"] = run(pooled)
+	dial := base
+	dial.TCP = true
+	dial.TCPTransport = "dial"
+	variants["dial"] = run(dial)
+
+	want := variants["simnet"]
+	for name, got := range variants {
+		if len(got) != len(want) {
+			t.Fatalf("%s produced %d rankings, simnet %d", name, len(got), len(want))
+		}
+		for qi := range want {
+			if len(got[qi]) != len(want[qi]) {
+				t.Fatalf("%s query %d returned %d hits, simnet %d:\n%v\nvs\n%v",
+					name, qi, len(got[qi]), len(want[qi]), got[qi], want[qi])
+			}
+			for hi := range want[qi] {
+				if got[qi][hi] != want[qi][hi] {
+					t.Fatalf("%s query %d hit %d = %+v, simnet %+v — transports disagree on ranking",
+						name, qi, hi, got[qi][hi], want[qi][hi])
+				}
+			}
+		}
+	}
+}
+
+// TestTCPTransportOptionValidation pins the facade's option contract.
+func TestTCPTransportOptionValidation(t *testing.T) {
+	if _, err := New(Options{Peers: 2, TCP: true, TCPTransport: "quic"}); err == nil {
+		t.Fatal("unknown TCPTransport accepted")
+	}
+	// TCPTransport without TCP is ignored (simulated mode).
+	n, err := New(Options{Peers: 2, TCPTransport: "dial"})
+	if err != nil {
+		t.Fatalf("TCPTransport in sim mode: %v", err)
+	}
+	n.Close()
+}
