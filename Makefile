@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp chaos-smoke fuzz-smoke vulncheck
+.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale chaos-smoke fuzz-smoke vulncheck
 
 check: vet build race
 
@@ -32,9 +32,18 @@ smoke-churn:
 
 # Fast concurrency smoke: the query execution engine's determinism and race
 # regression tests (sequential ≡ parallel), plus the fanout executor and
-# accumulator-merge property tests, all under the race detector.
+# accumulator arrival-order property tests, all under the race detector.
 smoke-parallel:
-	$(GO) test -race -run 'Parallel|Fanout|Map|ForEach|AccumulatorMerge|SleepingLatency' ./internal/fanout/ ./internal/core/ ./internal/ir/ ./internal/simnet/
+	$(GO) test -race -run 'Parallel|Fanout|Map|ForEach|Accumulator|RankedTop|SleepingLatency' ./internal/fanout/ ./internal/core/ ./internal/ir/ ./internal/simnet/
+
+# Virtual-time smoke: the event scheduler's own suite, the wall/virtual twin
+# and same-seed determinism regressions, a unit-sized scale sweep, and the
+# chaos matrix on the event clock — everything the 100k-peer experiments
+# stand on, in well under a minute.
+smoke-scale:
+	$(GO) test -race ./internal/vtime/
+	$(GO) test -run 'Virtual|TestRunScale' ./internal/eval/ ./internal/chaos/
+	$(GO) test -run 'TestVirtualTime' .
 
 # Real-socket transport smoke: the pooled multiplexed TCP transport (pool
 # lifecycle, mux demux, reconnect, timeout taxonomy), the naive dial-per-RPC
@@ -62,7 +71,7 @@ fuzz-smoke:
 # Coverage floor on the invariant-bearing packages. The threshold guards the
 # correctness tooling itself: chaos checkers or core introspection that rot
 # uncovered would silently stop guarding everything else.
-COVER_PKGS = ./internal/core ./internal/ir ./internal/chaos ./internal/transport ./internal/wire
+COVER_PKGS = ./internal/core ./internal/ir ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime
 COVER_MIN  = 70
 
 coverage-gate:

@@ -7,8 +7,10 @@
 //	spritebench [flags] <experiment>...
 //
 // Experiments: fig4a fig4b fig4c chord cost ablation churn cache parallel
-// tcp chaos config all ("chaos" is the correctness smoke gate and "tcp" the
-// real-socket transport benchmark, not figures; both are excluded from "all")
+// scale tcp chaos config all ("chaos" is the correctness smoke gate, "tcp"
+// the real-socket transport benchmark, and "scale" the virtual-time ring-size
+// sweep, not figures; all three are excluded from "all"). -virtual-time moves
+// the parallel and chaos experiments onto the deterministic event clock.
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -53,10 +55,14 @@ func main() {
 		cacheZip  = flag.Float64("cache-slope", 0.5, "Zipf slope of the cache experiment's repeated-query stream")
 		parallel  = flag.Int("parallel", 0, "query fan-out parallelism for all experiments (0 = GOMAXPROCS, 1 = sequential)")
 		linkDelay = flag.Duration("link-delay", time.Millisecond, "constant link delay slept in the parallel experiment")
+		virtual   = flag.Bool("virtual-time", false, "run the parallel and chaos experiments on the deterministic event clock (internal/vtime) instead of the wall clock")
+		scaleRing = flag.String("scale-rings", "", "comma-separated ring sizes for the scale experiment (default 10000,25000,50000,100000)")
+		scaleVol  = flag.Int("scale-queries", 0, "measured Zipf queries per ring in the scale experiment (default 250000)")
+		scaleZip  = flag.Float64("scale-slope", 0.5, "Zipf slope of the scale experiment's query stream")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel tcp chaos config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel scale tcp chaos config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,6 +91,7 @@ func main() {
 		LearningIterations: *iters,
 		Seed:               *seed + 14,
 		ChurnRotateEvery:   *churnRot,
+		VirtualTime:        *virtual,
 	}
 
 	if *colPath != "" {
@@ -114,10 +121,25 @@ func main() {
 		}
 	}
 
-	out := &output{asCSV: *asCSV, asJSON: *asJSON}
+	timeMode := "wall"
+	if *virtual {
+		timeMode = "virtual"
+	}
+	opts := runOpts{
+		failFrac:   *failFrac,
+		replicas:   *replicas,
+		repeats:    *repeats,
+		cacheVol:   *cacheVol,
+		cacheSlope: *cacheZip,
+		linkDelay:  *linkDelay,
+		scaleRings: parseRings(*scaleRing),
+		scaleVol:   *scaleVol,
+		scaleSlope: *scaleZip,
+	}
+	out := &output{asCSV: *asCSV, asJSON: *asJSON, timeMode: timeMode}
 	for _, exp := range args {
 		start := time.Now()
-		if err := run(exp, cfg, *failFrac, *replicas, *repeats, *cacheVol, *cacheZip, *linkDelay, out); err != nil {
+		if err := run(exp, cfg, opts, out); err != nil {
 			fmt.Fprintf(os.Stderr, "spritebench: %s: %v\n", exp, err)
 			os.Exit(1)
 		}
@@ -143,9 +165,11 @@ type renderable interface {
 }
 
 // jsonResult is one experiment's machine-readable output: the CSV rows
-// decoded into header-keyed maps, plus wall-clock time.
+// decoded into header-keyed maps, plus wall-clock time and which clock the
+// experiment's latencies were measured on ("wall" or "virtual").
 type jsonResult struct {
 	Experiment string              `json:"experiment"`
+	TimeMode   string              `json:"time_mode"`
 	ElapsedMS  int64               `json:"elapsed_ms"`
 	Rows       []map[string]string `json:"rows,omitempty"`
 }
@@ -153,10 +177,11 @@ type jsonResult struct {
 // output routes experiment results to the selected format: tables (default),
 // raw CSV, or an accumulated JSON document emitted after the last experiment.
 type output struct {
-	asCSV   bool
-	asJSON  bool
-	pending []map[string]string
-	results []jsonResult
+	asCSV    bool
+	asJSON   bool
+	timeMode string
+	pending  []map[string]string
+	results  []jsonResult
 }
 
 func (o *output) emit(r renderable) {
@@ -175,8 +200,13 @@ func (o *output) emit(r renderable) {
 // timing footer.
 func (o *output) finishExperiment(exp string, elapsed time.Duration) {
 	if o.asJSON {
+		mode := o.timeMode
+		if exp == "scale" {
+			mode = "virtual" // the scale sweep always runs on the event clock
+		}
 		o.results = append(o.results, jsonResult{
 			Experiment: exp,
+			TimeMode:   mode,
 			ElapsedMS:  elapsed.Milliseconds(),
 			Rows:       o.pending,
 		})
@@ -209,7 +239,37 @@ func csvRows(doc string) []map[string]string {
 	return rows
 }
 
-func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cacheVol int, cacheSlope float64, linkDelay time.Duration, out *output) error {
+// runOpts carries the per-experiment flag values into run.
+type runOpts struct {
+	failFrac   float64
+	replicas   int
+	repeats    int
+	cacheVol   int
+	cacheSlope float64
+	linkDelay  time.Duration
+	scaleRings []int
+	scaleVol   int
+	scaleSlope float64
+}
+
+// parseRings decodes a comma-separated ring-size list; empty means defaults.
+func parseRings(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "spritebench: bad -scale-rings entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func run(exp string, cfg eval.Config, o runOpts, out *output) error {
 	switch exp {
 	case "config":
 		if !out.asJSON {
@@ -223,7 +283,7 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		}
 		out.emit(res)
 	case "fig4a-replicated":
-		res, err := eval.RunFig4aReplicated(cfg, repeats)
+		res, err := eval.RunFig4aReplicated(cfg, o.repeats)
 		if err != nil {
 			return err
 		}
@@ -264,7 +324,7 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		}
 		out.emit(res)
 	case "churn":
-		res, err := eval.RunChurn(cfg, failFrac, replicas)
+		res, err := eval.RunChurn(cfg, o.failFrac, o.replicas)
 		if err != nil {
 			return err
 		}
@@ -276,7 +336,7 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		}
 		out.emit(res)
 	case "maintenance":
-		res, err := eval.RunMaintenance(cfg, failFrac, replicas)
+		res, err := eval.RunMaintenance(cfg, o.failFrac, o.replicas)
 		if err != nil {
 			return err
 		}
@@ -294,13 +354,19 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		}
 		out.emit(res)
 	case "cache":
-		res, err := eval.RunCacheRepeat(cfg, cacheVol, cacheSlope)
+		res, err := eval.RunCacheRepeat(cfg, o.cacheVol, o.cacheSlope)
 		if err != nil {
 			return err
 		}
 		out.emit(res)
 	case "parallel":
-		res, err := eval.RunParallel(cfg, nil, linkDelay)
+		res, err := eval.RunParallel(cfg, nil, o.linkDelay)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+	case "scale":
+		res, err := eval.RunScale(cfg, o.scaleRings, o.scaleVol, o.scaleSlope, o.linkDelay)
 		if err != nil {
 			return err
 		}
@@ -312,7 +378,7 @@ func run(exp string, cfg eval.Config, failFrac float64, replicas, repeats, cache
 		}
 		out.emit(res)
 	case "chaos":
-		res, err := eval.RunChaos(nil, 0, cfg.Core.Parallelism)
+		res, err := eval.RunChaos(nil, 0, cfg.Core.Parallelism, cfg.VirtualTime)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 //	spritesim [-peers N] [-replicas R] [-seed S] [-script file]
 //	          [-telemetry] [-telemetry-http addr] [-parallel P]
 //	          [-cache] [-cache-result-ttl D] [-cache-postings N]
+//	          [-virtual-time]
 //
 // Commands (also shown by "help"):
 //
@@ -49,6 +50,7 @@ func main() {
 		cacheTTL  = flag.Duration("cache-result-ttl", 0, "result cache TTL (0 = default 2s; implies -cache)")
 		cacheSize = flag.Int("cache-postings", 0, "postings cache capacity in terms (0 = default 4096; implies -cache)")
 		parallel  = flag.Int("parallel", 0, "query fan-out parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		virtual   = flag.Bool("virtual-time", false, "run the simulation on the deterministic event clock (internal/vtime); cache TTLs and timeouts advance with simulated, not wall, time")
 	)
 	flag.Parse()
 
@@ -61,7 +63,7 @@ func main() {
 		ResultTTL:       *cacheTTL,
 		PostingsEntries: *cacheSize,
 	}
-	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache, Parallelism: *parallel})
+	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache, Parallelism: *parallel, VirtualTime: *virtual})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)
@@ -105,7 +107,16 @@ func main() {
 		if !interactive {
 			fmt.Println(">", line)
 		}
-		if done := execute(net, tel, line); done {
+		// Under virtual time, each command runs with the REPL goroutine
+		// registered on the event clock so any virtual wait inside the
+		// command is scheduled rather than deadlocking.
+		done := false
+		if clk := net.VirtualClock(); clk != nil {
+			clk.Run(func() { done = execute(net, tel, line) })
+		} else {
+			done = execute(net, tel, line)
+		}
+		if done {
 			break
 		}
 	}

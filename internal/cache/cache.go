@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Config parameterizes a Cache.
@@ -37,8 +38,12 @@ type Config struct {
 	TTL time.Duration
 	// Shards is the number of independently locked segments (default 8).
 	Shards int
-	// Now supplies the clock, for TTL tests. Defaults to time.Now.
+	// Now supplies expiry timestamps, for TTL tests. Defaults to Clock.Now.
 	Now func() time.Time
+	// Clock supplies lookup timing and singleflight waits. Nil is the wall
+	// clock; virtual-time deployments inject their *vtime.Sim so a waiter
+	// coalesced on another caller's fill does not stall the scheduler.
+	Clock vtime.Clock
 	// Telemetry, when non-nil, receives counters/gauges/histograms named
 	// "<Name>.hits", "<Name>.entries", "<Name>.lookup_ns", … Nil disables
 	// instrumentation; the cache still keeps its own Stats.
@@ -57,8 +62,9 @@ func (c Config) withDefaults() Config {
 	if c.Shards > c.MaxEntries {
 		c.Shards = c.MaxEntries
 	}
+	c.Clock = vtime.Default(c.Clock)
 	if c.Now == nil {
-		c.Now = time.Now
+		c.Now = c.Clock.Now
 	}
 	if c.Name == "" {
 		c.Name = "cache"
@@ -211,7 +217,7 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	if c == nil {
 		return zero, false
 	}
-	start := time.Now()
+	start := c.cfg.Clock.Now()
 	s := c.shardFor(key)
 	s.mu.Lock()
 	e, live := c.lookupLocked(s, key)
@@ -219,7 +225,7 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 		s.moveToFront(e)
 	}
 	s.mu.Unlock()
-	c.met.lookupNS.Observe(time.Since(start).Nanoseconds())
+	c.met.lookupNS.Observe(c.cfg.Clock.Now().Sub(start).Nanoseconds())
 	if !live {
 		c.misses.Add(1)
 		c.met.misses.Inc()
@@ -301,31 +307,34 @@ func (c *Cache[V]) GetOrFill(key string, fill func() (V, int, error)) (V, Outcom
 		v, _, err := fill()
 		return v, Filled, err
 	}
-	start := time.Now()
+	start := c.cfg.Clock.Now()
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if e, live := c.lookupLocked(s, key); live {
 		s.moveToFront(e)
 		s.mu.Unlock()
-		c.met.lookupNS.Observe(time.Since(start).Nanoseconds())
+		c.met.lookupNS.Observe(c.cfg.Clock.Now().Sub(start).Nanoseconds())
 		c.hits.Add(1)
 		c.met.hits.Inc()
 		return e.val, Hit, nil
 	}
 	if f, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
-		c.met.lookupNS.Observe(time.Since(start).Nanoseconds())
+		c.met.lookupNS.Observe(c.cfg.Clock.Now().Sub(start).Nanoseconds())
 		c.misses.Add(1)
 		c.met.misses.Inc()
 		c.coalesced.Add(1)
 		c.met.coalesced.Inc()
-		<-f.done
+		// The filling goroutine may be sleeping through simulated latency:
+		// the wait on its completion is a real-channel wait the clock cannot
+		// see, so deregister for its duration.
+		c.cfg.Clock.Blocking(func() { <-f.done })
 		return f.val, Coalesced, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	s.inflight[key] = f
 	s.mu.Unlock()
-	c.met.lookupNS.Observe(time.Since(start).Nanoseconds())
+	c.met.lookupNS.Observe(c.cfg.Clock.Now().Sub(start).Nanoseconds())
 	c.misses.Add(1)
 	c.met.misses.Inc()
 

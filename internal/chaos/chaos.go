@@ -37,6 +37,7 @@ import (
 	"github.com/spritedht/sprite/internal/corpus"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Config parameterizes one chaos run. The zero value is not usable; Run
@@ -88,6 +89,13 @@ type Config struct {
 	// operation. Mutation tests use it to inject state corruption and assert
 	// the invariant registry catches it.
 	Sabotage func(*core.Network)
+	// VirtualTime runs each deployment on its own deterministic event clock
+	// (internal/vtime) with a constant, actually-slept link delay on every
+	// simulated call: the whole fault repertoire — crashes, joins, drops,
+	// heals, concurrent read batches — then exercises the virtual scheduler,
+	// and every invariant must hold exactly as it does on the wall clock.
+	// The slept delay advances virtual time, so runs stay fast.
+	VirtualTime bool
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +186,10 @@ type deployment struct {
 	sim   *simnet.Network
 	ring  *chord.Ring
 	net   *core.Network
+	// clk is the deployment's virtual clock (nil unless Config.VirtualTime).
+	// Every network-touching step attaches through run; the invariant checks
+	// are introspective and need no attachment.
+	clk   *vtime.Sim
 	nodes map[simnet.Addr]*chord.Node
 	// prev is the stats snapshot of the previous step, for monotonicity.
 	prev simnet.Stats
@@ -195,14 +207,27 @@ type entryKey struct {
 	doc     index.DocID
 }
 
+// chaosLinkDelay is the constant one-way link delay slept by virtual-time
+// chaos deployments. Constant so the transport's RNG stream — and therefore
+// every routed message — matches the wall-clock run exactly.
+const chaosLinkDelay = 200 * time.Microsecond
+
 func (c Config) newDeployment(label string, cacheOn bool) (*deployment, error) {
-	sim := simnet.New(c.Seed)
-	ring := chord.NewRing(sim, chord.Config{})
-	added, err := ring.AddNodes("c", c.Peers)
-	if err != nil {
-		return nil, err
+	var (
+		clk      *vtime.Sim
+		snetOpts []simnet.Option
+	)
+	if c.VirtualTime {
+		clk = vtime.NewSim()
+		snetOpts = append(snetOpts,
+			simnet.WithClock(clk),
+			simnet.WithLatency(simnet.UniformLatency(chaosLinkDelay, chaosLinkDelay)))
 	}
-	ring.Build()
+	sim := simnet.New(c.Seed, snetOpts...)
+	if c.VirtualTime {
+		sim.SetSleepLatency(true)
+	}
+	ring := chord.NewRing(sim, chord.Config{})
 	coreCfg := core.Config{
 		InitialTerms:      3,
 		TermsPerIteration: 2,
@@ -217,23 +242,49 @@ func (c Config) newDeployment(label string, cacheOn bool) (*deployment, error) {
 	if cacheOn {
 		coreCfg.Cache = core.CacheConfig{Enabled: true}
 	}
-	net, err := core.NewNetwork(ring, coreCfg)
-	if err != nil {
-		return nil, err
+	if clk != nil {
+		coreCfg.Clock = clk
 	}
 	d := &deployment{
 		label:     label,
 		sim:       sim,
 		ring:      ring,
-		net:       net,
+		clk:       clk,
 		nodes:     make(map[simnet.Addr]*chord.Node, c.Peers),
 		tolerated: make(map[entryKey]bool),
+	}
+	var (
+		added []*chord.Node
+		err   error
+	)
+	d.run(func() {
+		added, err = ring.AddNodes("c", c.Peers)
+		if err != nil {
+			return
+		}
+		ring.Build()
+		d.net, err = core.NewNetwork(ring, coreCfg)
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, nd := range added {
 		d.nodes[nd.Addr()] = nd
 	}
 	d.prev = sim.Stats()
 	return d, nil
+}
+
+// run executes fn with the calling goroutine registered on the deployment's
+// virtual clock, so slept link delays inside are scheduled virtually. Under
+// the wall clock it calls fn directly. Safe to call from concurrent batch
+// goroutines: each attaches independently.
+func (d *deployment) run(fn func()) {
+	if d.clk == nil {
+		fn()
+		return
+	}
+	d.clk.Run(fn)
 }
 
 // harness executes one operation sequence against the primary deployment
@@ -362,7 +413,7 @@ func (h *harness) runOne(seed int64, step int, op Op) *Violation {
 	}
 	outs := make([]opOut, 0, 2)
 	for _, d := range h.deployments() {
-		outs = append(outs, h.apply(d, op))
+		d.run(func() { outs = append(outs, h.apply(d, op)) })
 	}
 	h.updateModel(op, outs[0].err == nil)
 	h.sabotage()
@@ -387,7 +438,7 @@ func (h *harness) runBatch(seed int64, start int, batch []Op) *Violation {
 			defer func() { <-sem; done <- i }()
 			outs := make([]opOut, 0, 2)
 			for _, d := range h.deployments() {
-				outs = append(outs, h.apply(d, batch[i]))
+				d.run(func() { outs = append(outs, h.apply(d, batch[i])) })
 			}
 			slots[i].outs = outs
 		}(i)
@@ -474,7 +525,9 @@ func (h *harness) finalSweep(seed int64, step int) *Violation {
 	sort.Strings(docs)
 	for _, id := range docs {
 		for _, d := range h.deployments() {
-			if err := d.net.Unshare(index.DocID(id)); err != nil {
+			var err error
+			d.run(func() { err = d.net.Unshare(index.DocID(id)) })
+			if err != nil {
 				return h.pinMaybe(&Violation{
 					Invariant: "leaks",
 					Msg:       fmt.Sprintf("%s: unshare %s on healed network: %v", d.label, id, err),

@@ -126,6 +126,36 @@ func TestChaosNoReplication(t *testing.T) {
 	}
 }
 
+// TestChaosVirtualTime runs the matrix's first seeds on the deterministic
+// event clock: the same invariants must hold when every timeout, backoff,
+// and cache TTL reads virtual time, and two runs of the same seed must agree
+// on the outcome exactly (chaos on virtual time is what makes timing-
+// dependent violations replayable).
+func TestChaosVirtualTime(t *testing.T) {
+	for _, seed := range firstSeeds(3) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := Config{
+				Seed:              seed,
+				Steps:             steps(120),
+				Parallelism:       8,
+				Cache:             true,
+				Twin:              true,
+				FaultOps:          true,
+				ReplicationFactor: 2,
+				HotTermDF:         6,
+				VirtualTime:       true,
+			}
+			res := Run(cfg)
+			report(t, res)
+			again := Run(cfg)
+			if (res.Violation == nil) != (again.Violation == nil) || res.Steps != again.Steps {
+				t.Errorf("virtual-time chaos not reproducible: run1 {steps=%d violation=%v} run2 {steps=%d violation=%v}",
+					res.Steps, res.Violation, again.Steps, again.Violation)
+			}
+		})
+	}
+}
+
 // TestChaosMutationCatchesReplicaBug is the harness's own acceptance test: a
 // deliberately injected bug — a replica entry silently vanishing after every
 // operation — must be caught by the invariant registry and shrunk to a small

@@ -364,21 +364,28 @@ func (h *harness) heal() *Violation {
 	}
 	sort.Strings(names)
 	for _, d := range h.deployments() {
-		for _, n := range names {
-			d.sim.Recover(simnet.Addr(n))
-		}
-		d.sim.ClearDrops()
-		d.sim.SetPacketLoss(0)
-		d.ring.StabilizeLists(stabilizeRounds)
-		d.ring.RepairFingers()
-		if !d.ring.ConvergedLists() {
-			return &Violation{Invariant: "heal",
-				Msg: fmt.Sprintf("%s: ring did not converge after %d stabilization rounds", d.label, stabilizeRounds)}
-		}
-		d.net.InvalidateCaches()
-		if _, err := d.net.RefreshAll(); err != nil {
-			return &Violation{Invariant: "heal",
-				Msg: fmt.Sprintf("%s: refresh on healed network: %v", d.label, err)}
+		var v *Violation
+		d.run(func() {
+			for _, n := range names {
+				d.sim.Recover(simnet.Addr(n))
+			}
+			d.sim.ClearDrops()
+			d.sim.SetPacketLoss(0)
+			d.ring.StabilizeLists(stabilizeRounds)
+			d.ring.RepairFingers()
+			if !d.ring.ConvergedLists() {
+				v = &Violation{Invariant: "heal",
+					Msg: fmt.Sprintf("%s: ring did not converge after %d stabilization rounds", d.label, stabilizeRounds)}
+				return
+			}
+			d.net.InvalidateCaches()
+			if _, err := d.net.RefreshAll(); err != nil {
+				v = &Violation{Invariant: "heal",
+					Msg: fmt.Sprintf("%s: refresh on healed network: %v", d.label, err)}
+			}
+		})
+		if v != nil {
+			return v
 		}
 	}
 	h.failed = make(map[string]bool)

@@ -241,9 +241,14 @@ const refSize = 24
 // otherwise return the closest preceding candidate from the finger table and
 // successor list.
 func (n *Node) nextHop(req nextHopReq) nextHopResp {
-	excluded := make(map[chordid.ID]bool, len(req.Exclude))
-	for _, id := range req.Exclude {
-		excluded[id] = true
+	// Most hops carry no exclusions; reads on a nil map are free, so only
+	// allocate when the lookup is actually routing around failures.
+	var excluded map[chordid.ID]bool
+	if len(req.Exclude) > 0 {
+		excluded = make(map[chordid.ID]bool, len(req.Exclude))
+		for _, id := range req.Exclude {
+			excluded[id] = true
+		}
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -274,27 +279,30 @@ func (n *Node) nextHop(req nextHopReq) nextHopResp {
 // closestPrecedingLocked scans fingers and the successor list for the node
 // closest to key that strictly precedes it, skipping excluded nodes.
 func (n *Node) closestPrecedingLocked(key chordid.ID, excluded map[chordid.ID]bool) Ref {
+	acceptable := func(r Ref) bool {
+		return !r.IsZero() && !excluded[r.ID] && r.ID != n.ref.ID &&
+			r.ID.Between(n.ref.ID, key)
+	}
 	// Track the candidate with the minimal clockwise distance to the key.
+	// Fingers are ordered by clockwise distance from this node, so scanning
+	// from the top the first acceptable in-interval finger is already the
+	// closest finger preceding the key — the rest need not be scored.
 	var best Ref
 	var bestDist chordid.ID
 	first := true
-	scan := func(r Ref) {
-		if r.IsZero() || excluded[r.ID] || r.ID == n.ref.ID {
-			return
-		}
-		if !r.ID.Between(n.ref.ID, key) {
-			return
-		}
-		d := r.ID.Distance(key)
-		if first || d.Cmp(bestDist) < 0 {
-			best, bestDist, first = r, d, false
-		}
-	}
 	for i := len(n.fingers) - 1; i >= 0; i-- {
-		scan(n.fingers[i])
+		if r := n.fingers[i]; acceptable(r) {
+			best, bestDist, first = r, r.ID.Distance(key), false
+			break
+		}
 	}
 	for _, s := range n.succs {
-		scan(s)
+		if !acceptable(s) {
+			continue
+		}
+		if d := s.ID.Distance(key); first || d.Cmp(bestDist) < 0 {
+			best, bestDist, first = s, d, false
+		}
 	}
 	return best
 }
@@ -357,17 +365,28 @@ func (n *Node) lookupFrom(ctx context.Context, start Ref, key chordid.ID, exclud
 		}
 	}()
 	cur := start
+	// The hop request only changes when the exclusion list grows, so box the
+	// payload once per (re)start instead of once per hop — the per-hop
+	// interface allocation is pure GC pressure at sweep scale.
+	req := nextHopReq{Key: key, Exclude: exclude}
+	var boxed any = req
+	size := chordid.Bytes + refSize*len(exclude)/2
+	rebox := func() {
+		req.Exclude = exclude
+		boxed = req
+		size = chordid.Bytes + refSize*len(exclude)/2
+	}
 	for hops <= n.cfg.MaxLookupHops {
 		var resp nextHopResp
 		if cur.Addr == n.ref.Addr {
-			resp = n.nextHop(nextHopReq{Key: key, Exclude: exclude})
+			resp = n.nextHop(req)
 		} else {
 			sp := parent.StartChild("chord.hop")
 			sp.Annotate("to", string(cur.Addr))
 			reply, err := n.net.CallCtx(ctx, n.ref.Addr, cur.Addr, simnet.Message{
 				Type:    msgNextHop,
-				Payload: nextHopReq{Key: key, Exclude: exclude},
-				Size:    chordid.Bytes + refSize*len(exclude)/2,
+				Payload: boxed,
+				Size:    size,
 			})
 			hops++
 			if err != nil {
@@ -379,6 +398,7 @@ func (n *Node) lookupFrom(ctx context.Context, start Ref, key chordid.ID, exclud
 				}
 				// cur died mid-lookup; restart with cur excluded.
 				exclude = appendExcluded(exclude, cur.ID)
+				rebox()
 				cur = start
 				continue
 			}
@@ -398,6 +418,7 @@ func (n *Node) lookupFrom(ctx context.Context, start Ref, key chordid.ID, exclud
 			// The owner is dead: exclude it so the responsibility falls
 			// through to the next successor (where replicas live, §7).
 			exclude = appendExcluded(exclude, resp.Ref.ID)
+			rebox()
 			cur = start
 			continue
 		}

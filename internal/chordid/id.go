@@ -11,8 +11,10 @@ package chordid
 
 import (
 	"crypto/md5"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math/bits"
 )
 
 // Bits is the width of the identifier space in bits.
@@ -82,15 +84,34 @@ func ParseID(s string) (ID, error) {
 
 // Cmp compares two identifiers as unsigned integers, returning -1, 0, or +1.
 func (id ID) Cmp(other ID) int {
-	for i := 0; i < Bytes; i++ {
-		switch {
-		case id[i] < other[i]:
-			return -1
-		case id[i] > other[i]:
-			return 1
-		}
+	ahi, alo := id.words()
+	bhi, blo := other.words()
+	switch {
+	case ahi < bhi:
+		return -1
+	case ahi > bhi:
+		return 1
+	case alo < blo:
+		return -1
+	case alo > blo:
+		return 1
 	}
 	return 0
+}
+
+// words splits the big-endian identifier into its high and low 64-bit halves.
+// The arithmetic methods work on these words rather than byte by byte: ring
+// comparisons sit on the innermost loop of every routing hop.
+func (id ID) words() (hi, lo uint64) {
+	return binary.BigEndian.Uint64(id[:8]), binary.BigEndian.Uint64(id[8:])
+}
+
+// fromWords reassembles an identifier from its 64-bit halves.
+func fromWords(hi, lo uint64) ID {
+	var out ID
+	binary.BigEndian.PutUint64(out[:8], hi)
+	binary.BigEndian.PutUint64(out[8:], lo)
+	return out
 }
 
 // Less reports whether id < other as unsigned integers. Note that on a ring
@@ -99,32 +120,21 @@ func (id ID) Less(other ID) bool { return id.Cmp(other) < 0 }
 
 // Add returns id + other modulo 2^128.
 func (id ID) Add(other ID) ID {
-	var out ID
-	var carry uint16
-	for i := Bytes - 1; i >= 0; i-- {
-		s := uint16(id[i]) + uint16(other[i]) + carry
-		out[i] = byte(s)
-		carry = s >> 8
-	}
-	return out
+	ahi, alo := id.words()
+	bhi, blo := other.words()
+	lo, carry := bits.Add64(alo, blo, 0)
+	hi, _ := bits.Add64(ahi, bhi, carry)
+	return fromWords(hi, lo)
 }
 
 // Sub returns id - other modulo 2^128. When id and other are ring positions
 // this is the clockwise distance from other to id.
 func (id ID) Sub(other ID) ID {
-	var out ID
-	var borrow int16
-	for i := Bytes - 1; i >= 0; i-- {
-		d := int16(id[i]) - int16(other[i]) - borrow
-		if d < 0 {
-			d += 256
-			borrow = 1
-		} else {
-			borrow = 0
-		}
-		out[i] = byte(d)
-	}
-	return out
+	ahi, alo := id.words()
+	bhi, blo := other.words()
+	lo, borrow := bits.Sub64(alo, blo, 0)
+	hi, _ := bits.Sub64(ahi, bhi, borrow)
+	return fromWords(hi, lo)
 }
 
 // AddPowerOfTwo returns id + 2^k modulo 2^128, for 0 <= k < Bits. It is the

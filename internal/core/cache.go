@@ -10,6 +10,7 @@ import (
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // This file wires the internal/cache substrate into the query path at two
@@ -115,7 +116,7 @@ type netCaches struct {
 	results  *cache.Cache[resultEntry]
 }
 
-func newNetCaches(cfg CacheConfig, reg *telemetry.Registry) netCaches {
+func newNetCaches(cfg CacheConfig, reg *telemetry.Registry, clk vtime.Clock) netCaches {
 	if !cfg.Enabled {
 		return netCaches{}
 	}
@@ -127,6 +128,7 @@ func newNetCaches(cfg CacheConfig, reg *telemetry.Registry) netCaches {
 			TTL:        cfg.PostingsTTL,
 			Telemetry:  reg,
 			Name:       "cache.postings",
+			Clock:      clk,
 		})
 	}
 	if !cfg.DisableResults && cfg.ResultEntries > 0 {
@@ -135,6 +137,7 @@ func newNetCaches(cfg CacheConfig, reg *telemetry.Registry) netCaches {
 			TTL:        cfg.ResultTTL,
 			Telemetry:  reg,
 			Name:       "cache.results",
+			Clock:      clk,
 		})
 	}
 	return nc

@@ -31,6 +31,7 @@ import (
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Config holds SPRITE's tunables, with the paper's §6.2 defaults.
@@ -81,6 +82,12 @@ type Config struct {
 	// from GOMAXPROCS; 1 is the legacy sequential path. Results are
 	// bit-identical across settings (see internal/fanout).
 	Parallelism int
+	// Clock drives every time-dependent mechanism in the core: fan-out
+	// worker registration, resilience backoff/timeouts/hedging, cache TTLs,
+	// and query-latency observation. Nil is the wall clock (production
+	// behavior); virtual-time experiments inject the deployment's
+	// *vtime.Sim so all of it runs on the deterministic scheduler.
+	Clock vtime.Clock
 }
 
 // netMetrics caches the SPRITE-level instrument handles; all nil (inert)
@@ -223,6 +230,7 @@ func (c Config) Validate() error {
 type Network struct {
 	cfg    Config
 	ring   *chord.Ring
+	clock  vtime.Clock
 	met    netMetrics
 	caches netCaches
 	resil  resil
@@ -230,6 +238,11 @@ type Network struct {
 	// pipelines (searchCtx, insertQuery, expansion) and owner sweeps
 	// (LearnAll, RefreshAll, replication) all share its concurrency bound.
 	exec *fanout.Executor
+	// accPool recycles score accumulators across searches. The per-query
+	// bucket arrays are the query path's largest allocation; reuse keeps
+	// them out of the GC's way. Rankings are unaffected — contribution
+	// order, not map layout, determines the result.
+	accPool sync.Pool
 
 	// mu guards the membership and ownership maps below. It is never held
 	// across a network call, only around map reads/writes, so it cannot
@@ -251,13 +264,15 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	clk := vtime.Default(cfg.Clock)
 	n := &Network{
 		cfg:     cfg,
 		ring:    ring,
+		clock:   clk,
 		met:     newNetMetrics(cfg.Telemetry),
-		caches:  newNetCaches(cfg.Cache, cfg.Telemetry),
-		resil:   newResil(cfg.Resilience),
-		exec:    fanout.New(cfg.Parallelism, cfg.Telemetry),
+		caches:  newNetCaches(cfg.Cache, cfg.Telemetry, clk),
+		resil:   newResil(cfg.Resilience, clk),
+		exec:    fanout.NewClocked(cfg.Parallelism, cfg.Telemetry, clk),
 		peers:   make(map[simnet.Addr]*Peer),
 		ownerOf: make(map[index.DocID]*Peer),
 	}

@@ -7,7 +7,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"time"
 
 	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/corpus"
@@ -297,9 +296,9 @@ func (p *Peer) search(terms []string, k int, record bool) ir.RankedList {
 func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool, span *telemetry.Span) (ir.RankedList, error) {
 	p.net.met.searches.Inc()
 	if p.net.cfg.Telemetry != nil {
-		start := time.Now()
+		start := p.net.clock.Now()
 		defer func() {
-			p.net.met.queryLatency.Observe(time.Since(start).Microseconds())
+			p.net.met.queryLatency.Observe(p.net.clock.Now().Sub(start).Microseconds())
 		}()
 	}
 
@@ -352,7 +351,7 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 	type termOut struct {
 		resp getPostingsResp
 		peer simnet.Addr
-		part *ir.Accumulator
+		part []ir.Contribution
 	}
 	dts := distinctTerms(terms)
 	outs, errs := fanout.Map(ctx, p.net.exec, "fetch", len(dts), func(ctx context.Context, i int) (termOut, error) {
@@ -383,18 +382,28 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 			tsp.Annotate("indexing_peer", string(peer))
 		}
 		tsp.Finish()
-		part := ir.NewAccumulator()
+		var part []ir.Contribution
 		if resp.IndexedDF > 0 {
 			wq := ir.QueryWeight(qtf[term], len(terms), n, resp.IndexedDF)
+			part = make([]ir.Contribution, 0, len(resp.Postings))
 			for _, posting := range resp.Postings {
 				wd := ir.Weight(posting.NormFreq(), n, resp.IndexedDF)
-				part.Accumulate(posting.Doc, wq*wd, posting.DocLen)
+				part = append(part, ir.Contribution{Doc: posting.Doc, Score: wq * wd, DocLen: posting.DocLen})
 			}
 		}
 		return termOut{resp: resp, peer: peer, part: part}, nil
 	})
 
-	acc := ir.NewAccumulator()
+	accSize := 0
+	for i := range outs {
+		if errs[i] == nil {
+			accSize += len(outs[i].part)
+		}
+	}
+	acc, _ := p.net.accPool.Get().(*ir.Accumulator)
+	if acc == nil {
+		acc = ir.NewAccumulatorSized(accSize)
+	}
 	var failed []TermFailure
 	for i, term := range dts {
 		if errs[i] != nil {
@@ -410,9 +419,11 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 		if termPeers != nil {
 			termPeers[term] = outs[i].peer
 		}
-		acc.Merge(outs[i].part)
+		acc.AccumulateAll(outs[i].part)
 	}
-	rl := acc.Ranked().Top(k)
+	rl := acc.RankedTop(k)
+	acc.Reset()
+	p.net.accPool.Put(acc)
 	if rc != nil && len(failed) == 0 {
 		ent := resultEntry{rl: append(ir.RankedList(nil), rl...), peers: termPeers}
 		rc.PutAt(rcGen, rkey, ent, resultBytes(ent))

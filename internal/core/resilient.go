@@ -10,6 +10,7 @@ import (
 	"github.com/spritedht/sprite/internal/resilience"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // This file is the fault-tolerant read path: every postings fetch goes
@@ -70,9 +71,10 @@ type resil struct {
 	hedgeAfter time.Duration
 	budget     *resilience.Budget
 	failover   bool
+	clock      vtime.Clock
 }
 
-func newResil(cfg ResilienceConfig) resil {
+func newResil(cfg ResilienceConfig, clk vtime.Clock) resil {
 	seed := cfg.JitterSeed
 	if seed == 0 {
 		seed = 1
@@ -84,9 +86,11 @@ func newResil(cfg ResilienceConfig) resil {
 			MaxBackoff:     cfg.MaxBackoff,
 			PerCallTimeout: cfg.PerCallTimeout,
 			Rand:           resilience.NewJitter(seed),
+			Clock:          clk,
 		},
 		hedgeAfter: cfg.HedgeAfter,
 		failover:   cfg.FailoverToReplicas,
+		clock:      clk,
 	}
 	if cfg.HedgeAfter > 0 {
 		n := cfg.HedgeBudget
@@ -165,7 +169,7 @@ func (p *Peer) fetchTermPostings(ctx context.Context, term string, query []strin
 		op := call
 		if r.hedgeAfter > 0 {
 			op = func(cctx context.Context) (getPostingsResp, error) {
-				v, hedged, herr := resilience.DoHedged(cctx, r.hedgeAfter, r.budget, call)
+				v, hedged, herr := resilience.DoHedged(cctx, r.clock, r.hedgeAfter, r.budget, call)
 				if hedged {
 					p.net.met.hedges.Inc()
 				}

@@ -17,19 +17,24 @@ import (
 
 // ChaosResult reports one chaos run per seed.
 type ChaosResult struct {
-	Seeds     []int64
-	Steps     []int
-	Status    []string // "ok" or the violated invariant
-	Detail    []string // empty, or the violation message
-	ReproLen  []int    // shrunk repro length (0 when no violation)
-	ElapsedMS []int64
+	Seeds []int64
+	Steps []int
+	// VirtualTime reports whether the runs scheduled their slept link
+	// delays on the deterministic event clock.
+	VirtualTime bool
+	Status      []string // "ok" or the violated invariant
+	Detail      []string // empty, or the violation message
+	ReproLen    []int    // shrunk repro length (0 when no violation)
+	ElapsedMS   []int64
 }
 
 // RunChaos executes the chaos harness once per seed with the standard smoke
 // configuration: replication, caching, a cache-off twin, and fault operations
 // enabled. Any violation is reported in the result rather than as an error —
-// the caller decides whether a red row fails the run.
-func RunChaos(seeds []int64, steps, parallelism int) (*ChaosResult, error) {
+// the caller decides whether a red row fails the run. virtualTime runs each
+// deployment on its own event clock with slept link delays (the vtime arm of
+// the smoke matrix); every invariant must hold in both modes.
+func RunChaos(seeds []int64, steps, parallelism int, virtualTime bool) (*ChaosResult, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
@@ -39,7 +44,7 @@ func RunChaos(seeds []int64, steps, parallelism int) (*ChaosResult, error) {
 	if parallelism <= 0 {
 		parallelism = 4
 	}
-	res := &ChaosResult{}
+	res := &ChaosResult{VirtualTime: virtualTime}
 	for _, seed := range seeds {
 		start := time.Now()
 		r := chaos.Run(chaos.Config{
@@ -51,6 +56,7 @@ func RunChaos(seeds []int64, steps, parallelism int) (*ChaosResult, error) {
 			FaultOps:          true,
 			ReplicationFactor: 2,
 			HotTermDF:         6,
+			VirtualTime:       virtualTime,
 		})
 		res.Seeds = append(res.Seeds, seed)
 		res.Steps = append(res.Steps, steps)
@@ -82,7 +88,11 @@ func (r *ChaosResult) Failures() int {
 // Table renders the per-seed outcomes.
 func (r *ChaosResult) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Chaos smoke: seeded whole-system runs (invariants: index, oracle, cache, telemetry, leaks)\n")
+	mode := "wall clock"
+	if r.VirtualTime {
+		mode = "virtual time"
+	}
+	fmt.Fprintf(&b, "Chaos smoke: seeded whole-system runs, %s (invariants: index, oracle, cache, telemetry, leaks)\n", mode)
 	fmt.Fprintf(&b, "%-8s %-8s %-18s %-8s %-10s %s\n", "seed", "steps", "status", "repro", "ms", "detail")
 	for i := range r.Seeds {
 		fmt.Fprintf(&b, "%-8d %-8d %-18s %-8d %-10d %s\n",

@@ -20,6 +20,7 @@ import (
 	"github.com/spritedht/sprite/internal/querygen"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Config assembles the full experimental setup of §6.2.
@@ -63,6 +64,14 @@ type Config struct {
 	// — and therefore every routed message — is identical with the delay on
 	// or off; the parallel experiment depends on that invariance.
 	LinkDelay time.Duration
+	// VirtualTime runs each deployment on a deterministic discrete-event
+	// clock (internal/vtime): link-delay sleeps, retry backoff, hedging
+	// triggers, and per-attempt timeouts become scheduler events, so a
+	// measured phase that "sleeps" hours of simulated latency completes in
+	// seconds of wall time with exact, jitter-free latency percentiles.
+	// Experiment phases that touch a virtual deployment must run inside
+	// Deployment.Run.
+	VirtualTime bool
 }
 
 // DefaultConfig returns the paper's experimental setup (§6.2) at the
@@ -160,9 +169,14 @@ type Deployment struct {
 	Env *Env
 	// Sim is the simulated transport (kept directly for its accounting and
 	// fault-injection capabilities).
-	Sim   *simnet.Network
-	Ring  *chord.Ring
-	Net   *core.Network
+	Sim  *simnet.Network
+	Ring *chord.Ring
+	Net  *core.Network
+	// Clk is the deployment's virtual clock (nil unless Config.VirtualTime):
+	// the transport, retry/hedging layer, and fan-out engine all schedule on
+	// it. Wrap deployment-touching phases in Run so the driving goroutine
+	// participates in virtual scheduling.
+	Clk   *vtime.Sim
 	addrs []simnet.Addr
 	// issue counts round-robin query issuers so load spreads across peers.
 	issue int
@@ -179,6 +193,12 @@ func (e *Env) NewDeployment(coreCfg core.Config) (*Deployment, error) {
 	if e.Cfg.LinkDelay > 0 {
 		snetOpts = append(snetOpts, simnet.WithLatency(simnet.UniformLatency(e.Cfg.LinkDelay, e.Cfg.LinkDelay)))
 	}
+	var clk *vtime.Sim
+	if e.Cfg.VirtualTime {
+		clk = vtime.NewSim()
+		snetOpts = append(snetOpts, simnet.WithClock(clk))
+		coreCfg.Clock = clk
+	}
 	snet := simnet.New(e.Cfg.Seed+1, snetOpts...)
 	ring := chord.NewRing(snet, chord.Config{Telemetry: e.Cfg.Telemetry})
 	if _, err := ring.AddNodes("peer", e.Cfg.Peers); err != nil {
@@ -190,11 +210,33 @@ func (e *Env) NewDeployment(coreCfg core.Config) (*Deployment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: network: %w", err)
 	}
-	d := &Deployment{Env: e, Sim: snet, Ring: ring, Net: n}
+	d := &Deployment{Env: e, Sim: snet, Ring: ring, Net: n, Clk: clk}
 	for _, p := range n.Peers() {
 		d.addrs = append(d.addrs, p.Addr())
 	}
 	return d, nil
+}
+
+// Run executes fn with the calling goroutine registered on the deployment's
+// virtual clock, so every virtual wait inside (slept link latency, backoff,
+// timeouts) is scheduled deterministically. Under the wall clock (Clk nil)
+// it simply calls fn. All phases that drive a virtual deployment — training,
+// sharing, learning, measuring — must go through here.
+func (d *Deployment) Run(fn func()) {
+	if d.Clk == nil {
+		fn()
+		return
+	}
+	d.Clk.Run(fn)
+}
+
+// Clock returns the deployment's clock: the virtual clock when one is
+// installed, the wall clock otherwise. Never nil.
+func (d *Deployment) Clock() vtime.Clock {
+	if d.Clk == nil {
+		return vtime.Wall
+	}
+	return d.Clk
 }
 
 // nextIssuer returns the next query-issuing peer, round-robin.

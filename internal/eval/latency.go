@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/vtime"
+)
+
+// timedSearcher wraps s so every call's latency, measured on clk, is
+// appended to *samples (microseconds). Experiments use it to report exact
+// percentiles: the telemetry histogram's Quantile interpolates inside
+// exponential buckets, which is fine for dashboards but not for a committed
+// baseline. Under a virtual clock the samples are exact simulated latencies,
+// identical across runs with the same seed.
+func timedSearcher(s Searcher, clk vtime.Clock, samples *[]int64) Searcher {
+	clk = vtime.Default(clk)
+	return func(terms []string, k int) ir.RankedList {
+		start := clk.Now()
+		rl := s(terms, k)
+		*samples = append(*samples, clk.Now().Sub(start).Microseconds())
+		return rl
+	}
+}
+
+// latencySummary holds exact order statistics over a sample set.
+type latencySummary struct {
+	Mean          float64
+	P50, P95, P99 int64
+}
+
+// summarize computes exact (nearest-rank) percentiles and the mean. It sorts
+// a copy; the caller's sample order is preserved.
+func summarize(samples []int64) latencySummary {
+	if len(samples) == 0 {
+		return latencySummary{}
+	}
+	sorted := make([]int64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, v := range sorted {
+		sum += float64(v)
+	}
+	return latencySummary{
+		Mean: sum / float64(len(sorted)),
+		P50:  exactQuantile(sorted, 0.50),
+		P95:  exactQuantile(sorted, 0.95),
+		P99:  exactQuantile(sorted, 0.99),
+	}
+}
+
+// exactQuantile returns the nearest-rank q-quantile of an ascending-sorted
+// sample set: the smallest value with at least ⌈q·n⌉ samples at or below it.
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

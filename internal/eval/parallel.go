@@ -15,8 +15,10 @@ import (
 type ParallelArm struct {
 	// Parallelism is the core fan-out limit (1 = the legacy sequential path).
 	Parallelism int
-	// Per-query wall latency in microseconds over the test stream, from the
-	// sprite.query.latency_us histogram.
+	// Per-query latency in microseconds over the test stream — exact order
+	// statistics over the per-query samples (not histogram-interpolated).
+	// Wall microseconds under the wall clock, virtual microseconds under
+	// VirtualTime.
 	MeanUS float64
 	P50US  int64
 	P95US  int64
@@ -38,7 +40,10 @@ type ParallelResult struct {
 	Delay time.Duration
 	// Queries is the number of measured test queries per arm.
 	Queries int
-	Arms    []ParallelArm
+	// VirtualTime reports whether latency was measured on the deterministic
+	// event clock (exact virtual microseconds) or the wall clock.
+	VirtualTime bool
+	Arms        []ParallelArm
 }
 
 // RunParallel measures query wall latency as a function of the fan-out limit.
@@ -49,7 +54,10 @@ type ParallelResult struct {
 // with parallelism while ranked lists, precision/recall, and message counts
 // stay bit-identical — both halves are asserted by the determinism tests and
 // visible in the emitted columns. levels defaults to {1, 2, 4, 8}; delay <= 0
-// defaults to 1ms.
+// defaults to 1ms. With cfg.VirtualTime the sweep runs on the deterministic
+// event clock: the slept delays advance virtual time instead of wall time,
+// so the same sweep completes orders of magnitude faster and the latency
+// columns are exact virtual microseconds, reproducible bit-for-bit.
 func RunParallel(cfg Config, levels []int, delay time.Duration) (*ParallelResult, error) {
 	cfg = cfg.fillDefaults()
 	if len(levels) == 0 {
@@ -64,7 +72,7 @@ func RunParallel(cfg Config, levels []int, delay time.Duration) (*ParallelResult
 		return nil, err
 	}
 
-	res := &ParallelResult{Delay: delay, Queries: len(env.Test)}
+	res := &ParallelResult{Delay: delay, Queries: len(env.Test), VirtualTime: cfg.VirtualTime}
 	for _, level := range levels {
 		// Each arm gets a private registry (the swap pattern the churn
 		// experiment uses) so one arm's latency histogram never bleeds into
@@ -79,32 +87,43 @@ func RunParallel(cfg Config, levels []int, delay time.Duration) (*ParallelResult
 		if err != nil {
 			return nil, fmt.Errorf("eval: parallel arm %d: %w", level, err)
 		}
-		if err := dep.InsertQueries(env.Train); err != nil {
-			return nil, err
-		}
-		if err := dep.ShareAll(); err != nil {
-			return nil, err
-		}
-		if err := dep.Learn(cfg.LearningIterations); err != nil {
-			return nil, err
-		}
+		var (
+			quality ir.Metrics
+			samples []int64
+			runErr  error
+		)
+		dep.Run(func() {
+			if runErr = dep.InsertQueries(env.Train); runErr != nil {
+				return
+			}
+			if runErr = dep.ShareAll(); runErr != nil {
+				return
+			}
+			if runErr = dep.Learn(cfg.LearningIterations); runErr != nil {
+				return
+			}
 
-		// Training ran with latency accounted but not slept (it would
-		// dominate the run without informing the measurement). Only the
-		// measured query phase sleeps.
-		dep.Sim.ResetStats()
-		dep.Sim.SetSleepLatency(true)
-		quality := Measure(dep.SpriteSearcher(), env.Test, cfg.TopK)
-		dep.Sim.SetSleepLatency(false)
+			// Training ran with latency accounted but not slept (it would
+			// dominate the run without informing the measurement; under
+			// virtual time it would merely inflate the virtual timeline).
+			// Only the measured query phase sleeps.
+			dep.Sim.ResetStats()
+			dep.Sim.SetSleepLatency(true)
+			quality = Measure(timedSearcher(dep.SpriteSearcher(), dep.Clock(), &samples), env.Test, cfg.TopK)
+			dep.Sim.SetSleepLatency(false)
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
 
 		st := dep.Sim.Stats()
-		h := reg.Histogram("sprite.query.latency_us")
+		lat := summarize(samples)
 		arm := ParallelArm{
 			Parallelism: level,
-			MeanUS:      h.Mean(),
-			P50US:       h.Quantile(0.50),
-			P95US:       h.Quantile(0.95),
-			P99US:       h.Quantile(0.99),
+			MeanUS:      lat.Mean,
+			P50US:       lat.P50,
+			P95US:       lat.P95,
+			P99US:       lat.P99,
 			Messages:    st.Calls,
 			Bytes:       st.Bytes,
 			Quality:     quality,
@@ -122,8 +141,12 @@ func RunParallel(cfg Config, levels []int, delay time.Duration) (*ParallelResult
 // Table renders the sweep.
 func (r *ParallelResult) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Query latency vs fan-out parallelism (%d queries, %v link delay)\n",
-		r.Queries, r.Delay)
+	mode := "wall clock"
+	if r.VirtualTime {
+		mode = "virtual time"
+	}
+	fmt.Fprintf(&b, "Query latency vs fan-out parallelism (%d queries, %v link delay, %s)\n",
+		r.Queries, r.Delay, mode)
 	fmt.Fprintf(&b, "%-12s %-12s %-10s %-10s %-10s %-9s %-10s %-18s\n",
 		"parallelism", "mean_us", "p50_us", "p95_us", "p99_us", "speedup", "messages", "precision/recall")
 	for _, a := range r.Arms {

@@ -34,9 +34,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
-	"time"
 
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Executor runs independent items with bounded parallelism. The zero value is
@@ -46,6 +46,7 @@ import (
 type Executor struct {
 	limit    int
 	reg      *telemetry.Registry
+	clock    vtime.Clock
 	inflight *telemetry.Gauge
 
 	mu     sync.Mutex
@@ -56,12 +57,21 @@ type Executor struct {
 // derives the bound from GOMAXPROCS; limit 1 is the legacy sequential mode.
 // reg may be nil (instrumentation off).
 func New(limit int, reg *telemetry.Registry) *Executor {
+	return NewClocked(limit, reg, nil)
+}
+
+// NewClocked is New with an explicit clock: worker goroutines register with
+// it and stage latencies are measured on it. A nil clock is the wall clock
+// (New's behavior); virtual-time deployments pass their *vtime.Sim so a
+// fan-out's workers participate in deterministic scheduling.
+func NewClocked(limit int, reg *telemetry.Registry, clk vtime.Clock) *Executor {
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
 	}
 	return &Executor{
 		limit:    limit,
 		reg:      reg,
+		clock:    vtime.Default(clk),
 		inflight: reg.Gauge("sprite.fanout.inflight"),
 		stages:   make(map[string]*telemetry.Histogram),
 	}
@@ -94,12 +104,14 @@ func (e *Executor) stageHist(stage string) *telemetry.Histogram {
 	return h
 }
 
-// run executes one item with instrumentation.
+// run executes one item with instrumentation. Stage latency is measured on
+// the executor's clock, so under virtual time the histograms report virtual
+// (deterministic) durations.
 func (e *Executor) run(hist *telemetry.Histogram, fn func()) {
 	e.inflight.Add(1)
-	start := time.Now()
+	start := e.clock.Now()
 	fn()
-	hist.Observe(time.Since(start).Microseconds())
+	hist.Observe(e.clock.Now().Sub(start).Microseconds())
 	e.inflight.Add(-1)
 }
 
@@ -138,10 +150,13 @@ func Map[T any](ctx context.Context, e *Executor, stage string, n int, fn func(c
 
 	// Workers pull indices from a shared cursor; each slot in values/errs is
 	// written by exactly one worker, so no result-side locking is needed.
+	// GoGroup registers the workers with the executor's clock (a plain
+	// spawn-and-wait under the wall clock): under virtual time the caller's
+	// runnable slot transfers to the group, so a fan-out never stalls the
+	// scheduler while its workers sleep through simulated latency.
 	var (
 		mu   sync.Mutex
 		next int
-		wg   sync.WaitGroup
 	)
 	take := func() (int, bool) {
 		mu.Lock()
@@ -153,24 +168,19 @@ func Map[T any](ctx context.Context, e *Executor, stage string, n int, fn func(c
 		next++
 		return i, true
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := take()
-				if !ok {
-					return
-				}
-				if cerr := ctx.Err(); cerr != nil {
-					errs[i] = cerr
-					continue
-				}
-				e.run(hist, func() { values[i], errs[i] = fn(ctx, i) })
+	e.clock.GoGroup(workers, func(int) {
+		for {
+			i, ok := take()
+			if !ok {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			if cerr := ctx.Err(); cerr != nil {
+				errs[i] = cerr
+				continue
+			}
+			e.run(hist, func() { values[i], errs[i] = fn(ctx, i) })
+		}
+	})
 	return values, errs
 }
 

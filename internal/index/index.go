@@ -61,11 +61,18 @@ func NewInverted() *Inverted {
 // Add appends a posting for term. Adding the same (term, doc) pair twice
 // replaces the earlier posting — publishing is idempotent, as required for
 // SPRITE's periodic index refresh (§3).
+//
+// Mutations are copy-on-write: a list is never modified in place, so slices
+// previously returned by Postings stay valid, immutable snapshots. (Plain
+// append is safe too — it never touches the elements a snapshot can see.)
 func (ix *Inverted) Add(term string, p Posting) {
 	list := ix.lists[term]
 	for i := range list {
 		if list[i].Doc == p.Doc {
-			list[i] = p
+			nl := make([]Posting, len(list))
+			copy(nl, list)
+			nl[i] = p
+			ix.lists[term] = nl
 			ix.docs[p.Doc] = true
 			return
 		}
@@ -80,10 +87,14 @@ func (ix *Inverted) Remove(term string, doc DocID) bool {
 	list := ix.lists[term]
 	for i := range list {
 		if list[i].Doc == doc {
-			ix.lists[term] = append(list[:i], list[i+1:]...)
-			if len(ix.lists[term]) == 0 {
+			if len(list) == 1 {
 				delete(ix.lists, term)
+				return true
 			}
+			nl := make([]Posting, 0, len(list)-1)
+			nl = append(nl, list[:i]...)
+			nl = append(nl, list[i+1:]...)
+			ix.lists[term] = nl
 			return true
 		}
 	}
@@ -95,7 +106,17 @@ func (ix *Inverted) Remove(term string, doc DocID) bool {
 func (ix *Inverted) RemoveDoc(doc DocID) int {
 	removed := 0
 	for term, list := range ix.lists {
-		kept := list[:0]
+		hit := false
+		for _, p := range list {
+			if p.Doc == doc {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		kept := make([]Posting, 0, len(list)-1)
 		for _, p := range list {
 			if p.Doc == doc {
 				removed++
@@ -114,15 +135,12 @@ func (ix *Inverted) RemoveDoc(doc DocID) int {
 }
 
 // Postings returns the postings list for term (nil if the term is not
-// indexed). The returned slice is a copy; callers may retain it.
+// indexed). The returned slice is an immutable snapshot: callers may retain
+// and iterate it freely but must not modify it. Because every mutation is
+// copy-on-write, the snapshot is never changed underneath the caller — and
+// the read path, the hottest in the system, costs no allocation.
 func (ix *Inverted) Postings(term string) []Posting {
-	list := ix.lists[term]
-	if list == nil {
-		return nil
-	}
-	out := make([]Posting, len(list))
-	copy(out, list)
-	return out
+	return ix.lists[term]
 }
 
 // DocFreq returns the number of documents in whose postings list term

@@ -37,13 +37,38 @@ func TestAddIsIdempotentPerDoc(t *testing.T) {
 	}
 }
 
-func TestPostingsReturnsCopy(t *testing.T) {
+func TestPostingsSnapshotImmutable(t *testing.T) {
 	ix := NewInverted()
 	ix.Add("t", post("d1", 1, 10))
-	p := ix.Postings("t")
-	p[0].Freq = 999
-	if ix.Postings("t")[0].Freq != 1 {
-		t.Fatal("Postings leaked internal storage")
+	ix.Add("t", post("d2", 2, 20))
+	snap := ix.Postings("t")
+
+	// Every mutation is copy-on-write: a retained snapshot must keep showing
+	// the state at snapshot time while fresh reads see the new state.
+	ix.Add("t", post("d1", 999, 10)) // in-place replace would corrupt snap
+	if snap[0].Freq != 1 {
+		t.Fatalf("snapshot mutated by republish: %+v", snap[0])
+	}
+	if got := ix.Postings("t")[0].Freq; got != 999 {
+		t.Fatalf("fresh read missed republish: freq = %d", got)
+	}
+
+	snap = ix.Postings("t")
+	ix.Remove("t", "d1") // in-place splice would corrupt snap
+	if len(snap) != 2 || snap[0].Doc != "d1" || snap[1].Doc != "d2" {
+		t.Fatalf("snapshot mutated by Remove: %v", snap)
+	}
+	if got := ix.Postings("t"); len(got) != 1 || got[0].Doc != "d2" {
+		t.Fatalf("fresh read missed Remove: %v", got)
+	}
+
+	snap = ix.Postings("t")
+	ix.RemoveDoc("d2") // in-place filter would corrupt snap
+	if len(snap) != 1 || snap[0].Doc != "d2" {
+		t.Fatalf("snapshot mutated by RemoveDoc: %v", snap)
+	}
+	if got := ix.Postings("t"); got != nil {
+		t.Fatalf("fresh read missed RemoveDoc: %v", got)
 	}
 }
 

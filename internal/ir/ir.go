@@ -7,7 +7,7 @@ package ir
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/spritedht/sprite/internal/index"
 )
@@ -60,13 +60,23 @@ type Hit struct {
 // rankings are deterministic across runs and platforms.
 type RankedList []Hit
 
-// Sort orders the list by descending score, then ascending DocID.
+// Sort orders the list by descending score, then ascending DocID. The
+// (score, doc) pair is a strict total order over distinct documents, so any
+// correct sort produces the same permutation; slices.SortFunc just gets
+// there with fewer comparator calls than sort.Slice.
 func (rl RankedList) Sort() {
-	sort.Slice(rl, func(i, j int) bool {
-		if rl[i].Score != rl[j].Score {
-			return rl[i].Score > rl[j].Score
+	slices.SortFunc(rl, func(a, b Hit) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Doc < b.Doc:
+			return -1
+		case a.Doc > b.Doc:
+			return 1
 		}
-		return rl[i].Doc < rl[j].Doc
+		return 0
 	})
 }
 
@@ -102,61 +112,164 @@ func (rl RankedList) Rank(doc index.DocID) int {
 // the querying peer's job in SPRITE (§3: "index entries for the same
 // document are consolidated"). Document lengths arrive with postings.
 //
-// Contributions are not summed eagerly: float addition is not associative,
-// so summing in completion order would make parallel query execution drift
-// from the sequential ranking by ULPs — enough to flip ties. Instead each
-// document keeps its contributions in arrival order and Ranked sums them
-// left to right, which makes split-and-Merge bit-identical to a single
-// sequential accumulation over the same (term, posting) stream.
+// Each document keeps a running sum updated in contribution arrival order.
+// Float addition is not associative, so the order of the additions is the
+// determinism contract: accumulating the same (term, posting) stream in the
+// same order always yields the same bits. The parallel query engine upholds
+// it by collecting per-term Contribution slices and folding them in term
+// order, which performs exactly the additions the sequential per-term loop
+// would have. Documents live in a flat arrival-order slice with a position
+// map on the side — the hot path touches the map once per contribution and
+// allocates nothing.
 type Accumulator struct {
-	contrib map[index.DocID][]float64
-	docLen  map[index.DocID]int
+	pos     map[index.DocID]int32
+	entries []accEntry
+}
+
+// accEntry is one document's running state: the dot-product sum so far and
+// the document length from its latest posting.
+type accEntry struct {
+	doc    index.DocID
+	dot    float64
+	docLen int
 }
 
 // NewAccumulator returns an empty accumulator.
 func NewAccumulator() *Accumulator {
-	return &Accumulator{
-		contrib: make(map[index.DocID][]float64),
-		docLen:  make(map[index.DocID]int),
+	return NewAccumulatorSized(0)
+}
+
+// NewAccumulatorSized returns an empty accumulator pre-sized for about n
+// documents. Query paths that know the postings count up front use it to
+// skip incremental map growth — at millions of queries per experiment the
+// rehashing otherwise dominates the scoring profile.
+func NewAccumulatorSized(n int) *Accumulator {
+	if n < 0 {
+		n = 0
 	}
+	return &Accumulator{
+		pos:     make(map[index.DocID]int32, n),
+		entries: make([]accEntry, 0, n),
+	}
+}
+
+// Len reports how many documents hold contributions.
+func (a *Accumulator) Len() int { return len(a.entries) }
+
+// Reset empties the accumulator in place, retaining map and slice capacity.
+// Query engines pool accumulators across searches: the bucket array and
+// entry backing store are by far their largest allocation, and a reset
+// keeps both.
+func (a *Accumulator) Reset() {
+	clear(a.pos)
+	a.entries = a.entries[:0]
 }
 
 // Accumulate adds the contribution of one (query term, posting) pair.
 func (a *Accumulator) Accumulate(doc index.DocID, contribution float64, docLen int) {
-	a.contrib[doc] = append(a.contrib[doc], contribution)
-	a.docLen[doc] = docLen
-}
-
-// Merge appends other's per-document contributions after a's own, leaving
-// other unchanged. Merging per-term partial accumulators in term order
-// reproduces, bit for bit, the result of accumulating every term into a
-// single accumulator sequentially: each document's contribution sequence is
-// the concatenation of the per-term sequences in merge order, exactly as the
-// sequential loop would have produced.
-func (a *Accumulator) Merge(other *Accumulator) {
-	if other == nil {
+	if i, ok := a.pos[doc]; ok {
+		e := &a.entries[i]
+		e.dot += contribution
+		e.docLen = docLen
 		return
 	}
-	for doc, cs := range other.contrib {
-		a.contrib[doc] = append(a.contrib[doc], cs...)
-		a.docLen[doc] = other.docLen[doc]
+	a.pos[doc] = int32(len(a.entries))
+	a.entries = append(a.entries, accEntry{doc: doc, dot: contribution, docLen: docLen})
+}
+
+// Contribution is one (document, partial score) entry produced while scoring
+// a single term's postings list. Workers that score one term at a time can
+// collect contributions in a slice — a postings list never repeats a document,
+// so no map is needed until the per-term partials are folded together, and at
+// millions of queries the per-term map allocations otherwise dominate the
+// heap profile.
+type Contribution struct {
+	Doc    index.DocID
+	Score  float64
+	DocLen int
+}
+
+// AccumulateAll accumulates a contribution sequence in order. Folding
+// per-term slices in term order performs exactly the Accumulate calls the
+// sequential per-term loop would have, so rankings stay bit-identical.
+func (a *Accumulator) AccumulateAll(cs []Contribution) {
+	for _, c := range cs {
+		a.Accumulate(c.Doc, c.Score, c.DocLen)
 	}
 }
 
-// Ranked finalizes all documents into a sorted ranked list. Per-document
-// contributions are summed left to right in arrival order so the result is
-// independent of how the accumulator was assembled (direct vs merged).
+// Ranked finalizes all documents into a sorted ranked list.
 func (a *Accumulator) Ranked() RankedList {
-	rl := make(RankedList, 0, len(a.contrib))
-	for doc, cs := range a.contrib {
-		dot := 0.0
-		for _, c := range cs {
-			dot += c
-		}
-		rl = append(rl, Hit{Doc: doc, Score: Similarity(dot, a.docLen[doc])})
+	rl := make(RankedList, 0, len(a.entries))
+	for i := range a.entries {
+		e := &a.entries[i]
+		rl = append(rl, Hit{Doc: e.doc, Score: Similarity(e.dot, e.docLen)})
 	}
 	rl.Sort()
 	return rl
+}
+
+// rankAfter reports whether x belongs strictly after y in rank order —
+// the same total order Sort uses (descending score, ascending DocID).
+func rankAfter(x, y Hit) bool {
+	if x.Score != y.Score {
+		return x.Score < y.Score
+	}
+	return x.Doc > y.Doc
+}
+
+// RankedTop returns the k best hits in rank order. It is equivalent to
+// Ranked().Top(k) — (score, doc) is a strict total order, so the top-k set
+// and its order are unique — but selects through a bounded heap instead of
+// sorting every candidate, which matters when a query touches hundreds of
+// documents to return ten. The heap orders worst-at-root so each candidate
+// is compared against the worst hit currently kept.
+func (a *Accumulator) RankedTop(k int) RankedList {
+	if k >= len(a.entries) {
+		return a.Ranked()
+	}
+	if k <= 0 {
+		return RankedList{}
+	}
+	h := make(RankedList, 0, k)
+	siftDown := func(i int) {
+		for {
+			w := i
+			if l := 2*i + 1; l < len(h) && rankAfter(h[l], h[w]) {
+				w = l
+			}
+			if r := 2*i + 2; r < len(h) && rankAfter(h[r], h[w]) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			h[i], h[w] = h[w], h[i]
+			i = w
+		}
+	}
+	for i := range a.entries {
+		e := &a.entries[i]
+		hit := Hit{Doc: e.doc, Score: Similarity(e.dot, e.docLen)}
+		if len(h) < k {
+			h = append(h, hit)
+			for c := len(h) - 1; c > 0; { // sift up
+				p := (c - 1) / 2
+				if !rankAfter(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		if rankAfter(h[0], hit) { // better than the worst kept hit
+			h[0] = hit
+			siftDown(0)
+		}
+	}
+	h.Sort()
+	return h
 }
 
 // Metrics holds the two standard retrieval-quality measures (§6): with top K

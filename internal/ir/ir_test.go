@@ -104,13 +104,13 @@ func TestAccumulator(t *testing.T) {
 	}
 }
 
-func TestAccumulatorMergeEquivalentToSequential(t *testing.T) {
-	// Property: accumulating a randomized stream of (doc, contribution,
-	// docLen) triples into one accumulator is bit-identical to splitting the
-	// stream at arbitrary points into partial accumulators and merging them
-	// back in split order — scores must match exactly (==), not just within
-	// epsilon, since the parallel query engine relies on this to reproduce
-	// sequential rankings.
+func TestAccumulatorSumsInArrivalOrder(t *testing.T) {
+	// Property: the accumulator's per-document score is bit-identical (==,
+	// not within epsilon) to a left-to-right fold of that document's
+	// contributions in arrival order. Float addition is not associative, so
+	// this is the contract that makes parallel query execution — which
+	// collects per-term contribution slices and folds them in term order —
+	// reproduce sequential rankings exactly.
 	rng := rand.New(rand.NewSource(42))
 	type posting struct {
 		doc     index.DocID
@@ -130,48 +130,68 @@ func TestAccumulatorMergeEquivalentToSequential(t *testing.T) {
 			}
 		}
 
-		seq := NewAccumulator()
+		acc := NewAccumulator()
+		dot := map[index.DocID]float64{}
+		dlen := map[index.DocID]int{}
 		for _, p := range stream {
-			seq.Accumulate(p.doc, p.contrib, p.docLen)
+			acc.Accumulate(p.doc, p.contrib, p.docLen)
+			dot[p.doc] += p.contrib
+			dlen[p.doc] = p.docLen
 		}
 
-		// Split into 1..5 contiguous chunks (per-term partials in the real
-		// engine), accumulate each separately, merge in order.
-		parts := 1 + rng.Intn(5)
-		merged := NewAccumulator()
-		start := 0
-		for c := 0; c < parts; c++ {
-			end := start + rng.Intn(n-start+1)
-			if c == parts-1 {
-				end = n
-			}
-			partial := NewAccumulator()
-			for _, p := range stream[start:end] {
-				partial.Accumulate(p.doc, p.contrib, p.docLen)
-			}
-			merged.Merge(partial)
-			start = end
+		got := acc.Ranked()
+		if len(got) != len(dot) {
+			t.Fatalf("trial %d: %d docs ranked, want %d", trial, len(got), len(dot))
 		}
-
-		want, got := seq.Ranked(), merged.Ranked()
-		if len(want) != len(got) {
-			t.Fatalf("trial %d: length %d vs %d", trial, len(want), len(got))
-		}
-		for i := range want {
-			if want[i] != got[i] {
-				t.Fatalf("trial %d rank %d: sequential %+v, merged %+v (must be bit-identical)",
-					trial, i, want[i], got[i])
+		for i, h := range got {
+			want := Similarity(dot[h.Doc], dlen[h.Doc])
+			if h.Score != want {
+				t.Fatalf("trial %d rank %d doc %s: score %v, want %v (must be bit-identical)",
+					trial, i, h.Doc, h.Score, want)
 			}
 		}
 	}
 }
 
-func TestAccumulatorMergeNil(t *testing.T) {
+func TestAccumulatorResetReuse(t *testing.T) {
 	acc := NewAccumulator()
+	acc.Accumulate("stale", 9.0, 4)
+	acc.Reset()
+	if acc.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", acc.Len())
+	}
 	acc.Accumulate("d", 1.0, 4)
-	acc.Merge(nil)
-	if rl := acc.Ranked(); len(rl) != 1 || rl[0].Score != 0.5 {
-		t.Fatalf("Merge(nil) disturbed accumulator: %v", rl)
+	if rl := acc.Ranked(); len(rl) != 1 || rl[0].Doc != "d" || rl[0].Score != 0.5 {
+		t.Fatalf("reused accumulator leaked state: %v", rl)
+	}
+}
+
+func TestRankedTopMatchesFullSort(t *testing.T) {
+	// Property: RankedTop(k) must equal Ranked().Top(k) exactly for every k —
+	// (score, doc) is a strict total order, so there is only one correct
+	// answer and the bounded-heap selection must find it.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		acc := NewAccumulator()
+		docs := 1 + rng.Intn(40)
+		for i := 0; i < docs; i++ {
+			// A coarse score grid forces plenty of exact ties, exercising the
+			// DocID tie-break inside the heap comparisons.
+			acc.Accumulate(index.DocID(fmt.Sprintf("d%02d", i)),
+				float64(rng.Intn(5)), 4)
+		}
+		for _, k := range []int{0, 1, 2, docs / 2, docs - 1, docs, docs + 3} {
+			want := acc.Ranked().Top(k)
+			got := acc.RankedTop(k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: len %d, want %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d rank %d: %+v, want %+v", trial, k, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Class is the typed outcome of classifying an error.
@@ -96,9 +97,13 @@ type Policy struct {
 	// Rand supplies jitter draws in [0, 1). Nil uses a process-wide seeded
 	// source; inject one (see NewJitter) for deterministic schedules.
 	Rand func() float64
-	// Sleep waits between attempts, honoring ctx. Nil uses a timer. Tests
+	// Sleep waits between attempts, honoring ctx. Nil uses the Clock. Tests
 	// inject a recorder to assert the schedule without real waiting.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Clock supplies backoff sleeps (when Sleep is nil) and per-attempt
+	// deadlines. Nil uses the wall clock; virtual-time experiments inject a
+	// *vtime.Sim so backoff and timeouts are deterministic scheduler events.
+	Clock vtime.Clock
 }
 
 // NewJitter returns a concurrency-safe deterministic jitter source for
@@ -164,14 +169,7 @@ func (p Policy) sleep(ctx context.Context, d time.Duration) error {
 	if p.Sleep != nil {
 		return p.Sleep(ctx, d)
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
+	return vtime.Default(p.Clock).Sleep(ctx, d)
 }
 
 // attemptCtx layers the per-attempt timeout onto the caller's context.
@@ -179,7 +177,7 @@ func (p Policy) attemptCtx(ctx context.Context) (context.Context, context.Cancel
 	if p.PerCallTimeout <= 0 {
 		return ctx, func() {}
 	}
-	return context.WithTimeout(ctx, p.PerCallTimeout)
+	return vtime.Default(p.Clock).WithTimeout(ctx, p.PerCallTimeout)
 }
 
 // Do runs op under the policy: up to 1+MaxRetries attempts, each with the
@@ -281,7 +279,12 @@ func (b *Budget) Outstanding() int64 {
 // The loser's goroutine is not interrupted beyond ctx: ops must be safe to
 // run to completion after the race is decided (every SPRITE fetch is — it is
 // an idempotent read).
-func DoHedged[T any](ctx context.Context, hedgeAfter time.Duration, budget *Budget, op func(ctx context.Context) (T, error)) (val T, hedged bool, err error) {
+//
+// clk times the hedge trigger and registers the op goroutines; nil uses the
+// wall clock. Under a virtual clock the trigger is a scheduler event, so
+// whether a hedge fires depends only on the ops' virtual latencies.
+func DoHedged[T any](ctx context.Context, clk vtime.Clock, hedgeAfter time.Duration, budget *Budget, op func(ctx context.Context) (T, error)) (val T, hedged bool, err error) {
+	clk = vtime.Default(clk)
 	if hedgeAfter <= 0 {
 		val, err = op(ctx)
 		return val, false, err
@@ -292,35 +295,45 @@ func DoHedged[T any](ctx context.Context, hedgeAfter time.Duration, budget *Budg
 	}
 	results := make(chan outcome, 2)
 	launch := func() {
-		go func() {
+		clk.Go(func() {
 			v, e := op(ctx)
 			results <- outcome{v, e}
-		}()
+		})
 	}
 	launch()
-	timer := time.NewTimer(hedgeAfter)
+	timer := clk.NewTimer(hedgeAfter)
 	defer timer.Stop()
+	acquired := false
 	launched := 1
-	for settled := 0; settled < launched; {
-		select {
-		case <-timer.C:
-			if launched == 1 && budget.Acquire() {
-				defer budget.Release()
-				launch()
-				launched, hedged = 2, true
+	// The race arbitration waits on real channels, which a virtual clock
+	// cannot see; Blocking deregisters this goroutine so virtual time
+	// advances through the op goroutines' waits instead.
+	clk.Blocking(func() {
+		for settled := 0; settled < launched; {
+			select {
+			case <-timer.C:
+				if launched == 1 && budget.Acquire() {
+					acquired = true
+					launch()
+					launched, hedged = 2, true
+				}
+			case r := <-results:
+				settled++
+				// First success wins; a failure only settles the race when
+				// no other arm can still answer.
+				if r.err == nil || settled == launched {
+					val, err = r.val, r.err
+					return
+				}
+			case <-ctx.Done():
+				var zero T
+				val, err = zero, ctx.Err()
+				return
 			}
-		case r := <-results:
-			settled++
-			// First success wins; a failure only settles the race when no
-			// other arm can still answer.
-			if r.err == nil || settled == launched {
-				return r.val, hedged, r.err
-			}
-		case <-ctx.Done():
-			var zero T
-			return zero, hedged, ctx.Err()
 		}
+	})
+	if acquired {
+		budget.Release()
 	}
-	var zero T
-	return zero, hedged, err
+	return val, hedged, err
 }

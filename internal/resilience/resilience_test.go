@@ -250,7 +250,7 @@ func TestDoHedgedFiresOnSlowPrimary(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	v, hedged, err := DoHedged(ctx, time.Millisecond, NewBudget(4), op)
+	v, hedged, err := DoHedged(ctx, nil, time.Millisecond, NewBudget(4), op)
 	if err != nil || v != "hedge" || !hedged {
 		t.Fatalf("DoHedged = (%q, hedged=%v, %v), want (hedge, true, nil)", v, hedged, err)
 	}
@@ -258,7 +258,7 @@ func TestDoHedgedFiresOnSlowPrimary(t *testing.T) {
 
 func TestDoHedgedFastPrimarySkipsHedge(t *testing.T) {
 	calls := 0
-	v, hedged, err := DoHedged(context.Background(), time.Minute, nil, func(ctx context.Context) (int, error) {
+	v, hedged, err := DoHedged(context.Background(), nil, time.Minute, nil, func(ctx context.Context) (int, error) {
 		calls++
 		return 7, nil
 	})
@@ -280,7 +280,7 @@ func TestDoHedgedBudgetExhausted(t *testing.T) {
 		close(release)
 	}()
 	calls := 0
-	v, hedged, err := DoHedged(context.Background(), time.Millisecond, b, func(ctx context.Context) (int, error) {
+	v, hedged, err := DoHedged(context.Background(), nil, time.Millisecond, b, func(ctx context.Context) (int, error) {
 		calls++
 		close(started)
 		<-release
@@ -296,7 +296,7 @@ func TestDoHedgedBudgetExhausted(t *testing.T) {
 
 func TestDoHedgedZeroDelayDisabled(t *testing.T) {
 	calls := 0
-	_, hedged, _ := DoHedged(context.Background(), 0, nil, func(ctx context.Context) (int, error) {
+	_, hedged, _ := DoHedged(context.Background(), nil, 0, nil, func(ctx context.Context) (int, error) {
 		calls++
 		return 0, nil
 	})

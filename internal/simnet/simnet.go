@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/spritedht/sprite/internal/telemetry"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Addr identifies a peer on the simulated network. In a deployment this would
@@ -155,6 +156,8 @@ type Network struct {
 	stats    Stats
 	countOwn bool // whether from==to calls count as network traffic
 	sleep    bool // whether simulated latency is also slept (wall-clock mode)
+	lean     bool // aggregate counters only, no per-type/per-dest breakdowns
+	clock    vtime.Clock
 	tel      *telemetry.Registry
 
 	// Fault-injection knobs for resilience testing. lossRng is a separate
@@ -186,6 +189,14 @@ func WithSleepingLatency() Option {
 	return func(n *Network) { n.sleep = true }
 }
 
+// WithClock installs the clock used for deadline checks and slept latency.
+// The default is the wall clock; experiments install a *vtime.Sim so slept
+// round trips become deterministic virtual waits and deadline math runs on
+// virtual time (see DESIGN.md §9).
+func WithClock(c vtime.Clock) Option {
+	return func(n *Network) { n.clock = c }
+}
+
 // WithLocalCallsCounted makes calls where from == to count toward traffic
 // statistics. By default a peer messaging itself is free, matching the usual
 // DHT cost model in which local index access costs nothing.
@@ -199,6 +210,15 @@ func WithLocalCallsCounted() Option {
 // off; the transport then pays only a nil check per call.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(n *Network) { n.tel = reg }
+}
+
+// WithLeanStats keeps only the aggregate counters (Calls, Bytes, latency
+// sum, failure counts) and skips the per-message-type and per-destination
+// breakdown maps. Those maps cost a string hash and map write per call —
+// noise normally, but the dominant transport overhead in sweeps that push
+// tens of millions of calls through a single-threaded simulation.
+func WithLeanStats() Option {
+	return func(n *Network) { n.lean = true }
 }
 
 // WithPacketLoss drops each inter-peer call independently with probability
@@ -228,6 +248,7 @@ func New(seed int64, opts ...Option) *Network {
 		failed:   make(map[Addr]bool),
 		rng:      rand.New(rand.NewSource(seed)),
 		lossRng:  rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
+		clock:    vtime.Wall,
 		dropNext: make(map[Addr]int),
 		dropSkip: make(map[Addr]int),
 		stats: Stats{
@@ -239,8 +260,12 @@ func New(seed int64, opts ...Option) *Network {
 	for _, o := range opts {
 		o(n)
 	}
+	n.clock = vtime.Default(n.clock)
 	return n
 }
+
+// Clock returns the network's clock (never nil).
+func (n *Network) Clock() vtime.Clock { return n.clock }
 
 // SetPacketLoss changes the packet-loss probability at runtime (clamped to
 // [0, 1]); see WithPacketLoss. The churn experiment uses it to switch loss on
@@ -399,10 +424,12 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 		return h.HandleMessage(from, msg)
 	}
 	n.stats.Calls++
-	n.stats.CallsByType[msg.Type]++
-	n.stats.CallsByDest[to]++
 	n.stats.Bytes += int64(msg.Size)
-	n.stats.BytesByType[msg.Type] += int64(msg.Size)
+	if !n.lean {
+		n.stats.CallsByType[msg.Type]++
+		n.stats.CallsByDest[to]++
+		n.stats.BytesByType[msg.Type] += int64(msg.Size)
+	}
 	var simRTT time.Duration
 	if n.latency != nil {
 		simRTT = 2 * n.latency(n.rng) // round trip
@@ -444,7 +471,7 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 	// A simulated round trip that overruns the caller's deadline is a timeout:
 	// latency is accounted, not slept, so the deadline must be enforced here
 	// for it to mean anything in simulation.
-	if dl, ok := ctx.Deadline(); ok && simRTT > 0 && time.Now().Add(simRTT).After(dl) {
+	if dl, ok := ctx.Deadline(); ok && simRTT > 0 && n.clock.Now().Add(simRTT).After(dl) {
 		n.stats.Expired++
 		n.mu.Unlock()
 		if n.tel != nil {
@@ -458,13 +485,11 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 	n.mu.Unlock()
 
 	// Sleeping-latency mode: actually wait out the simulated round trip
-	// (outside the lock, context-aware) so wall clocks observe it.
+	// (outside the lock, context-aware) so clocks observe it. Under the wall
+	// clock this is a real timer; under a virtual clock it is a scheduler
+	// event that costs no wall time.
 	if sleep && simRTT > 0 {
-		timer := time.NewTimer(simRTT)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
+		if serr := n.clock.Sleep(ctx, simRTT); serr != nil {
 			n.mu.Lock()
 			n.stats.Expired++
 			n.mu.Unlock()
@@ -473,7 +498,7 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 				n.tel.Counter("simnet.bytes."+msg.Type).Add(int64(msg.Size))
 				n.tel.Counter("simnet.ctx_expired").Inc()
 			}
-			return Message{}, fmt.Errorf("simnet: %s to %s aborted in flight: %w", msg.Type, to, ctx.Err())
+			return Message{}, fmt.Errorf("simnet: %s to %s aborted in flight: %w", msg.Type, to, serr)
 		}
 	}
 
@@ -481,7 +506,9 @@ func (n *Network) CallCtx(ctx context.Context, from, to Addr, msg Message) (Mess
 	if err == nil {
 		n.mu.Lock()
 		n.stats.Bytes += int64(reply.Size)
-		n.stats.BytesByType[msg.Type] += int64(reply.Size)
+		if !n.lean {
+			n.stats.BytesByType[msg.Type] += int64(reply.Size)
+		}
 		n.mu.Unlock()
 	}
 	if n.tel != nil {

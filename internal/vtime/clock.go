@@ -1,0 +1,144 @@
+// Package vtime provides the clock abstraction behind every time-dependent
+// code path in the SPRITE stack: simulated link latency (internal/simnet),
+// retry backoff, hedging timers and per-attempt timeouts
+// (internal/resilience), cache TTL expiry (internal/cache), and the fan-out
+// executor's stage timings (internal/fanout).
+//
+// Two implementations exist. Wall delegates to the standard library and is
+// the default everywhere, so production paths behave exactly as before this
+// package existed. Sim is a deterministic discrete-event scheduler: virtual
+// time advances only when every registered goroutine is blocked on a virtual
+// wait, pending events fire in (virtual time, sequence) order, and a million
+// simulated milliseconds cost whatever the CPU work between them costs —
+// this is what lets spritebench sweep 100k-peer rings and millions of
+// queries with exact latency percentiles in seconds of wall time (see
+// DESIGN.md §9).
+//
+// The interface is deliberately wider than time.Now/time.Sleep: the
+// scheduler can only advance time safely when it knows which goroutines
+// count as runnable, so code running under a Clock must create goroutines
+// with Go/GoGroup and wrap waits on non-virtual events (channel receives,
+// WaitGroups) in Blocking. The Wall implementations of those are the obvious
+// zero-cost passthroughs, so callers pay nothing for the discipline in
+// production.
+package vtime
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time. Implementations: Wall (real time) and
+// *Sim (deterministic virtual time).
+type Clock interface {
+	// Now returns the current time. For Sim this is a fixed epoch plus the
+	// virtual offset, so timestamps are reproducible across runs.
+	Now() time.Time
+
+	// Sleep blocks for d or until ctx is done, returning nil on a full
+	// sleep and the context's error otherwise. Under Sim the block is a
+	// virtual wait: it costs no wall time and other goroutines' virtual
+	// waits interleave deterministically with it.
+	Sleep(ctx context.Context, d time.Duration) error
+
+	// After returns a channel that delivers the clock's time after d.
+	// The timer cannot be stopped; prefer NewTimer when it can be.
+	After(d time.Duration) <-chan time.Time
+
+	// NewTimer returns a stoppable timer that fires once after d.
+	NewTimer(d time.Duration) *Timer
+
+	// WithTimeout derives a context that is canceled after d on this
+	// clock. Under Sim the deadline is a virtual instant (comparable with
+	// Now) and expiry is a deterministic scheduler event.
+	WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
+
+	// Go runs fn on a new goroutine registered with the clock. The
+	// goroutine may use virtual waits; it is counted as runnable until fn
+	// returns. Under Wall this is the `go` statement.
+	Go(fn func())
+
+	// GoGroup runs fn(0..n-1) on n registered goroutines and blocks until
+	// all return. The calling goroutine's runnable slot is handed to the
+	// group while it waits, so the wait itself never stalls virtual time.
+	GoGroup(n int, fn func(i int))
+
+	// Blocking runs fn with the calling goroutine deregistered from the
+	// clock, for waits on real events (channel receives, I/O) that the
+	// scheduler cannot see. Under Wall it just calls fn.
+	Blocking(fn func())
+}
+
+// Timer is a one-shot timer bound to a Clock. C delivers the fire time.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending. It does
+// not drain C.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// Wall is the real-time clock: every method delegates to the standard
+// library, goroutine registration is free, and Blocking is the identity.
+var Wall Clock = wallClock{}
+
+// Default returns c, or Wall when c is nil — the idiom every integration
+// point uses to make the wall clock the zero-config default.
+func Default(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (wallClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (wallClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+func (wallClock) Go(fn func()) { go fn() }
+
+func (wallClock) GoGroup(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (wallClock) Blocking(fn func()) { fn() }

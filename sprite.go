@@ -39,6 +39,7 @@ import (
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/text"
 	"github.com/spritedht/sprite/internal/transport"
+	"github.com/spritedht/sprite/internal/vtime"
 )
 
 // Sentinel errors for programmatic handling with errors.Is. They are shared
@@ -136,6 +137,17 @@ type Options struct {
 	// query histories, and message accounting are bit-identical across
 	// settings — only wall-clock latency changes.
 	Parallelism int
+	// VirtualTime runs the deployment on a deterministic discrete-event
+	// clock (internal/vtime) instead of the wall clock: simulated link
+	// latency, retry backoff, hedging triggers, per-attempt timeouts, and
+	// cache TTLs all become scheduler events, so a 100k-peer,
+	// million-query experiment "sleeps" through hours of simulated time in
+	// seconds of wall time while producing bit-identical timelines for a
+	// given seed. Requires the in-process simulator (incompatible with
+	// TCP — real sockets cannot wait on virtual time; New returns an
+	// error for the combination). Read the simulated elapsed time with
+	// VirtualClock().
+	VirtualTime bool
 }
 
 // ResilienceOptions tunes the fault-tolerant read path; see Options.Resilience
@@ -210,10 +222,17 @@ type Network struct {
 	analyzer  text.Analyzer
 	transport simnet.Transport
 	sim       *simnet.Network // nil in TCP mode
+	vclk      *vtime.Sim     // nil unless Options.VirtualTime
 	ring      *chord.Ring
 	core      *core.Network
 	peers     []string
 }
+
+// VirtualClock returns the deployment's deterministic event clock, or nil
+// when the network runs on the wall clock (Options.VirtualTime unset). Use
+// it to read simulated elapsed time (Elapsed) or to register experiment
+// goroutines (Run/Go) so their sleeps participate in virtual scheduling.
+func (n *Network) VirtualClock() *vtime.Sim { return n.vclk }
 
 // New builds a network of opts.Peers peers, wires the Chord overlay, and
 // attaches a SPRITE peer to every node.
@@ -231,10 +250,17 @@ func New(opts Options) (*Network, error) {
 		opts.Seed = 1
 	}
 	reg := opts.Telemetry.registry()
+	if opts.VirtualTime && opts.TCP {
+		return nil, errors.New("sprite: VirtualTime requires the in-process simulator (incompatible with TCP)")
+	}
 	var (
 		tport simnet.Transport
 		sim   *simnet.Network
+		vclk  *vtime.Sim
 	)
+	if opts.VirtualTime {
+		vclk = vtime.NewSim()
+	}
 	if opts.TCP {
 		switch opts.TCPTransport {
 		case "", "pooled":
@@ -245,7 +271,11 @@ func New(opts Options) (*Network, error) {
 			return nil, fmt.Errorf("sprite: TCPTransport = %q, want \"pooled\" or \"dial\"", opts.TCPTransport)
 		}
 	} else {
-		sim = simnet.New(opts.Seed, simnet.WithTelemetry(reg))
+		snetOpts := []simnet.Option{simnet.WithTelemetry(reg)}
+		if vclk != nil {
+			snetOpts = append(snetOpts, simnet.WithClock(vclk))
+		}
+		sim = simnet.New(opts.Seed, snetOpts...)
 		tport = sim
 	}
 	ring := chord.NewRing(tport, chord.Config{Telemetry: reg})
@@ -266,7 +296,12 @@ func New(opts Options) (*Network, error) {
 		return nil, fmt.Errorf("sprite: %w", err)
 	}
 	ring.Build()
+	var coreClock vtime.Clock
+	if vclk != nil {
+		coreClock = vclk
+	}
 	c, err := core.NewNetwork(ring, core.Config{
+		Clock:             coreClock,
 		InitialTerms:      opts.InitialTerms,
 		TermsPerIteration: opts.TermsPerIteration,
 		MaxIndexTerms:     opts.MaxIndexTerms,
@@ -301,6 +336,7 @@ func New(opts Options) (*Network, error) {
 		analyzer:  text.Analyzer{KeepStopWords: opts.KeepStopWords, NoStemming: opts.NoStemming},
 		transport: tport,
 		sim:       sim,
+		vclk:      vclk,
 		ring:      ring,
 		core:      c,
 	}
