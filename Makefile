@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale chaos-smoke fuzz-smoke vulncheck
+.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale smoke-postings chaos-smoke fuzz-smoke vulncheck
 
 check: vet build race
 
@@ -53,6 +53,15 @@ smoke-tcp:
 	$(GO) test -race ./internal/transport/ ./internal/nettransport/ ./internal/wire/ ./internal/fanout/
 	$(GO) test -race -run 'TransportTwin|TCPTransportOption' .
 
+# Compressed-postings smoke: the block codec's property tests (compressed ≡
+# plain twin, marshal round-trip, cursor snapshot semantics), the streaming
+# scoring bit-identity tests, and a small-tier run of the postings benchmark
+# checking compression ratio and identical rankings end to end.
+smoke-postings:
+	$(GO) test -race ./internal/index/
+	$(GO) test -race -run 'Stream|Merge|AccumulateKey' ./internal/ir/
+	$(GO) run ./cmd/spritebench -postings-tiers 5000 -postings-queries 100 postings
+
 # Deterministic whole-system smoke: the chaos harness on its fixed seed set.
 # Violations print a shrunk repro and a `-chaos.seed=N` replay recipe (see
 # DESIGN.md § Correctness tooling). Kept under a minute for CI.
@@ -67,11 +76,12 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzAnalyzerTerms -fuzztime=10s ./internal/text
 	$(GO) test -run=NONE -fuzz=FuzzCodec -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzBinaryProtocol -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzPostingsBlock -fuzztime=10s ./internal/index
 
 # Coverage floor on the invariant-bearing packages. The threshold guards the
 # correctness tooling itself: chaos checkers or core introspection that rot
 # uncovered would silently stop guarding everything else.
-COVER_PKGS = ./internal/core ./internal/ir ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime
+COVER_PKGS = ./internal/core ./internal/ir ./internal/index ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime
 COVER_MIN  = 70
 
 coverage-gate:

@@ -4,14 +4,26 @@
 // offline inspection or reuse (spritebench can run experiments against it
 // via -collection).
 //
+// With -stream the generator switches to constant-memory operation: documents
+// are drawn one at a time from the same distributions and written as JSON
+// lines ({"id":...,"tf":{...},"length":...}), so million-document corpora
+// (the paper's 348,565-doc TREC9 scale and beyond) fit in a bounded heap.
+// Stream mode emits no relevance judgments — judging requires whole-corpus
+// statistics — but -stream-queries appends sampled topical queries as
+// {"query":[...]} lines for workload generation.
+//
 // Usage:
 //
 //	corpusgen [flags] -out collection.json
+//	corpusgen -stream -docs 1000000 -out docs.jsonl
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/spritedht/sprite/internal/central"
@@ -21,19 +33,28 @@ import (
 
 func main() {
 	var (
-		docs    = flag.Int("docs", 2000, "number of documents")
-		topics  = flag.Int("topics", 12, "latent topics")
-		queries = flag.Int("queries", 63, "original judged queries")
-		perOrig = flag.Int("per-original", 9, "derived queries per original (0 skips generation)")
-		overlap = flag.Float64("overlap", 0.7, "derived-query term overlap O")
-		seed    = flag.Int64("seed", 17, "random seed")
-		out     = flag.String("out", "", "output path (default stdout)")
-		pretty  = flag.Bool("pretty", false, "indent the JSON output")
+		docs     = flag.Int("docs", 2000, "number of documents")
+		topics   = flag.Int("topics", 12, "latent topics")
+		queries  = flag.Int("queries", 63, "original judged queries")
+		perOrig  = flag.Int("per-original", 9, "derived queries per original (0 skips generation)")
+		overlap  = flag.Float64("overlap", 0.7, "derived-query term overlap O")
+		seed     = flag.Int64("seed", 17, "random seed")
+		out      = flag.String("out", "", "output path (default stdout)")
+		pretty   = flag.Bool("pretty", false, "indent the JSON output")
+		stream   = flag.Bool("stream", false, "constant-memory JSONL mode (scales to ~1M docs; no judgments)")
+		streamQ  = flag.Int("stream-queries", 0, "sampled queries to append in stream mode")
+		streamQL = flag.Int("stream-query-len", 4, "terms per sampled stream query")
 	)
 	flag.Parse()
 
 	cfg := corpus.SynthConfig{
 		NumDocs: *docs, NumTopics: *topics, NumQueries: *queries, Seed: *seed,
+	}
+	if *stream {
+		if err := streamOut(cfg, *streamQ, *streamQL, *out); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	col, err := corpus.Synthesize(cfg)
 	if err != nil {
@@ -70,6 +91,59 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "corpusgen: %d documents, %d queries\n", full.Corpus.N(), len(full.Queries))
+}
+
+// streamDoc is the JSONL form of one streamed document.
+type streamDoc struct {
+	ID     string         `json:"id"`
+	TF     map[string]int `json:"tf"`
+	Length int            `json:"length"`
+}
+
+// streamQuery is the JSONL form of one sampled query.
+type streamQuery struct {
+	Query []string `json:"query"`
+}
+
+// streamOut writes nq sampled queries and every document of the configured
+// collection as JSON lines, holding one document at a time.
+func streamOut(cfg corpus.SynthConfig, nq, qlen int, out string) error {
+	ds, err := corpus.NewDocStream(cfg)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	written := 0
+	for {
+		doc, _, ok := ds.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(streamDoc{ID: string(doc.ID), TF: doc.TF, Length: doc.Length}); err != nil {
+			return err
+		}
+		written++
+	}
+	for i := 0; i < nq; i++ {
+		if err := enc.Encode(streamQuery{Query: ds.SampleQuery(qlen)}); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "corpusgen: streamed %d documents, %d queries\n", written, nq)
+	return nil
 }
 
 func fatal(err error) {

@@ -7,10 +7,11 @@
 //	spritebench [flags] <experiment>...
 //
 // Experiments: fig4a fig4b fig4c chord cost ablation churn cache parallel
-// scale tcp chaos config all ("chaos" is the correctness smoke gate, "tcp"
-// the real-socket transport benchmark, and "scale" the virtual-time ring-size
-// sweep, not figures; all three are excluded from "all"). -virtual-time moves
-// the parallel and chaos experiments onto the deterministic event clock.
+// scale postings tcp chaos config all ("chaos" is the correctness smoke gate,
+// "tcp" the real-socket transport benchmark, "scale" the virtual-time
+// ring-size sweep, and "postings" the compressed-storage benchmark, not
+// figures; all four are excluded from "all"). -virtual-time moves the
+// parallel and chaos experiments onto the deterministic event clock.
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -59,10 +60,13 @@ func main() {
 		scaleRing = flag.String("scale-rings", "", "comma-separated ring sizes for the scale experiment (default 10000,25000,50000,100000)")
 		scaleVol  = flag.Int("scale-queries", 0, "measured Zipf queries per ring in the scale experiment (default 250000)")
 		scaleZip  = flag.Float64("scale-slope", 0.5, "Zipf slope of the scale experiment's query stream")
+		postTiers = flag.String("postings-tiers", "", "comma-separated corpus sizes for the postings experiment (default 10000,100000,1000000)")
+		postVol   = flag.Int("postings-queries", 0, "measured queries per tier in the postings experiment (default 2000)")
+		postPlain = flag.Int("postings-plain-max", 0, "largest tier the uncompressed arm is built at (default 100000)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel scale tcp chaos config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel scale postings tcp chaos config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -135,6 +139,9 @@ func main() {
 		scaleRings: parseRings(*scaleRing),
 		scaleVol:   *scaleVol,
 		scaleSlope: *scaleZip,
+		postTiers:  parseRings(*postTiers),
+		postVol:    *postVol,
+		postPlain:  *postPlain,
 	}
 	out := &output{asCSV: *asCSV, asJSON: *asJSON, timeMode: timeMode}
 	for _, exp := range args {
@@ -250,6 +257,9 @@ type runOpts struct {
 	scaleRings []int
 	scaleVol   int
 	scaleSlope float64
+	postTiers  []int
+	postVol    int
+	postPlain  int
 }
 
 // parseRings decodes a comma-separated ring-size list; empty means defaults.
@@ -367,6 +377,12 @@ func run(exp string, cfg eval.Config, o runOpts, out *output) error {
 		out.emit(res)
 	case "scale":
 		res, err := eval.RunScale(cfg, o.scaleRings, o.scaleVol, o.scaleSlope, o.linkDelay)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+	case "postings":
+		res, err := eval.RunPostings(o.postTiers, o.postVol, o.postPlain, cfg.Seed)
 		if err != nil {
 			return err
 		}

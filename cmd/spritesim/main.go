@@ -298,6 +298,9 @@ func execute(net *sprite.Network, tel *sprite.Telemetry, line string) bool {
 	case "stats":
 		s := net.Stats()
 		fmt.Printf("messages=%d bytes=%d postings=%d alive=%d\n", s.Messages, s.Bytes, s.Postings, s.Peers)
+		ix := net.IndexStats()
+		fmt.Printf("index: terms=%d postings=%d blocks=%d encoded-bytes=%d bytes/posting=%.2f\n",
+			ix.Terms, ix.Postings, ix.Blocks, ix.EncodedBytes, ix.BytesPerPost)
 		for _, t := range sortedKeys(s.ByType) {
 			fmt.Printf("  %-24s %d\n", t, s.ByType[t])
 		}

@@ -54,7 +54,7 @@ func (s *System) Rank(terms []string) ir.RankedList {
 		if wq == 0 {
 			continue
 		}
-		for _, p := range s.ix.Postings(t) {
+		for p := range s.ix.All(t) {
 			wd := ir.Weight(p.NormFreq(), n, df)
 			acc.Accumulate(p.Doc, wq*wd, p.DocLen)
 		}

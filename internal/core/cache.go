@@ -183,9 +183,11 @@ func resultBytes(e resultEntry) int {
 	return n
 }
 
-// postingsBytes approximates a cached postings entry's footprint.
+// postingsBytes approximates a cached postings entry's footprint. The
+// postings travel and are retained in their encoded block form, so the
+// encoded size is the honest byte cost of the entry.
 func postingsBytes(e postingsEntry) int {
-	return sizePostings(e.resp.Postings) + len(e.peer) + 16
+	return e.resp.Postings.Size() + len(e.peer) + 16
 }
 
 // fetchPostingsCached resolves a term's postings through the postings cache.

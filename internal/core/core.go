@@ -572,3 +572,23 @@ func (n *Network) TotalPostings() int {
 	}
 	return total
 }
+
+// IndexStats aggregates the block-compressed storage counters across all
+// indexing peers' primary indexes: term and posting counts, the number of
+// encoded blocks, and the encoded byte footprint. It is the storage-side
+// companion of the cache statistics — BytesPerPosting is the compression
+// headline the postings benchmark tracks.
+func (n *Network) IndexStats() index.Stats {
+	var total index.Stats
+	for _, p := range n.Peers() {
+		p.indexing.mu.Lock()
+		s := p.indexing.ix.Stats()
+		p.indexing.mu.Unlock()
+		total.Terms += s.Terms
+		total.Docs += s.Docs
+		total.Postings += s.Postings
+		total.Blocks += s.Blocks
+		total.EncodedBytes += s.EncodedBytes
+	}
+	return total
+}

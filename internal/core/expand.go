@@ -147,7 +147,8 @@ func (p *Peer) searchWithOwners(terms []string, k int) ownedHits {
 		}
 		resp := outs[i].resp
 		wq := ir.QueryWeight(qtf[term], len(terms), nTotal, resp.IndexedDF)
-		for _, posting := range resp.Postings {
+		cur := resp.Postings.Cursor()
+		for posting, ok := cur.Next(); ok; posting, ok = cur.Next() {
 			wd := ir.Weight(posting.NormFreq(), nTotal, resp.IndexedDF)
 			acc.Accumulate(posting.Doc, wq*wd, posting.DocLen)
 			owners[posting.Doc] = simnet.Addr(posting.Owner)

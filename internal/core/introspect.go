@@ -44,7 +44,7 @@ func (n *Network) snapshotIndexes(replicas bool) []IndexEntry {
 			ix = p.indexing.replicas
 		}
 		for _, term := range ix.Terms() {
-			for _, posting := range ix.Postings(term) {
+			for posting := range ix.All(term) {
 				out = append(out, IndexEntry{Peer: p.Addr(), Term: term, Posting: posting})
 			}
 		}
@@ -74,7 +74,7 @@ func (n *Network) ServedPostings(addr simnet.Addr, term string) ([]index.Posting
 		return nil, false, false
 	}
 	resp := p.indexing.postings(term)
-	return resp.Postings, resp.FromReplica, true
+	return resp.Postings.Slice(), resp.FromReplica, true
 }
 
 // HistoryMultiset returns, per peer, the multiset of cached queries keyed by
@@ -194,7 +194,7 @@ func (n *Network) DropReplicaEntry(addr simnet.Addr, term string, doc index.DocI
 	}
 	p.indexing.mu.Lock()
 	defer p.indexing.mu.Unlock()
-	for _, posting := range p.indexing.replicas.Postings(term) {
+	for posting := range p.indexing.replicas.All(term) {
 		if posting.Doc == doc {
 			p.indexing.replicas.Remove(term, doc)
 			return true

@@ -62,7 +62,10 @@ type getPostingsReq struct {
 }
 
 type getPostingsResp struct {
-	Postings []index.Posting
+	// Postings is the term's inverted list in its block-compressed form:
+	// the indexing peer's encoded blocks travel as-is and the querier
+	// decodes them lazily, one posting at a time, through a cursor.
+	Postings index.Encoded
 	// IndexedDF is n'_k — the number of documents that chose Term as a
 	// global index term (§4).
 	IndexedDF int
@@ -113,14 +116,6 @@ func sizeTerms(terms []string) int {
 	n := 0
 	for _, t := range terms {
 		n += len(t) + 1
-	}
-	return n
-}
-
-func sizePostings(ps []index.Posting) int {
-	n := 0
-	for _, p := range ps {
-		n += p.WireSize()
 	}
 	return n
 }

@@ -384,12 +384,11 @@ func (p *Peer) searchCtx(ctx context.Context, terms []string, k int, record bool
 		tsp.Finish()
 		var part []ir.Contribution
 		if resp.IndexedDF > 0 {
+			// Score straight off the compressed blocks: the cursor decodes one
+			// posting at a time, so the full list is never materialized.
 			wq := ir.QueryWeight(qtf[term], len(terms), n, resp.IndexedDF)
-			part = make([]ir.Contribution, 0, len(resp.Postings))
-			for _, posting := range resp.Postings {
-				wd := ir.Weight(posting.NormFreq(), n, resp.IndexedDF)
-				part = append(part, ir.Contribution{Doc: posting.Doc, Score: wq * wd, DocLen: posting.DocLen})
-			}
+			part = ir.CollectStream(resp.Postings.Cursor(), wq, n, resp.IndexedDF,
+				make([]ir.Contribution, 0, resp.Postings.Len()))
 		}
 		return termOut{resp: resp, peer: peer, part: part}, nil
 	})

@@ -97,7 +97,7 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 		default:
 			p.net.met.misses.Inc()
 		}
-		return simnet.Message{Type: msg.Type, Payload: resp, Size: sizePostings(resp.Postings) + 8}, nil
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: resp.Postings.Size() + 8}, nil
 
 	case msgCacheQuery:
 		req := msg.Payload.(cacheQueryReq)
@@ -303,16 +303,17 @@ func (s *indexingState) dropReplica(term string, doc index.DocID) {
 
 // postings serves a term's inverted list, falling back to successor replicas
 // when the primary list is empty — the failover path that makes peer crashes
-// survivable (§7).
+// survivable (§7). The response carries the index's immutable encoded blocks
+// zero-copy: mutations swap in fresh blocks, so the snapshot stays valid
+// after the lock is released.
 func (s *indexingState) postings(term string) getPostingsResp {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ps := s.ix.Postings(term)
-	if len(ps) > 0 {
-		return getPostingsResp{Postings: ps, IndexedDF: len(ps)}
+	if e := s.ix.Encoded(term); e.Len() > 0 {
+		return getPostingsResp{Postings: e, IndexedDF: e.Len()}
 	}
-	if rps := s.replicas.Postings(term); len(rps) > 0 {
-		return getPostingsResp{Postings: rps, IndexedDF: len(rps), FromReplica: true}
+	if re := s.replicas.Encoded(term); re.Len() > 0 {
+		return getPostingsResp{Postings: re, IndexedDF: re.Len(), FromReplica: true}
 	}
 	return getPostingsResp{}
 }

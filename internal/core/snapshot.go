@@ -74,12 +74,12 @@ func (n *Network) Snapshot(w io.Writer) error {
 
 		p.indexing.mu.Lock()
 		for _, term := range p.indexing.ix.Terms() {
-			for _, posting := range p.indexing.ix.Postings(term) {
+			for posting := range p.indexing.ix.All(term) {
 				ps.Postings = append(ps.Postings, postingEntry{Term: term, Posting: posting})
 			}
 		}
 		for _, term := range p.indexing.replicas.Terms() {
-			for _, posting := range p.indexing.replicas.Postings(term) {
+			for posting := range p.indexing.replicas.All(term) {
 				ps.Replicas = append(ps.Replicas, postingEntry{Term: term, Posting: posting})
 			}
 		}

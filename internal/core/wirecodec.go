@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/wire"
@@ -76,20 +78,28 @@ func init() {
 	wire.RegisterBinary(wire.KindCoreBase+4, getPostingsResp{},
 		func(e *wire.Encoder, v any) {
 			r := v.(getPostingsResp)
-			e.Uint(uint64(len(r.Postings)))
-			for _, p := range r.Postings {
-				encodePosting(e, p)
-			}
+			// The compressed blocks ship exactly as the indexing peer stores
+			// them; MarshalBinary only adds the block framing.
+			raw, _ := r.Postings.MarshalBinary()
+			e.Uint(uint64(len(raw)))
+			e.Raw(raw)
 			e.Int(int64(r.IndexedDF))
 			e.Bool(r.FromReplica)
 		},
 		func(d *wire.Decoder) any {
 			var r getPostingsResp
-			// A posting is at least two length bytes + two varints.
-			if n := d.Count(4); n > 0 {
-				r.Postings = make([]index.Posting, n)
-				for i := range r.Postings {
-					r.Postings[i] = decodePosting(d)
+			n := d.Uint()
+			if n > uint64(d.Remaining()) {
+				d.Fail(fmt.Errorf("core: postings payload length %d exceeds %d remaining bytes", n, d.Remaining()))
+				return r
+			}
+			if raw := d.Raw(int(n)); d.Err() == nil {
+				// UnmarshalBinary revalidates every block, so a corrupted
+				// frame poisons the decode instead of smuggling malformed
+				// blocks into the query path.
+				if err := r.Postings.UnmarshalBinary(raw); err != nil {
+					d.Fail(err)
+					return r
 				}
 			}
 			r.IndexedDF = int(d.Int())

@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// This file is the streaming side of the synthetic collection: Synthesize
+// materializes the whole corpus (documents, statistics, judged queries) in
+// memory, which tops out around a few hundred thousand documents. DocStream
+// yields documents one at a time from the same distributions, so million-doc
+// corpora can be generated, indexed, and discarded without ever holding more
+// than a batch of them — the shape the postings benchmark and corpusgen's
+// large-scale mode need.
+
+// synthGen holds the shared synthesis machinery: vocabularies and Zipf
+// samplers, all deterministic functions of the configuration. It carries no
+// rng — callers pass one in, so Synthesize can keep its historical single-rng
+// draw order while DocStream uses its own.
+type synthGen struct {
+	cfg        SynthConfig
+	topicVocab [][]string
+	background []string
+	docZipf    *zipfSampler
+	bgZipf     *zipfSampler
+}
+
+func newSynthGen(cfg SynthConfig) *synthGen {
+	// Vocabulary. Terms are emitted in post-pipeline (stemmed) form; names
+	// are chosen to be stable under Porter stemming.
+	topicVocab := make([][]string, cfg.NumTopics)
+	for z := range topicVocab {
+		topicVocab[z] = make([]string, cfg.VocabPerTopic)
+		for i := range topicVocab[z] {
+			topicVocab[z][i] = fmt.Sprintf("top%02dw%03d", z, i)
+		}
+	}
+	background := make([]string, cfg.BackgroundVocab)
+	for i := range background {
+		background[i] = fmt.Sprintf("bgw%04d", i)
+	}
+	return &synthGen{
+		cfg:        cfg,
+		topicVocab: topicVocab,
+		background: background,
+		docZipf:    newZipfSampler(cfg.VocabPerTopic, cfg.ZipfSkew),
+		bgZipf:     newZipfSampler(cfg.BackgroundVocab, cfg.ZipfSkew),
+	}
+}
+
+// doc draws one document. The rng call order here is part of the package
+// contract: Synthesize's output for a given seed must never change, so any
+// edit that adds, removes, or reorders a draw is a breaking change.
+func (g *synthGen) doc(rng *rand.Rand, id index.DocID) (*Document, int, int) {
+	cfg := g.cfg
+	primary := rng.Intn(cfg.NumTopics)
+	secondary := -1
+	if cfg.NumTopics > 1 && rng.Float64() < cfg.SecondaryProb {
+		for {
+			secondary = rng.Intn(cfg.NumTopics)
+			if secondary != primary {
+				break
+			}
+		}
+	}
+	length := cfg.DocLenMin + rng.Intn(cfg.DocLenMax-cfg.DocLenMin+1)
+	tf := make(map[string]int)
+	for tok := 0; tok < length; tok++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.TopicTermProb:
+			tf[g.topicVocab[primary][g.docZipf.sample(rng)]]++
+		case secondary >= 0 && r < cfg.TopicTermProb+cfg.SecondaryTermProb:
+			tf[g.topicVocab[secondary][g.docZipf.sample(rng)]]++
+		default:
+			tf[g.background[g.bgZipf.sample(rng)]]++
+		}
+	}
+	return NewDocument(id, tf), primary, secondary
+}
+
+// DocStream yields a synthetic collection's documents one at a time. The
+// stream is deterministic in the configuration (including Seed) and draws
+// from exactly the distributions Synthesize uses; it skips corpus statistics
+// and relevance judgments, which is what makes it constant-memory.
+type DocStream struct {
+	gen      *synthGen
+	rng      *rand.Rand
+	qrng     *rand.Rand
+	qzipf    *zipfSampler
+	idFormat string
+	next     int
+}
+
+// NewDocStream validates cfg (after defaults) and returns a stream over
+// cfg.NumDocs documents. Doc IDs use the historical doc%05d form, widened
+// only when NumDocs needs more digits, so small streams name documents
+// exactly as Synthesize does.
+func NewDocStream(cfg SynthConfig) (*DocStream, error) {
+	cfg = cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	digits := len(fmt.Sprint(cfg.NumDocs - 1))
+	if digits < 5 {
+		digits = 5
+	}
+	return &DocStream{
+		gen:      newSynthGen(cfg),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		qrng:     rand.New(rand.NewSource(cfg.Seed ^ 0x51ec0de)),
+		qzipf:    newZipfSampler(cfg.VocabPerTopic, cfg.QueryZipfSkew),
+		idFormat: fmt.Sprintf("doc%%0%dd", digits),
+		next:     0,
+	}, nil
+}
+
+// Remaining returns how many documents the stream has yet to yield.
+func (s *DocStream) Remaining() int { return s.gen.cfg.NumDocs - s.next }
+
+// Next yields the next document and its primary topic, or false when
+// cfg.NumDocs documents have been produced.
+func (s *DocStream) Next() (*Document, int, bool) {
+	if s.next >= s.gen.cfg.NumDocs {
+		return nil, 0, false
+	}
+	id := index.DocID(fmt.Sprintf(s.idFormat, s.next))
+	s.next++
+	doc, primary, _ := s.gen.doc(s.rng, id)
+	return doc, primary, true
+}
+
+// SampleQuery draws a query of qlen distinct terms from one topic's
+// vocabulary under the flatter query-Zipf skew — the topical, repetitive
+// query shape the SPRITE evaluation assumes (§5). It uses a query-only rng,
+// so interleaving queries with Next never perturbs the document stream.
+func (s *DocStream) SampleQuery(qlen int) []string {
+	cfg := s.gen.cfg
+	z := s.qrng.Intn(cfg.NumTopics)
+	if qlen > cfg.VocabPerTopic {
+		qlen = cfg.VocabPerTopic
+	}
+	seen := make(map[string]bool, qlen)
+	terms := make([]string, 0, qlen)
+	for len(terms) < qlen {
+		t := s.gen.topicVocab[z][s.qzipf.sample(s.qrng)]
+		if !seen[t] {
+			seen[t] = true
+			terms = append(terms, t)
+		}
+	}
+	return terms
+}

@@ -1,0 +1,100 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The stream must reproduce Synthesize's documents exactly: same IDs, same
+// term vectors, same order. Anything less and the 1M-doc benchmarks measure
+// a different corpus than the materialized experiments.
+func TestDocStreamMatchesSynthesize(t *testing.T) {
+	cfg := SynthConfig{NumDocs: 300, Seed: 5}
+	col, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDocStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range col.Corpus.Docs() {
+		got, topic, ok := ds.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d, want %d docs", i, len(col.Corpus.Docs()))
+		}
+		if got.ID != want.ID {
+			t.Fatalf("doc %d: ID %q, want %q", i, got.ID, want.ID)
+		}
+		if !reflect.DeepEqual(got.TF, want.TF) || got.Length != want.Length {
+			t.Fatalf("doc %q: stream TF diverges from Synthesize", got.ID)
+		}
+		if wantTopic := col.DocTopic[want.ID]; topic != wantTopic {
+			t.Fatalf("doc %q: topic %d, want %d", got.ID, topic, wantTopic)
+		}
+	}
+	if _, _, ok := ds.Next(); ok {
+		t.Fatal("stream yielded more docs than Synthesize")
+	}
+	if ds.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d after exhaustion", ds.Remaining())
+	}
+}
+
+// Sampling queries mid-stream must not perturb the document sequence (the
+// query rng is separate), and the query stream itself must be deterministic.
+func TestDocStreamQueriesIndependent(t *testing.T) {
+	cfg := SynthConfig{NumDocs: 100, Seed: 9}
+	plain, err := NewDocStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewDocStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryRef, err := NewDocStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		a, _, okA := plain.Next()
+		q := mixed.SampleQuery(4)
+		b, _, okB := mixed.Next()
+		if okA != okB {
+			t.Fatalf("streams disagree on length at %d", i)
+		}
+		if !okA {
+			break
+		}
+		if !reflect.DeepEqual(a.TF, b.TF) {
+			t.Fatalf("doc %d: query sampling perturbed the doc stream", i)
+		}
+		if len(q) != 4 {
+			t.Fatalf("query %d: %d terms, want 4", i, len(q))
+		}
+		if want := queryRef.SampleQuery(4); !reflect.DeepEqual(q, want) {
+			t.Fatalf("query %d: nondeterministic (%v vs %v)", i, q, want)
+		}
+	}
+}
+
+// IDs widen past doc%05d only when the corpus needs the digits.
+func TestDocStreamIDWidth(t *testing.T) {
+	ds, err := NewDocStream(SynthConfig{NumDocs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ := ds.Next()
+	if string(d.ID) != "doc00000" {
+		t.Fatalf("small stream ID = %q, want doc00000", d.ID)
+	}
+	wide, err := NewDocStream(SynthConfig{NumDocs: 200000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ = wide.Next()
+	if string(d.ID) != "doc000000" {
+		t.Fatalf("wide stream ID = %q, want doc000000", d.ID)
+	}
+}

@@ -119,23 +119,7 @@ func Synthesize(cfg SynthConfig) (*Collection, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	// Vocabulary. Terms are emitted in post-pipeline (stemmed) form; names
-	// are chosen to be stable under Porter stemming.
-	topicVocab := make([][]string, cfg.NumTopics)
-	for z := range topicVocab {
-		topicVocab[z] = make([]string, cfg.VocabPerTopic)
-		for i := range topicVocab[z] {
-			topicVocab[z][i] = fmt.Sprintf("top%02dw%03d", z, i)
-		}
-	}
-	background := make([]string, cfg.BackgroundVocab)
-	for i := range background {
-		background[i] = fmt.Sprintf("bgw%04d", i)
-	}
-
-	docZipf := newZipfSampler(cfg.VocabPerTopic, cfg.ZipfSkew)
-	bgZipf := newZipfSampler(cfg.BackgroundVocab, cfg.ZipfSkew)
+	gen := newSynthGen(cfg)
 	queryZipf := newZipfSampler(cfg.VocabPerTopic, cfg.QueryZipfSkew)
 
 	// Documents.
@@ -144,33 +128,12 @@ func Synthesize(cfg SynthConfig) (*Collection, error) {
 	docSecondary := make(map[index.DocID]int, cfg.NumDocs)
 	for i := range docs {
 		id := index.DocID(fmt.Sprintf("doc%05d", i))
-		primary := rng.Intn(cfg.NumTopics)
-		secondary := -1
-		if cfg.NumTopics > 1 && rng.Float64() < cfg.SecondaryProb {
-			for {
-				secondary = rng.Intn(cfg.NumTopics)
-				if secondary != primary {
-					break
-				}
-			}
-		}
-		length := cfg.DocLenMin + rng.Intn(cfg.DocLenMax-cfg.DocLenMin+1)
-		tf := make(map[string]int)
-		for tok := 0; tok < length; tok++ {
-			r := rng.Float64()
-			switch {
-			case r < cfg.TopicTermProb:
-				tf[topicVocab[primary][docZipf.sample(rng)]]++
-			case secondary >= 0 && r < cfg.TopicTermProb+cfg.SecondaryTermProb:
-				tf[topicVocab[secondary][docZipf.sample(rng)]]++
-			default:
-				tf[background[bgZipf.sample(rng)]]++
-			}
-		}
-		docs[i] = NewDocument(id, tf)
+		doc, primary, secondary := gen.doc(rng, id)
+		docs[i] = doc
 		docTopic[id] = primary
 		docSecondary[id] = secondary
 	}
+	topicVocab := gen.topicVocab
 
 	c, err := New(docs)
 	if err != nil {

@@ -79,7 +79,7 @@ func (s *System) Search(terms []string, topK int) ir.RankedList {
 			continue
 		}
 		wq := ir.QueryWeight(qtf[t], len(terms), s.n, df)
-		for _, p := range s.ix.Postings(t) {
+		for p := range s.ix.All(t) {
 			wd := ir.Weight(p.NormFreq(), s.n, df)
 			acc.Accumulate(p.Doc, wq*wd, p.DocLen)
 		}

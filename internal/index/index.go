@@ -8,10 +8,20 @@
 // length travels with the posting so the querying peer can normalize term
 // frequency and apply the Lee et al. similarity denominator without any
 // extra round trip (§4).
+//
+// Two implementations share the Store interface. Inverted is the production
+// store: per-term lists of immutable block-compressed postings (see block.go
+// for the byte layout) mutated copy-on-write at block granularity, read
+// through iterators and cursors so queries decode one posting at a time.
+// Plain is the uncompressed reference the property and twin tests compare
+// against. Both serve postings in ascending doc-ID order — the served order
+// is part of the contract, because query-side float accumulation must fold
+// identically whichever store produced the stream.
 package index
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 )
 
@@ -37,120 +47,273 @@ func (p Posting) NormFreq() float64 {
 	return float64(p.Freq) / float64(p.DocLen)
 }
 
-// WireSize is the simulated size of a posting in bytes (doc id, owner
-// address, two varints), used for bandwidth accounting.
+// WireSize is the encoded size of the posting in bytes under the wire
+// package's binary codec: two length-prefixed strings and two zig-zag
+// varints. Bandwidth telemetry and cache byte-accounting use it, so it must
+// agree with what internal/wire actually ships.
 func (p Posting) WireSize() int {
-	return len(p.Doc) + len(p.Owner) + 8
+	return uvarintLen(uint64(len(p.Doc))) + len(p.Doc) +
+		uvarintLen(uint64(len(p.Owner))) + len(p.Owner) +
+		uvarintLen(zigzag(int64(p.Freq))) + uvarintLen(zigzag(int64(p.DocLen)))
 }
 
-// Inverted is an in-memory inverted index: term → postings list. The zero
-// value is not ready to use; create with NewInverted.
+// Store is the index API shared by the compressed production implementation
+// (Inverted) and the uncompressed reference (Plain). Reads stream: All
+// yields postings in ascending doc-ID order without materializing a decoded
+// list; PostingsSlice is the compatibility helper for callers that need one.
+type Store interface {
+	Add(term string, p Posting)
+	Remove(term string, doc DocID) bool
+	RemoveDoc(doc DocID) int
+	All(term string) iter.Seq[Posting]
+	PostingsSlice(term string) []Posting
+	DocFreq(term string) int
+	Has(term string) bool
+	Terms() []string
+	NumTerms() int
+	NumDocs() int
+	NumPostings() int
+}
+
+// termList is one term's postings: a sequence of immutable encoded blocks
+// with ascending, disjoint doc-ID ranges. The struct itself is immutable
+// too — mutations build a fresh termList sharing the untouched blocks — so
+// an Encoded snapshot is a plain three-word copy.
+type termList struct {
+	blocks []*block
+	n      int // postings across all blocks
+	bytes  int // encoded bytes across all blocks
+}
+
+// Inverted is an in-memory inverted index over block-compressed postings:
+// term → immutable block sequence. The zero value is not ready to use;
+// create with NewInverted.
 type Inverted struct {
-	lists map[string][]Posting
-	docs  map[DocID]bool
+	lists    map[string]*termList
+	docs     map[DocID]bool
+	postings int
 }
 
 // NewInverted returns an empty index.
 func NewInverted() *Inverted {
 	return &Inverted{
-		lists: make(map[string][]Posting),
+		lists: make(map[string]*termList),
 		docs:  make(map[DocID]bool),
 	}
 }
 
-// Add appends a posting for term. Adding the same (term, doc) pair twice
+// searchBlocks returns the index of the first block whose last doc ID is
+// >= doc — the only block that can contain doc, since ranges are disjoint
+// and ascending. Returns len(blocks) when doc is beyond every block.
+func searchBlocks(blocks []*block, doc DocID) int {
+	lo, hi := 0, len(blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if blocks[mid].last < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchPostings returns the insertion index of doc in the ascending decoded
+// slice and whether it is already present.
+func searchPostings(ps []Posting, doc DocID) (int, bool) {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid].Doc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(ps) && ps[lo].Doc == doc
+}
+
+// decodeBlock decodes one index-built block. Blocks produced by encodeBlock
+// are well-formed by construction, so decoding cannot fail here.
+func decodeBlock(b *block) []Posting {
+	return Encoded{blocks: []*block{b}, n: b.n, bytes: len(b.data)}.Slice()
+}
+
+// rebuild re-encodes a decoded block's postings, splitting when an insert
+// pushed the count past blockMax so blocks stay near blockTarget.
+func rebuild(ps []Posting) []*block {
+	if len(ps) > blockMax {
+		h := len(ps) / 2
+		return []*block{encodeBlock(ps[:h]), encodeBlock(ps[h:])}
+	}
+	return []*block{encodeBlock(ps)}
+}
+
+// spliced returns a fresh block slice with blocks[bi] replaced by repl
+// (which may be empty, one, or two blocks). The input slice is never
+// modified — snapshots hold it.
+func spliced(blocks []*block, bi int, repl []*block) []*block {
+	out := make([]*block, 0, len(blocks)-1+len(repl))
+	out = append(out, blocks[:bi]...)
+	out = append(out, repl...)
+	return append(out, blocks[bi+1:]...)
+}
+
+// listStats recomputes a block slice's posting and byte totals.
+func listStats(blocks []*block) (n, bytes int) {
+	for _, b := range blocks {
+		n += b.n
+		bytes += len(b.data)
+	}
+	return n, bytes
+}
+
+// Add inserts a posting for term. Adding the same (term, doc) pair twice
 // replaces the earlier posting — publishing is idempotent, as required for
 // SPRITE's periodic index refresh (§3).
 //
-// Mutations are copy-on-write: a list is never modified in place, so slices
-// previously returned by Postings stay valid, immutable snapshots. (Plain
-// append is safe too — it never touches the elements a snapshot can see.)
+// Mutations are copy-on-write at block granularity: the one block whose
+// doc-ID range covers p.Doc is decoded, rebuilt, and swapped into a fresh
+// block slice. Blocks are never modified in place, so snapshots previously
+// returned by Encoded (and cursors over them) stay valid and immutable.
+// Ascending-doc insertion — the bulk-load order — seals full blocks and
+// appends, so it never re-encodes existing data.
 func (ix *Inverted) Add(term string, p Posting) {
-	list := ix.lists[term]
-	for i := range list {
-		if list[i].Doc == p.Doc {
-			nl := make([]Posting, len(list))
-			copy(nl, list)
-			nl[i] = p
-			ix.lists[term] = nl
-			ix.docs[p.Doc] = true
+	ix.docs[p.Doc] = true
+	tl := ix.lists[term]
+	if tl == nil {
+		b := encodeBlock([]Posting{p})
+		ix.lists[term] = &termList{blocks: []*block{b}, n: 1, bytes: len(b.data)}
+		ix.postings++
+		return
+	}
+	blocks := tl.blocks
+	bi := searchBlocks(blocks, p.Doc)
+	if bi == len(blocks) {
+		if last := blocks[len(blocks)-1]; last.n >= blockMax {
+			b := encodeBlock([]Posting{p})
+			nb := make([]*block, len(blocks), len(blocks)+1)
+			copy(nb, blocks)
+			ix.lists[term] = &termList{blocks: append(nb, b), n: tl.n + 1, bytes: tl.bytes + len(b.data)}
+			ix.postings++
 			return
 		}
+		bi = len(blocks) - 1
 	}
-	ix.lists[term] = append(list, p)
-	ix.docs[p.Doc] = true
+	ps := decodeBlock(blocks[bi])
+	i, found := searchPostings(ps, p.Doc)
+	if found {
+		ps[i] = p
+	} else {
+		ps = append(ps, Posting{})
+		copy(ps[i+1:], ps[i:])
+		ps[i] = p
+		ix.postings++
+	}
+	nb := spliced(blocks, bi, rebuild(ps))
+	n, bytes := listStats(nb)
+	ix.lists[term] = &termList{blocks: nb, n: n, bytes: bytes}
 }
 
 // Remove deletes the posting for (term, doc) if present and reports whether
 // it was found. SPRITE's learning removes obsolete terms this way (§5.3).
 func (ix *Inverted) Remove(term string, doc DocID) bool {
-	list := ix.lists[term]
-	for i := range list {
-		if list[i].Doc == doc {
-			if len(list) == 1 {
-				delete(ix.lists, term)
-				return true
-			}
-			nl := make([]Posting, 0, len(list)-1)
-			nl = append(nl, list[:i]...)
-			nl = append(nl, list[i+1:]...)
-			ix.lists[term] = nl
-			return true
-		}
+	tl := ix.lists[term]
+	if tl == nil || !ix.removeFrom(term, tl, doc) {
+		return false
 	}
-	return false
+	return true
+}
+
+// removeFrom drops doc from term's list, installing the rebuilt list (or
+// deleting the term when its last posting goes). Reports whether doc was
+// present.
+func (ix *Inverted) removeFrom(term string, tl *termList, doc DocID) bool {
+	bi := searchBlocks(tl.blocks, doc)
+	if bi == len(tl.blocks) || tl.blocks[bi].first > doc {
+		return false
+	}
+	ps := decodeBlock(tl.blocks[bi])
+	i, found := searchPostings(ps, doc)
+	if !found {
+		return false
+	}
+	ps = append(ps[:i], ps[i+1:]...)
+	var repl []*block
+	if len(ps) > 0 {
+		repl = []*block{encodeBlock(ps)}
+	}
+	nb := spliced(tl.blocks, bi, repl)
+	ix.postings--
+	if len(nb) == 0 {
+		delete(ix.lists, term)
+		return true
+	}
+	n, bytes := listStats(nb)
+	ix.lists[term] = &termList{blocks: nb, n: n, bytes: bytes}
+	return true
 }
 
 // RemoveDoc deletes every posting belonging to doc (un-sharing a document).
-// It returns the number of postings removed.
+// It returns the number of postings removed. Per-term cost is a block-range
+// binary search; only terms that actually hold the doc decode anything.
 func (ix *Inverted) RemoveDoc(doc DocID) int {
 	removed := 0
-	for term, list := range ix.lists {
-		hit := false
-		for _, p := range list {
-			if p.Doc == doc {
-				hit = true
-				break
-			}
-		}
-		if !hit {
-			continue
-		}
-		kept := make([]Posting, 0, len(list)-1)
-		for _, p := range list {
-			if p.Doc == doc {
-				removed++
-			} else {
-				kept = append(kept, p)
-			}
-		}
-		if len(kept) == 0 {
-			delete(ix.lists, term)
-		} else {
-			ix.lists[term] = kept
+	for term, tl := range ix.lists {
+		if ix.removeFrom(term, tl, doc) {
+			removed++
 		}
 	}
 	delete(ix.docs, doc)
 	return removed
 }
 
-// Postings returns the postings list for term (nil if the term is not
-// indexed). The returned slice is an immutable snapshot: callers may retain
-// and iterate it freely but must not modify it. Because every mutation is
-// copy-on-write, the snapshot is never changed underneath the caller — and
-// the read path, the hottest in the system, costs no allocation.
-func (ix *Inverted) Postings(term string) []Posting {
-	return ix.lists[term]
+// Encoded returns term's postings as an immutable compressed snapshot — the
+// zero-copy form that is cached, shipped on the wire, and decoded lazily at
+// the querier. The zero Encoded (empty list) is returned for unindexed
+// terms.
+func (ix *Inverted) Encoded(term string) Encoded {
+	tl := ix.lists[term]
+	if tl == nil {
+		return Encoded{}
+	}
+	return Encoded{blocks: tl.blocks, n: tl.n, bytes: tl.bytes}
+}
+
+// All iterates term's postings in ascending doc-ID order, decoding one
+// posting at a time. The sequence is a snapshot: mutations made while
+// iterating are not observed.
+func (ix *Inverted) All(term string) iter.Seq[Posting] {
+	return ix.Encoded(term).All()
+}
+
+// Cursor returns a streaming decoder over term's postings — the pull-style
+// counterpart to All for accumulator loops that interleave other work.
+func (ix *Inverted) Cursor(term string) *Cursor {
+	return ix.Encoded(term).Cursor()
+}
+
+// PostingsSlice decodes term's full postings list into a fresh slice (nil if
+// the term is not indexed) — a compatibility helper for random-access
+// callers; the query path streams through All or Cursor instead.
+func (ix *Inverted) PostingsSlice(term string) []Posting {
+	return ix.Encoded(term).Slice()
 }
 
 // DocFreq returns the number of documents in whose postings list term
 // appears. For SPRITE's indexing peers this is the *indexed document
 // frequency* n'_k of §4 — the count of documents that chose the term as a
 // global index term, not the corpus-wide document frequency.
-func (ix *Inverted) DocFreq(term string) int { return len(ix.lists[term]) }
+func (ix *Inverted) DocFreq(term string) int {
+	tl := ix.lists[term]
+	if tl == nil {
+		return 0
+	}
+	return tl.n
+}
 
 // Has reports whether term has at least one posting.
-func (ix *Inverted) Has(term string) bool { return len(ix.lists[term]) > 0 }
+func (ix *Inverted) Has(term string) bool { return ix.lists[term] != nil }
 
 // Terms returns all indexed terms in sorted order.
 func (ix *Inverted) Terms() []string {
@@ -172,12 +335,35 @@ func (ix *Inverted) NumDocs() int { return len(ix.docs) }
 // NumPostings returns the total number of postings across all terms — the
 // index's storage footprint, the quantity SPRITE's selective indexing is
 // designed to shrink (§1).
-func (ix *Inverted) NumPostings() int {
-	n := 0
-	for _, list := range ix.lists {
-		n += len(list)
+func (ix *Inverted) NumPostings() int { return ix.postings }
+
+// Stats summarizes the index's storage footprint.
+type Stats struct {
+	Terms    int
+	Docs     int
+	Postings int
+	// Blocks and EncodedBytes describe the compressed representation:
+	// immutable block count and total encoded payload.
+	Blocks       int
+	EncodedBytes int
+}
+
+// BytesPerPosting returns the mean encoded bytes per posting (0 when empty).
+func (s Stats) BytesPerPosting() float64 {
+	if s.Postings == 0 {
+		return 0
 	}
-	return n
+	return float64(s.EncodedBytes) / float64(s.Postings)
+}
+
+// Stats walks the term map and returns the current storage footprint.
+func (ix *Inverted) Stats() Stats {
+	s := Stats{Terms: len(ix.lists), Docs: len(ix.docs), Postings: ix.postings}
+	for _, tl := range ix.lists {
+		s.Blocks += len(tl.blocks)
+		s.EncodedBytes += tl.bytes
+	}
+	return s
 }
 
 // String summarizes the index for logs.
@@ -185,3 +371,5 @@ func (ix *Inverted) String() string {
 	return fmt.Sprintf("inverted{terms=%d docs=%d postings=%d}",
 		ix.NumTerms(), ix.NumDocs(), ix.NumPostings())
 }
+
+var _ Store = (*Inverted)(nil)

@@ -1,8 +1,10 @@
 package index
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -13,14 +15,16 @@ func post(doc string, freq, dlen int) Posting {
 
 func TestAddAndPostings(t *testing.T) {
 	ix := NewInverted()
-	ix.Add("chord", post("d1", 3, 100))
 	ix.Add("chord", post("d2", 1, 50))
-	got := ix.Postings("chord")
+	ix.Add("chord", post("d1", 3, 100))
+	got := ix.PostingsSlice("chord")
 	if len(got) != 2 {
 		t.Fatalf("postings = %v", got)
 	}
-	if got[0].Doc != "d1" || got[0].Freq != 3 {
-		t.Fatalf("first posting = %+v", got[0])
+	// Served order is ascending doc ID regardless of insertion order — the
+	// ordering contract both Store implementations share.
+	if got[0].Doc != "d1" || got[0].Freq != 3 || got[1].Doc != "d2" {
+		t.Fatalf("postings = %+v, want ascending doc order", got)
 	}
 }
 
@@ -28,7 +32,7 @@ func TestAddIsIdempotentPerDoc(t *testing.T) {
 	ix := NewInverted()
 	ix.Add("term", post("d1", 3, 100))
 	ix.Add("term", post("d1", 5, 120)) // republish with fresh metadata
-	got := ix.Postings("term")
+	got := ix.PostingsSlice("term")
 	if len(got) != 1 {
 		t.Fatalf("republish duplicated the posting: %v", got)
 	}
@@ -37,45 +41,56 @@ func TestAddIsIdempotentPerDoc(t *testing.T) {
 	}
 }
 
-func TestPostingsSnapshotImmutable(t *testing.T) {
+func TestEncodedSnapshotImmutable(t *testing.T) {
 	ix := NewInverted()
 	ix.Add("t", post("d1", 1, 10))
 	ix.Add("t", post("d2", 2, 20))
-	snap := ix.Postings("t")
+	snap := ix.Encoded("t")
 
-	// Every mutation is copy-on-write: a retained snapshot must keep showing
-	// the state at snapshot time while fresh reads see the new state.
-	ix.Add("t", post("d1", 999, 10)) // in-place replace would corrupt snap
-	if snap[0].Freq != 1 {
-		t.Fatalf("snapshot mutated by republish: %+v", snap[0])
+	// Mutations are copy-on-write at block granularity: a retained snapshot
+	// must keep decoding the state at snapshot time while fresh reads see
+	// the new state.
+	ix.Add("t", post("d1", 999, 10)) // in-place block rewrite would corrupt snap
+	if got := snap.Slice(); got[0].Freq != 1 {
+		t.Fatalf("snapshot mutated by republish: %+v", got[0])
 	}
-	if got := ix.Postings("t")[0].Freq; got != 999 {
+	if got := ix.PostingsSlice("t")[0].Freq; got != 999 {
 		t.Fatalf("fresh read missed republish: freq = %d", got)
 	}
 
-	snap = ix.Postings("t")
+	snap = ix.Encoded("t")
 	ix.Remove("t", "d1") // in-place splice would corrupt snap
-	if len(snap) != 2 || snap[0].Doc != "d1" || snap[1].Doc != "d2" {
-		t.Fatalf("snapshot mutated by Remove: %v", snap)
+	if got := snap.Slice(); len(got) != 2 || got[0].Doc != "d1" || got[1].Doc != "d2" {
+		t.Fatalf("snapshot mutated by Remove: %v", got)
 	}
-	if got := ix.Postings("t"); len(got) != 1 || got[0].Doc != "d2" {
+	if got := ix.PostingsSlice("t"); len(got) != 1 || got[0].Doc != "d2" {
 		t.Fatalf("fresh read missed Remove: %v", got)
 	}
 
-	snap = ix.Postings("t")
-	ix.RemoveDoc("d2") // in-place filter would corrupt snap
-	if len(snap) != 1 || snap[0].Doc != "d2" {
-		t.Fatalf("snapshot mutated by RemoveDoc: %v", snap)
+	snap = ix.Encoded("t")
+	cur := snap.Cursor() // a cursor opened before the mutation must survive it too
+	ix.RemoveDoc("d2")
+	if got := snap.Slice(); len(got) != 1 || got[0].Doc != "d2" {
+		t.Fatalf("snapshot mutated by RemoveDoc: %v", got)
 	}
-	if got := ix.Postings("t"); got != nil {
+	if p, ok := cur.Next(); !ok || p.Doc != "d2" {
+		t.Fatalf("pre-mutation cursor = %+v, %v", p, ok)
+	}
+	if got := ix.PostingsSlice("t"); got != nil {
 		t.Fatalf("fresh read missed RemoveDoc: %v", got)
 	}
 }
 
 func TestPostingsMissingTerm(t *testing.T) {
 	ix := NewInverted()
-	if got := ix.Postings("ghost"); got != nil {
-		t.Fatalf("Postings(missing) = %v, want nil", got)
+	if got := ix.PostingsSlice("ghost"); got != nil {
+		t.Fatalf("PostingsSlice(missing) = %v, want nil", got)
+	}
+	for range ix.All("ghost") {
+		t.Fatal("All(missing) yielded a posting")
+	}
+	if e := ix.Encoded("ghost"); e.Len() != 0 || e.Size() != 0 {
+		t.Fatalf("Encoded(missing) = %+v, want zero", e)
 	}
 }
 
@@ -156,6 +171,13 @@ func TestCounts(t *testing.T) {
 	if ix.NumTerms() != 2 || ix.NumDocs() != 2 || ix.NumPostings() != 3 {
 		t.Fatalf("counts: %s", ix)
 	}
+	st := ix.Stats()
+	if st.Terms != 2 || st.Docs != 2 || st.Postings != 3 || st.Blocks != 2 || st.EncodedBytes <= 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if bpp := st.BytesPerPosting(); bpp <= 0 || bpp > 64 {
+		t.Fatalf("BytesPerPosting = %v", bpp)
+	}
 }
 
 func TestNormFreq(t *testing.T) {
@@ -169,9 +191,47 @@ func TestNormFreq(t *testing.T) {
 	}
 }
 
-func TestWireSizePositive(t *testing.T) {
-	if post("doc-1", 1, 10).WireSize() <= 0 {
-		t.Fatal("WireSize must be positive")
+// WireSize must report exactly what the wire codec's posting layout ships:
+// two length-prefixed strings and two zig-zag varints.
+func TestWireSizeVarintAccurate(t *testing.T) {
+	for _, p := range []Posting{
+		post("doc-1", 1, 10),
+		post("a-rather-long-document-identifier", 200, 100000),
+		{Doc: "", Owner: "", Freq: 0, DocLen: 0},
+		{Doc: "d", Owner: "o", Freq: -3, DocLen: -1},
+	} {
+		var b []byte
+		b = binary.AppendUvarint(b, uint64(len(p.Doc)))
+		b = append(b, p.Doc...)
+		b = binary.AppendUvarint(b, uint64(len(p.Owner)))
+		b = append(b, p.Owner...)
+		b = binary.AppendVarint(b, int64(p.Freq))
+		b = binary.AppendVarint(b, int64(p.DocLen))
+		if got := p.WireSize(); got != len(b) {
+			t.Fatalf("WireSize(%+v) = %d, want %d", p, got, len(b))
+		}
+	}
+}
+
+// The compressed representation must win big on doc-sorted lists with a
+// small owner set — the shape real per-term postings have.
+func TestCompressionRatio(t *testing.T) {
+	ix := NewInverted()
+	mem := 0
+	for i := 0; i < 2000; i++ {
+		p := Posting{
+			Doc:    DocID(fmt.Sprintf("doc%06d", i)),
+			Owner:  fmt.Sprintf("peer%02d", i%64),
+			Freq:   i%15 + 1,
+			DocLen: 80 + i%100,
+		}
+		ix.Add("t", p)
+		mem += p.MemSize()
+	}
+	st := ix.Stats()
+	if ratio := float64(mem) / float64(st.EncodedBytes); ratio < 4 {
+		t.Fatalf("memory ratio = %.1fx (plain %dB vs encoded %dB), want >= 4x",
+			ratio, mem, st.EncodedBytes)
 	}
 }
 
@@ -206,14 +266,7 @@ func TestInvariantPostingsConsistency(t *testing.T) {
 			return false
 		}
 		for k, p := range want {
-			found := false
-			for _, got := range ix.Postings(k.term) {
-				if got == p {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if !slices.Contains(ix.PostingsSlice(k.term), p) {
 				return false
 			}
 		}

@@ -1,0 +1,67 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// benchFixture builds one term's postings in both representations: the
+// decoded slice the plain index serves and the block-compressed form. Doc
+// IDs are the synthetic corpus shape (docNNNNN ascending) so front-coding
+// behaves as it does in the postings benchmark.
+func benchFixture(n int) ([]index.Posting, *index.Inverted) {
+	rng := rand.New(rand.NewSource(7))
+	ps := make([]index.Posting, 0, n)
+	for i := 0; i < n; i++ {
+		ps = append(ps, index.Posting{
+			Doc:    index.DocID(fmt.Sprintf("doc%06d", i)),
+			Owner:  fmt.Sprintf("peer%02d", rng.Intn(64)),
+			Freq:   1 + rng.Intn(9),
+			DocLen: 60 + rng.Intn(180),
+		})
+	}
+	ix := index.NewInverted()
+	for _, p := range ps {
+		ix.Add("t", p)
+	}
+	return ps, ix
+}
+
+// BenchmarkAccumulateSlice is the plain arm's read path: iterate a decoded
+// []Posting and fold Weight per posting.
+func BenchmarkAccumulateSlice(b *testing.B) {
+	ps, _ := benchFixture(50000)
+	acc := NewAccumulatorSized(len(ps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Reset()
+		for _, p := range ps {
+			acc.Accumulate(p.Doc, 0.37*Weight(p.NormFreq(), LargeN, len(ps)), p.DocLen)
+		}
+	}
+}
+
+// BenchmarkAccumulateEncoded is the streaming accumulator path: stream the
+// block cursor through the zero-string accumulator.
+func BenchmarkAccumulateEncoded(b *testing.B) {
+	ps, ix := benchFixture(50000)
+	acc := NewAccumulatorSized(len(ps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.Reset()
+		acc.AccumulateEncoded(ix.Cursor("t"), 0.37, LargeN, len(ps))
+	}
+}
+
+// BenchmarkMergeTopK is the compressed arm's query path: merge the term
+// cursor straight into a bounded top-k heap, no accumulator at all.
+func BenchmarkMergeTopK(b *testing.B) {
+	ps, ix := benchFixture(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeTopK([]MergeTerm{{Cursor: ix.Cursor("t"), WQ: 0.37, N: LargeN, DF: len(ps)}}, 10)
+	}
+}

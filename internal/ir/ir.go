@@ -124,6 +124,13 @@ func (rl RankedList) Rank(doc index.DocID) int {
 type Accumulator struct {
 	pos     map[index.DocID]int32
 	entries []accEntry
+	// arena is the current intern chunk for doc IDs arriving as raw bytes
+	// (AccumulateKey). Chunk bytes are append-once — written when a key is
+	// interned and never touched again — so the string views handed to the
+	// map and entries stay immutable. Reset drops the reference instead of
+	// reusing the bytes, because ranked results returned to callers alias
+	// them.
+	arena []byte
 }
 
 // accEntry is one document's running state: the dot-product sum so far and
@@ -163,6 +170,7 @@ func (a *Accumulator) Len() int { return len(a.entries) }
 func (a *Accumulator) Reset() {
 	clear(a.pos)
 	a.entries = a.entries[:0]
+	a.arena = nil
 }
 
 // Accumulate adds the contribution of one (query term, posting) pair.
@@ -222,8 +230,7 @@ func rankAfter(x, y Hit) bool {
 // Ranked().Top(k) — (score, doc) is a strict total order, so the top-k set
 // and its order are unique — but selects through a bounded heap instead of
 // sorting every candidate, which matters when a query touches hundreds of
-// documents to return ten. The heap orders worst-at-root so each candidate
-// is compared against the worst hit currently kept.
+// documents to return ten.
 func (a *Accumulator) RankedTop(k int) RankedList {
 	if k >= len(a.entries) {
 		return a.Ranked()
@@ -231,45 +238,66 @@ func (a *Accumulator) RankedTop(k int) RankedList {
 	if k <= 0 {
 		return RankedList{}
 	}
-	h := make(RankedList, 0, k)
-	siftDown := func(i int) {
-		for {
-			w := i
-			if l := 2*i + 1; l < len(h) && rankAfter(h[l], h[w]) {
-				w = l
-			}
-			if r := 2*i + 2; r < len(h) && rankAfter(h[r], h[w]) {
-				w = r
-			}
-			if w == i {
-				return
-			}
-			h[i], h[w] = h[w], h[i]
-			i = w
-		}
-	}
+	t := topkHeap{h: make(RankedList, 0, k), k: k}
 	for i := range a.entries {
 		e := &a.entries[i]
-		hit := Hit{Doc: e.doc, Score: Similarity(e.dot, e.docLen)}
-		if len(h) < k {
-			h = append(h, hit)
-			for c := len(h) - 1; c > 0; { // sift up
-				p := (c - 1) / 2
-				if !rankAfter(h[c], h[p]) {
-					break
-				}
-				h[c], h[p] = h[p], h[c]
-				c = p
-			}
-			continue
-		}
-		if rankAfter(h[0], hit) { // better than the worst kept hit
-			h[0] = hit
-			siftDown(0)
-		}
+		t.offer(Hit{Doc: e.doc, Score: Similarity(e.dot, e.docLen)})
 	}
-	h.Sort()
-	return h
+	return t.ranked()
+}
+
+// topkHeap selects the k best hits under rankAfter's total order. The heap
+// keeps the worst hit at the root, so each candidate is compared against the
+// worst hit currently kept; (score, doc) being a strict total order makes
+// the selected set and its final order independent of offer order.
+type topkHeap struct {
+	h RankedList
+	k int
+}
+
+func (t *topkHeap) siftDown(i int) {
+	h := t.h
+	for {
+		w := i
+		if l := 2*i + 1; l < len(h) && rankAfter(h[l], h[w]) {
+			w = l
+		}
+		if r := 2*i + 2; r < len(h) && rankAfter(h[r], h[w]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
+}
+
+// offer considers one candidate, keeping it only if fewer than k hits are
+// held or it beats the worst kept hit.
+func (t *topkHeap) offer(hit Hit) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, hit)
+		for c := len(t.h) - 1; c > 0; { // sift up
+			p := (c - 1) / 2
+			if !rankAfter(t.h[c], t.h[p]) {
+				break
+			}
+			t.h[c], t.h[p] = t.h[p], t.h[c]
+			c = p
+		}
+		return
+	}
+	if rankAfter(t.h[0], hit) { // better than the worst kept hit
+		t.h[0] = hit
+		t.siftDown(0)
+	}
+}
+
+// ranked finalizes the selection in rank order.
+func (t *topkHeap) ranked() RankedList {
+	t.h.Sort()
+	return t.h
 }
 
 // Metrics holds the two standard retrieval-quality measures (§6): with top K

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"bytes"
+	"math"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// This file is the fully streaming end of the scoring pipeline: a k-way
+// merge over the query terms' compressed cursors. Every cursor yields its
+// postings in ascending doc-ID order, so all of a document's contributions
+// are adjacent in the merged stream — the document can be scored completely
+// and offered to a bounded top-k heap the moment the merge moves past it.
+// Unlike the accumulator paths, no per-document map entry, interned key, or
+// materialized string is ever built for documents that do not reach the
+// top k; a query's working state is the cursors plus k hits.
+//
+// The rankings are bit-identical to accumulating the same streams term by
+// term: each document's dot product sums its per-term contributions in query
+// term order (exactly the additions Accumulate would perform, in the same
+// order), and (score, doc) is a strict total order, so top-k selection is
+// insensitive to the order documents are offered in.
+
+// MergeTerm is one query term's input to MergeTopK: a cursor over the
+// term's postings plus the scoring inputs AccumulateEncoded would take.
+type MergeTerm struct {
+	Cursor *index.Cursor
+	WQ     float64 // query-side weight of the term
+	N      int     // collection size for the IDF factor
+	DF     int     // term document frequency
+}
+
+// mergeState is one term's position in the merge: the head posting decoded
+// off its cursor. doc aliases the cursor's scratch buffer and is valid until
+// the cursor's next advance.
+type mergeState struct {
+	cur          *index.Cursor
+	wq, idf      float64
+	doc          []byte
+	freq, docLen int
+	ok           bool
+}
+
+func (s *mergeState) advance() {
+	s.doc, s.freq, s.docLen, s.ok = s.cur.NextBytes()
+}
+
+// MergeTopK scores the documents covered by terms and returns the k best
+// hits in rank order — the same list RankedTop(k) produces after
+// AccumulateEncoded runs per term, selected without building the
+// accumulator. Cursor decode errors end that term's stream early, exactly
+// as they end AccumulateEncoded.
+func MergeTopK(terms []MergeTerm, k int) RankedList {
+	if k <= 0 {
+		return RankedList{}
+	}
+	states := make([]mergeState, len(terms))
+	active := 0
+	for i, t := range terms {
+		s := &states[i]
+		s.cur, s.wq = t.Cursor, t.WQ
+		if t.DF > 0 && t.N > 0 {
+			s.idf = math.Log(float64(t.N) / float64(t.DF))
+		}
+		s.advance()
+		if s.ok {
+			active++
+		}
+	}
+	top := topkHeap{h: make(RankedList, 0, k), k: k}
+	var cur []byte // the doc being scored; copied out of cursor scratch
+	for active > 0 {
+		var minDoc []byte
+		for i := range states {
+			if states[i].ok && (minDoc == nil || bytes.Compare(states[i].doc, minDoc) < 0) {
+				minDoc = states[i].doc
+			}
+		}
+		cur = append(cur[:0], minDoc...)
+		// Fold the document's contributions in term order — the addition
+		// order the sequential per-term accumulator would use — advancing
+		// each contributing cursor past it.
+		first := true
+		var (
+			dot    float64
+			docLen int
+		)
+		for i := range states {
+			s := &states[i]
+			if !s.ok || !bytes.Equal(s.doc, cur) {
+				continue
+			}
+			nf := 0.0
+			if s.docLen != 0 {
+				nf = float64(s.freq) / float64(s.docLen)
+			}
+			c := s.wq * (nf * s.idf)
+			if first {
+				dot, first = c, false
+			} else {
+				dot += c
+			}
+			docLen = s.docLen
+			s.advance()
+			if !s.ok {
+				active--
+			}
+		}
+		top.offerKey(cur, Similarity(dot, docLen))
+	}
+	return top.ranked()
+}
+
+// offerKey is offer for a candidate whose doc ID is still raw bytes: the
+// string is materialized only when the candidate is actually kept, so the
+// merge allocates nothing for the documents a query discards. The
+// keep-or-skip decision mirrors rankAfter exactly, including its treatment
+// of equal and unordered (NaN) scores.
+func (t *topkHeap) offerKey(doc []byte, score float64) {
+	if len(t.h) < t.k {
+		t.offer(Hit{Doc: index.DocID(doc), Score: score})
+		return
+	}
+	w := t.h[0]
+	better := false
+	if w.Score != score {
+		better = w.Score < score
+	} else {
+		better = stringAfterBytes(w.Doc, doc)
+	}
+	if !better {
+		return
+	}
+	t.h[0] = Hit{Doc: index.DocID(doc), Score: score}
+	t.siftDown(0)
+}
+
+// stringAfterBytes reports whether s sorts lexicographically after b — the
+// doc tie-break of rankAfter, evaluated without converting b to a string.
+func stringAfterBytes(s index.DocID, b []byte) bool {
+	n := min(len(s), len(b))
+	for i := 0; i < n; i++ {
+		if s[i] != b[i] {
+			return s[i] > b[i]
+		}
+	}
+	return len(s) > len(b)
+}

@@ -1,0 +1,129 @@
+package ir
+
+import (
+	"math"
+	"unsafe"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// This file is the streaming side of the scoring pipeline: the accumulator
+// consumes postings cursors directly, so a query never materializes a full
+// decoded []Posting list. The float-addition order is unchanged from the
+// slice-based loops — each term's postings arrive in the index's served
+// (ascending doc-ID) order and terms fold in query-term order — so rankings
+// stay bit-identical to the pre-streaming implementation.
+
+// PostingSource yields one term's postings one at a time, in the index's
+// served order. index.Cursor implements it; tests and the plain reference
+// index wrap slices in SlicePostings.
+type PostingSource interface {
+	Next() (index.Posting, bool)
+}
+
+// SlicePostings adapts a decoded postings slice to PostingSource.
+type SlicePostings struct {
+	ps []Posting
+}
+
+// Posting aliases index.Posting so PostingSource users need only this
+// package on the signature.
+type Posting = index.Posting
+
+// NewSlicePostings returns a source yielding ps in order.
+func NewSlicePostings(ps []Posting) *SlicePostings { return &SlicePostings{ps: ps} }
+
+// Next pops the next posting.
+func (s *SlicePostings) Next() (Posting, bool) {
+	if len(s.ps) == 0 {
+		return Posting{}, false
+	}
+	p := s.ps[0]
+	s.ps = s.ps[1:]
+	return p, true
+}
+
+// AccumulateStream folds one query term's postings stream into the
+// accumulator: each posting contributes wq · Weight(ntf, n, df) to its
+// document's running sum. It performs exactly the Accumulate calls a loop
+// over the decoded slice would, in the same order.
+func (a *Accumulator) AccumulateStream(src PostingSource, wq float64, n, df int) {
+	for p, ok := src.Next(); ok; p, ok = src.Next() {
+		a.Accumulate(p.Doc, wq*Weight(p.NormFreq(), n, df), p.DocLen)
+	}
+}
+
+// AccumulateKey is Accumulate for callers holding the doc ID as raw bytes
+// (a compressed cursor's scratch buffer): the repeat-contribution path
+// probes the map without materializing a string, and the bytes are copied
+// only the first time a document is seen — into the accumulator's intern
+// arena, so a query performs a handful of chunk allocations instead of one
+// small string allocation per matched document.
+func (a *Accumulator) AccumulateKey(doc []byte, contribution float64, docLen int) {
+	if i, ok := a.pos[index.DocID(doc)]; ok {
+		e := &a.entries[i]
+		e.dot += contribution
+		e.docLen = docLen
+		return
+	}
+	id := a.internKey(doc)
+	a.pos[id] = int32(len(a.entries))
+	a.entries = append(a.entries, accEntry{doc: id, dot: contribution, docLen: docLen})
+}
+
+// internArenaChunk sizes the accumulator's intern chunks: large enough to
+// amortize allocation across thousands of doc IDs, small enough that a
+// caller keeping one ranked result does not pin much dead space.
+const internArenaChunk = 4096
+
+// internKey copies doc into the append-only arena and returns a string view
+// of the copy. The view is safe because chunk bytes are written exactly once
+// here and the chunk is never recycled — Reset abandons it to the GC.
+func (a *Accumulator) internKey(doc []byte) index.DocID {
+	if len(doc) == 0 {
+		return ""
+	}
+	if len(a.arena)+len(doc) > cap(a.arena) {
+		a.arena = make([]byte, 0, max(internArenaChunk, len(doc)))
+	}
+	off := len(a.arena)
+	a.arena = append(a.arena, doc...)
+	return index.DocID(unsafe.String(&a.arena[off], len(doc)))
+}
+
+// AccumulateEncoded is AccumulateStream over a compressed cursor's
+// zero-string hot path: postings decode straight out of the block bytes into
+// the running sums, with no per-posting string or Posting value built. The
+// IDF factor is loop-invariant — Weight(nf, n, df) is nf·log(n/df) with the
+// same operands every iteration — so it is computed once; each posting's
+// contribution wq·(nf·idf) multiplies in the same order as wq·Weight(...)
+// and the resulting bits are identical to AccumulateStream over the same
+// postings.
+func (a *Accumulator) AccumulateEncoded(cur *index.Cursor, wq float64, n, df int) {
+	idf := 0.0
+	if df > 0 && n > 0 {
+		idf = math.Log(float64(n) / float64(df))
+	}
+	for {
+		doc, freq, docLen, ok := cur.NextBytes()
+		if !ok {
+			return
+		}
+		nf := 0.0
+		if docLen != 0 {
+			nf = float64(freq) / float64(docLen)
+		}
+		a.AccumulateKey(doc, wq*(nf*idf), docLen)
+	}
+}
+
+// CollectStream scores one term's postings stream into a contribution slice
+// — the form the parallel query engine's workers hand to the collector for
+// in-term-order folding. dst is appended to and returned, so workers can
+// pre-size it from the stream's Len.
+func CollectStream(src PostingSource, wq float64, n, df int, dst []Contribution) []Contribution {
+	for p, ok := src.Next(); ok; p, ok = src.Next() {
+		dst = append(dst, Contribution{Doc: p.Doc, Score: wq * Weight(p.NormFreq(), n, df), DocLen: p.DocLen})
+	}
+	return dst
+}

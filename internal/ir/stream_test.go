@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/spritedht/sprite/internal/index"
+)
+
+// randomPostings builds n postings over a shared doc-ID space, pre-sorted in
+// the index's served (ascending doc) order.
+func randomPostings(rng *rand.Rand, n int) []index.Posting {
+	seen := make(map[index.DocID]bool, n)
+	out := make([]index.Posting, 0, n)
+	for len(out) < n {
+		id := index.DocID(fmt.Sprintf("doc%05d", rng.Intn(4*n)))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, index.Posting{
+			Doc:    id,
+			Owner:  fmt.Sprintf("peer%02d", rng.Intn(8)),
+			Freq:   1 + rng.Intn(9),
+			DocLen: 50 + rng.Intn(200),
+		})
+	}
+	// Insert into an index to get served order without hand-sorting.
+	ix := index.NewInverted()
+	for _, p := range out {
+		ix.Add("t", p)
+	}
+	return ix.PostingsSlice("t")
+}
+
+// All four accumulation paths — the slice loop, AccumulateStream,
+// AccumulateEncoded over the compressed cursor, and CollectStream folded via
+// AccumulateAll — must produce bit-identical rankings: same docs, same float
+// bits, same order.
+func TestStreamPathsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ps := randomPostings(rng, 500)
+	ix := index.NewInverted()
+	for _, p := range ps {
+		ix.Add("t", p)
+	}
+	const (
+		wq = 0.37
+		n  = LargeN
+		df = 500
+	)
+
+	ref := NewAccumulator()
+	for _, p := range ps {
+		ref.Accumulate(p.Doc, wq*Weight(p.NormFreq(), n, df), p.DocLen)
+	}
+	want := ref.Ranked()
+
+	stream := NewAccumulator()
+	stream.AccumulateStream(NewSlicePostings(ps), wq, n, df)
+	if got := stream.Ranked(); !reflect.DeepEqual(got, want) {
+		t.Fatal("AccumulateStream diverges from the slice loop")
+	}
+
+	enc := NewAccumulator()
+	enc.AccumulateEncoded(ix.Cursor("t"), wq, n, df)
+	if got := enc.Ranked(); !reflect.DeepEqual(got, want) {
+		t.Fatal("AccumulateEncoded diverges from the slice loop")
+	}
+
+	part := CollectStream(ix.Cursor("t"), wq, n, df, make([]Contribution, 0, len(ps)))
+	coll := NewAccumulator()
+	coll.AccumulateAll(part)
+	if got := coll.Ranked(); !reflect.DeepEqual(got, want) {
+		t.Fatal("CollectStream+AccumulateAll diverges from the slice loop")
+	}
+}
+
+// MergeTopK must return exactly RankedTop(k) over the same per-term
+// streams: same docs, same float bits, same order — for every k, including
+// k beyond the candidate count, over terms with overlapping doc sets and
+// differing df/weights.
+func TestMergeTopKMatchesAccumulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := index.NewInverted()
+	terms := []string{"alpha", "beta", "gamma"}
+	for _, term := range terms {
+		for _, p := range randomPostings(rng, 200+rng.Intn(200)) {
+			ix.Add(term, p)
+		}
+	}
+	const n = LargeN
+	for _, k := range []int{1, 3, 10, 100, 5000} {
+		acc := NewAccumulator()
+		mts := make([]MergeTerm, 0, len(terms))
+		for i, term := range terms {
+			df := ix.DocFreq(term)
+			wq := 0.2 + 0.1*float64(i)
+			acc.AccumulateEncoded(ix.Cursor(term), wq, n, df)
+			mts = append(mts, MergeTerm{Cursor: ix.Cursor(term), WQ: wq, N: n, DF: df})
+		}
+		want := acc.RankedTop(k)
+		if got := MergeTopK(mts, k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: MergeTopK diverges from RankedTop", k)
+		}
+	}
+	if got := MergeTopK(nil, 10); len(got) != 0 {
+		t.Fatalf("MergeTopK(nil) = %v, want empty", got)
+	}
+}
+
+// AccumulateKey must behave exactly like Accumulate: first sight inserts,
+// repeats fold into the same entry, and mutating the caller's byte buffer
+// afterwards must not corrupt stored doc IDs (the bytes are copied on
+// insert).
+func TestAccumulateKeyAliasSafe(t *testing.T) {
+	a := NewAccumulator()
+	buf := []byte("docA")
+	a.AccumulateKey(buf, 1.5, 100)
+	buf[3] = 'B' // simulates the cursor reusing its scratch buffer
+	a.AccumulateKey(buf, 2.0, 80)
+	buf[3] = 'A'
+	a.AccumulateKey(buf, 0.25, 100)
+
+	b := NewAccumulator()
+	b.Accumulate("docA", 1.5, 100)
+	b.Accumulate("docB", 2.0, 80)
+	b.Accumulate("docA", 0.25, 100)
+	if got, want := a.Ranked(), b.Ranked(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AccumulateKey ranking %v, want %v", got, want)
+	}
+}

@@ -228,6 +228,16 @@ func NewDecoder(data []byte) *Decoder { return &Decoder{b: data} }
 // Err returns the sticky decode error, if any.
 func (d *Decoder) Err() error { return d.err }
 
+// Fail records err as the decoder's sticky error if none is set yet. Codecs
+// whose payloads carry structure beyond the primitive layer (e.g. embedded
+// encoded blocks) use it to poison the decode when their own validation
+// rejects the bytes.
+func (d *Decoder) Fail(err error) {
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+}
+
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.b) - d.off }
 

@@ -200,6 +200,16 @@ type CacheStats struct {
 	HitRate     float64
 }
 
+// IndexStats reports the block-compressed postings storage footprint,
+// aggregated over every peer's primary index; see Network.IndexStats.
+type IndexStats struct {
+	Terms        int     // distinct terms with at least one posting
+	Postings     int     // stored postings network-wide
+	Blocks       int     // encoded blocks backing those postings
+	EncodedBytes int     // total encoded size of all blocks
+	BytesPerPost float64 // EncodedBytes / Postings (0 when empty)
+}
+
 // Result is one ranked search hit.
 type Result struct {
 	DocID string
@@ -514,6 +524,20 @@ func (n *Network) Stats() Stats {
 		out.Peers = s.PeersAlive
 	}
 	return out
+}
+
+// IndexStats reports the block-compressed postings storage counters,
+// aggregated across all peers' primary indexes — the storage-side companion
+// of CacheStats.
+func (n *Network) IndexStats() IndexStats {
+	s := n.core.IndexStats()
+	return IndexStats{
+		Terms:        s.Terms,
+		Postings:     s.Postings,
+		Blocks:       s.Blocks,
+		EncodedBytes: s.EncodedBytes,
+		BytesPerPost: s.BytesPerPosting(),
+	}
 }
 
 // CacheStats reports the postings and result cache counters. Both are zero
