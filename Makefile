@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale smoke-postings chaos-smoke fuzz-smoke vulncheck
+.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale smoke-postings smoke-repair chaos-smoke fuzz-smoke vulncheck
 
 check: vet build race
 
@@ -62,6 +62,16 @@ smoke-postings:
 	$(GO) test -race -run 'Stream|Merge|AccumulateKey' ./internal/ir/
 	$(GO) run ./cmd/spritebench -postings-tiers 5000 -postings-queries 100 postings
 
+# Peer-driven placement smoke: the repair package's digest property tests,
+# the join/leave handoff + anti-entropy protocol suites in core, the facade
+# and REPL join/leave paths (race detector on all of those), plus the
+# mass-churn determinism soak and the stranded-entry mutation test.
+smoke-repair:
+	$(GO) test -race ./internal/repair/
+	$(GO) test -race -run 'Handoff|Leave|Repair|AntiEntropy' ./internal/core/
+	$(GO) test -race -run 'JoinLeave' . ./cmd/spritesim/
+	$(GO) test -run 'MassChurnSoak|StrandedEntry' ./internal/chaos/
+
 # Deterministic whole-system smoke: the chaos harness on its fixed seed set.
 # Violations print a shrunk repro and a `-chaos.seed=N` replay recipe (see
 # DESIGN.md § Correctness tooling). Kept under a minute for CI.
@@ -81,7 +91,7 @@ fuzz-smoke:
 # Coverage floor on the invariant-bearing packages. The threshold guards the
 # correctness tooling itself: chaos checkers or core introspection that rot
 # uncovered would silently stop guarding everything else.
-COVER_PKGS = ./internal/core ./internal/ir ./internal/index ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime
+COVER_PKGS = ./internal/core ./internal/ir ./internal/index ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime ./internal/repair
 COVER_MIN  = 70
 
 coverage-gate:

@@ -252,6 +252,31 @@ func execute(net *sprite.Network, tel *sprite.Telemetry, line string) bool {
 		}
 		net.RecoverPeer(args[0])
 		fmt.Printf("%s is back\n", args[0])
+	case "join":
+		if len(args) != 1 {
+			fail("usage: join <peer>")
+			return false
+		}
+		if err := net.JoinPeer(args[0]); err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("%s joined the ring; its arc's index entries handed off to it\n", args[0])
+	case "leave":
+		if len(args) != 1 {
+			fail("usage: leave <peer>")
+			return false
+		}
+		handoffs, err := net.LeavePeer(args[0])
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		fmt.Printf("%s left the ring gracefully; %d index entries handed to its successor\n", args[0], handoffs)
+	case "repair":
+		st := net.Repair()
+		fmt.Printf("repair moved %d entries in %d rounds; %d replica reconciles, %d divergent terms\n",
+			st.Moved, st.Rounds, st.Reconciles, st.Divergent)
 	case "stabilize":
 		rounds := net.Stabilize(100)
 		fmt.Printf("overlay stabilized in %d rounds\n", rounds)
@@ -338,6 +363,8 @@ const helpText = `commands:
   learn                            run one learning iteration over all docs
   terms <docID>                    show a document's current index terms
   fail <peer> | recover <peer>     crash / revive a peer
+  join <peer> | leave <peer>       grow / shrink the ring with entry handoff
+  repair                           peer-driven placement + replica anti-entropy
   stabilize                        repair the overlay after churn
   peers                            list peer names
   save <file> | load <file>        checkpoint / restore network state

@@ -113,6 +113,39 @@ func TestExecuteFailRecoverStabilize(t *testing.T) {
 	}
 }
 
+func TestExecuteJoinLeaveRepair(t *testing.T) {
+	net := testNet(t)
+	capture(t, net, "share peer0 d1 documents survive ring membership changes")
+	out, _ := capture(t, net, "join fresh")
+	if !strings.Contains(out, "joined") {
+		t.Fatalf("join output: %q", out)
+	}
+	out, _ = capture(t, net, "peers")
+	if !strings.Contains(out, "fresh") {
+		t.Fatalf("joined peer missing from peers: %q", out)
+	}
+	out, _ = capture(t, net, "repair")
+	if !strings.Contains(out, "repair moved") {
+		t.Fatalf("repair output: %q", out)
+	}
+	out, _ = capture(t, net, "leave fresh")
+	if !strings.Contains(out, "left the ring") {
+		t.Fatalf("leave output: %q", out)
+	}
+	out, _ = capture(t, net, "search peer1 5 survive membership")
+	if !strings.Contains(out, "d1") {
+		t.Fatalf("doc lost across join/leave: %q", out)
+	}
+	out, _ = capture(t, net, "leave fresh")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("double leave output: %q", out)
+	}
+	out, _ = capture(t, net, "join peer0")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("duplicate join output: %q", out)
+	}
+}
+
 func TestExecuteSaveLoad(t *testing.T) {
 	net := testNet(t)
 	capture(t, net, "share peer0 d1 durable checkpoint state")

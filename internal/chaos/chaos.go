@@ -27,6 +27,7 @@ package chaos
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -156,6 +157,9 @@ type Result struct {
 	Seed      int64
 	Steps     int // operations generated
 	Violation *Violation
+	// StateDigest is ExecuteDigest's fold over the final distributed state;
+	// two Runs of the same Config must agree on it exactly.
+	StateDigest uint64
 	// Repro is the greedily shrunk operation prefix that still reproduces the
 	// violation, nil when the run passed or the violation did not reproduce
 	// on replay (a schedule-dependent failure — reported unshrunk).
@@ -171,7 +175,8 @@ func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	ops := Generate(cfg)
 	res := Result{Seed: cfg.Seed, Steps: len(ops)}
-	v := Execute(cfg, ops)
+	v, digest := ExecuteDigest(cfg, ops)
+	res.StateDigest = digest
 	if v == nil {
 		return res
 	}
@@ -299,7 +304,10 @@ type harness struct {
 	// deployments, so one model describes both.
 	failed map[string]bool
 	shared map[string]bool
-	loss   float64
+	// docOwner maps each shared document to the peer that shared it, so a
+	// graceful leave can retire the departing owner's documents from the model.
+	docOwner map[string]string
+	loss     float64
 	// taint: packet loss or scheduled drops have been active since the last
 	// heal. Oracle and quiescent checks are gated until a heal, because loss
 	// can silently corrupt ring maintenance itself.
@@ -321,6 +329,7 @@ func newHarness(cfg Config) (*harness, error) {
 		pri:           pri,
 		failed:        make(map[string]bool),
 		shared:        make(map[string]bool),
+		docOwner:      make(map[string]string),
 		baseGoroutine: runtime.NumGoroutine(),
 	}
 	for _, d := range docPool(cfg) {
@@ -356,6 +365,16 @@ func (h *harness) quiescent() bool {
 // Execute runs ops (plus the mandatory final sweep) against a fresh harness
 // and returns the first invariant violation, or nil.
 func Execute(cfg Config, ops []Op) *Violation {
+	v, _ := ExecuteDigest(cfg, ops)
+	return v
+}
+
+// ExecuteDigest is Execute plus a digest of the final distributed state —
+// every deployment's primary and replica snapshots and query-history
+// multisets folded through FNV-1a. Two runs of the same configuration and
+// sequence must return the same digest bit for bit; the mass-churn soak
+// asserts exactly that on the virtual clock.
+func ExecuteDigest(cfg Config, ops []Op) (*Violation, uint64) {
 	cfg = cfg.withDefaults()
 	h, err := newHarness(cfg)
 	if err != nil {
@@ -369,17 +388,54 @@ func Execute(cfg Config, ops []Op) *Violation {
 		// Parallelism); everything else executes one at a time.
 		if j := i + readRun(ops[i:]); j > i && cfg.Parallelism > 1 {
 			if v := h.runBatch(cfg.Seed, i, ops[i:j]); v != nil {
-				return v
+				return v, h.digest()
 			}
 			i = j
 			continue
 		}
 		if v := h.runOne(cfg.Seed, i, ops[i]); v != nil {
-			return v
+			return v, h.digest()
 		}
 		i++
 	}
-	return h.finalSweep(cfg.Seed, len(ops))
+	return h.finalSweep(cfg.Seed, len(ops)), h.digest()
+}
+
+// digest folds the observable distributed state of every deployment into one
+// order-insensitive-where-it-must-be value: snapshots are already sorted, and
+// history multisets are folded in sorted key order so concurrent read batches
+// (which may interleave cache fills differently) cannot perturb it.
+func (h *harness) digest() uint64 {
+	hash := fnv.New64a()
+	for _, d := range h.deployments() {
+		fmt.Fprintf(hash, "deployment|%s\n", d.label)
+		for _, e := range d.net.PrimarySnapshot() {
+			fmt.Fprintf(hash, "p|%s|%s|%s|%s|%d|%d\n",
+				e.Peer, e.Term, e.Posting.Doc, e.Posting.Owner, e.Posting.Freq, e.Posting.DocLen)
+		}
+		for _, e := range d.net.ReplicaSnapshot() {
+			fmt.Fprintf(hash, "r|%s|%s|%s|%s|%d|%d\n",
+				e.Peer, e.Term, e.Posting.Doc, e.Posting.Owner, e.Posting.Freq, e.Posting.DocLen)
+		}
+		hist := d.net.HistoryMultiset()
+		addrs := make([]string, 0, len(hist))
+		for a := range hist {
+			addrs = append(addrs, string(a))
+		}
+		sort.Strings(addrs)
+		for _, a := range addrs {
+			m := hist[simnet.Addr(a)]
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(hash, "h|%s|%s|%d\n", a, k, m[k])
+			}
+		}
+	}
+	return hash.Sum64()
 }
 
 // readRun returns the length of the leading run of read-only ops.
@@ -436,6 +492,11 @@ func (h *harness) runBatch(seed int64, start int, batch []Op) *Violation {
 		sem <- struct{}{}
 		go func(i int) {
 			defer func() { <-sem; done <- i }()
+			if !h.effective(batch[i]) {
+				// e.g. a read op whose origin peer has since left the network:
+				// deterministic no-op, exactly as in the sequential path.
+				return
+			}
 			outs := make([]opOut, 0, 2)
 			for _, d := range h.deployments() {
 				d.run(func() { outs = append(outs, h.apply(d, batch[i])) })
@@ -484,6 +545,9 @@ func (h *harness) checkStep(seed int64, step int, op *Op, faultCtx bool) *Violat
 	epoch := (step+1)%h.cfg.EpochEvery == 0
 	if epoch && h.quiescent() {
 		for _, d := range h.deployments() {
+			if v := checkStranded(d); v != nil {
+				return h.pinMaybe(v, seed, step, op)
+			}
 			if v := checkPlacement(d); v != nil {
 				return h.pinMaybe(v, seed, step, op)
 			}
@@ -514,6 +578,9 @@ func (h *harness) finalSweep(seed int64, step int) *Violation {
 		return h.pinMaybe(v, seed, step, nil)
 	}
 	for _, d := range h.deployments() {
+		if v := checkStranded(d); v != nil {
+			return h.pinMaybe(v, seed, step, nil)
+		}
 		if v := checkPlacement(d); v != nil {
 			return h.pinMaybe(v, seed, step, nil)
 		}

@@ -156,6 +156,89 @@ func TestChaosVirtualTime(t *testing.T) {
 	}
 }
 
+// TestChaosMassChurnSoak is the ring-turnover soak: a quiet workload (no
+// random fault ops) with a mass-join wave and a mass-leave wave spliced in,
+// turning over more than 30% of the initial ring in two bursts. Placement
+// after each burst is entirely the repair subsystem's doing — the heal path
+// runs no owner refresh sweep — and the whole soak runs twice on the virtual
+// clock, asserting the final distributed state is bit-identical across runs.
+func TestChaosMassChurnSoak(t *testing.T) {
+	cfg := Config{
+		Seed:              42,
+		Steps:             steps(60),
+		Peers:             10,
+		Parallelism:       1,
+		Cache:             true,
+		ReplicationFactor: 2,
+		HotTermDF:         6,
+		VirtualTime:       true,
+	}
+	base := Generate(cfg) // FaultOps off: shares, searches, learning, refreshes
+	joiners := []string{"j0", "j1", "j2"}
+	leavers := []string{"c1", "c4", "c7"}
+	if turnover := len(joiners) + len(leavers); turnover*100 < 30*cfg.Peers {
+		t.Fatalf("soak turns over %d peers of %d, want >= 30%%", turnover, cfg.Peers)
+	}
+	ops := append([]Op(nil), base[:20]...)
+	ops = append(ops, Op{Kind: KMassJoin, Terms: joiners})
+	ops = append(ops, base[20:40]...)
+	ops = append(ops, Op{Kind: KMassLeave, Terms: leavers})
+	ops = append(ops, Op{Kind: KHeal})
+	ops = append(ops, base[40:]...)
+
+	v1, d1 := ExecuteDigest(cfg, ops)
+	if v1 != nil {
+		t.Fatalf("mass-churn soak violated an invariant: %v", v1)
+	}
+	v2, d2 := ExecuteDigest(cfg, ops)
+	if v2 != nil {
+		t.Fatalf("mass-churn soak not deterministic: second run violated: %v", v2)
+	}
+	if d1 != d2 {
+		t.Fatalf("mass-churn soak not bit-reproducible: digests %#x vs %#x", d1, d2)
+	}
+}
+
+// TestChaosMutationCatchesStrandedEntry injects the failure mode the handoff
+// protocol exists to prevent: a primary entry teleported to a peer the
+// overlay never routes its term to, with the owner's record rewritten to
+// match so the ledger checker stays blind. The stranded-entry invariant must
+// catch it and shrink the sequence to a small reproduction.
+func TestChaosMutationCatchesStrandedEntry(t *testing.T) {
+	sabotage := func(n *core.Network) {
+		ps := n.PrimarySnapshot()
+		if len(ps) == 0 {
+			return
+		}
+		e := ps[0]
+		for _, p := range n.Peers() {
+			if p.Addr() != e.Peer {
+				n.RelocatePrimaryEntry(e.Peer, p.Addr(), e.Term, e.Posting.Doc)
+				return
+			}
+		}
+	}
+	res := Run(Config{
+		Seed:       5,
+		Steps:      steps(60),
+		EpochEvery: 1, // quiescent run: stranded entries are checked every step
+		Sabotage:   sabotage,
+	})
+	if res.Violation == nil {
+		t.Fatal("sabotaged run passed: the invariant registry is blind to stranded entries")
+	}
+	if res.Violation.Invariant != "stranded" {
+		t.Errorf("violation invariant = %q, want stranded (%v)", res.Violation.Invariant, res.Violation)
+	}
+	if res.Repro == nil {
+		t.Fatalf("violation did not reproduce on replay: %v", res.Violation)
+	}
+	if len(res.Repro) > 20 {
+		t.Errorf("repro not minimal: %d ops, want <= 20", len(res.Repro))
+	}
+	t.Logf("caught %v; shrunk to %d ops in %d replays", res.Violation, len(res.Repro), res.Replays)
+}
+
 // TestChaosMutationCatchesReplicaBug is the harness's own acceptance test: a
 // deliberately injected bug — a replica entry silently vanishing after every
 // operation — must be caught by the invariant registry and shrunk to a small

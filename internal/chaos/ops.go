@@ -30,6 +30,9 @@ const (
 	KLoss
 	KDrop
 	KHeal
+	KLeave
+	KMassJoin
+	KMassLeave
 )
 
 var kindNames = map[Kind]string{
@@ -37,6 +40,7 @@ var kindNames = map[Kind]string{
 	KSearchExpanded: "search_expanded", KInsertQuery: "insert_query",
 	KLearn: "learn", KRefresh: "refresh", KFail: "fail", KRecover: "recover",
 	KJoin: "join", KLoss: "loss", KDrop: "drop", KHeal: "heal",
+	KLeave: "leave", KMassJoin: "mass_join", KMassLeave: "mass_leave",
 }
 
 // read reports whether the op only reads index state (it may append to query
@@ -51,9 +55,9 @@ func (k Kind) read() bool {
 // executes as a deterministic no-op rather than depending on prior ops.
 type Op struct {
 	Kind  Kind
-	Peer  string   // actor: search origin, share owner, fail/drop target, join name
+	Peer  string   // actor: search origin, share owner, fail/drop/leave target, join name
 	Doc   string   // document id for share/unshare
-	Terms []string // query terms
+	Terms []string // query terms; peer names for mass_join/mass_leave
 	K     int      // top-k for searches
 	Skip  int      // drop schedule: calls to let through first
 	Count int      // drop schedule: calls to drop
@@ -71,8 +75,10 @@ func (o Op) String() string {
 		}
 	case KSearch, KSearchExpanded, KInsertQuery:
 		fmt.Fprintf(&b, " %q from %s k=%d", strings.Join(o.Terms, " "), o.Peer, o.K)
-	case KFail, KRecover, KJoin:
+	case KFail, KRecover, KJoin, KLeave:
 		fmt.Fprintf(&b, " %s", o.Peer)
+	case KMassJoin, KMassLeave:
+		fmt.Fprintf(&b, " %s", strings.Join(o.Terms, ","))
 	case KLoss:
 		fmt.Fprintf(&b, " p=%.2f", o.Loss)
 	case KDrop:
@@ -81,7 +87,9 @@ func (o Op) String() string {
 	return b.String()
 }
 
-const maxJoins = 6
+// maxJoins bounds the j-named peers a generated sequence may add, across
+// single joins and mass-join waves.
+const maxJoins = 12
 
 // Generate emits cfg.Steps operations as a pure function of cfg. A small
 // generation-time model (what is shared, who is failed) biases choices toward
@@ -100,7 +108,8 @@ func Generate(cfg Config) []Op {
 		{KInsertQuery, 8}, {KLearn, 8}, {KRefresh, 5},
 	}
 	if cfg.FaultOps {
-		table = append(table, wk{KFail, 6}, wk{KRecover, 5}, wk{KJoin, 2}, wk{KHeal, 4})
+		table = append(table, wk{KFail, 6}, wk{KRecover, 5}, wk{KJoin, 2}, wk{KHeal, 4},
+			wk{KLeave, 3}, wk{KMassJoin, 1}, wk{KMassLeave, 1})
 		if !cfg.Twin {
 			// Probabilistic loss consumes per-call randomness, so it cannot be
 			// mirrored onto a twin with a different call pattern.
@@ -137,7 +146,35 @@ func Generate(cfg Config) []Op {
 
 	shared := make(map[string]bool)
 	failed := make(map[string]bool)
+	// present is the generation-time membership model: graceful leaves remove
+	// peers for good, joins (single or mass) add them. The executor
+	// re-validates, so the model only biases choices toward effectual ops.
+	present := make(map[string]bool, cfg.Peers)
+	for i := 0; i < cfg.Peers; i++ {
+		present[fmt.Sprintf("c%d", i)] = true
+	}
 	joins := 0
+	// pickLeaver names a peer that could leave gracefully right now — present,
+	// not failed, and not needed to keep MinAlive peers up — removing it from
+	// the model. Sorted iteration keeps the choice a pure function of the rng.
+	pickLeaver := func() (string, bool) {
+		if len(present)-len(failed)-1 < cfg.MinAlive {
+			return "", false
+		}
+		cand := make([]string, 0, len(present))
+		for n := range present {
+			if !failed[n] {
+				cand = append(cand, n)
+			}
+		}
+		if len(cand) == 0 {
+			return "", false
+		}
+		sort.Strings(cand)
+		name := cand[rng.Intn(len(cand))]
+		delete(present, name)
+		return name, true
+	}
 
 	ops := make([]Op, 0, cfg.Steps)
 	for len(ops) < cfg.Steps {
@@ -162,7 +199,9 @@ func Generate(cfg Config) []Op {
 			op.Peer, op.Terms, op.K = basePeer(), pickTerms(), 3+rng.Intn(8)
 		case KFail:
 			op.Peer = basePeer()
-			failed[op.Peer] = true
+			if present[op.Peer] {
+				failed[op.Peer] = true
+			}
 		case KRecover:
 			op.Peer = basePeer()
 			if len(failed) > 0 {
@@ -179,7 +218,40 @@ func Generate(cfg Config) []Op {
 				continue
 			}
 			op.Peer = fmt.Sprintf("j%d", joins)
+			present[op.Peer] = true
 			joins++
+		case KLeave:
+			name, ok := pickLeaver()
+			if !ok {
+				continue
+			}
+			op.Peer = name
+		case KMassJoin:
+			want := 2 + rng.Intn(3)
+			if joins+want > maxJoins {
+				want = maxJoins - joins
+			}
+			if want <= 0 {
+				continue
+			}
+			for i := 0; i < want; i++ {
+				name := fmt.Sprintf("j%d", joins)
+				op.Terms = append(op.Terms, name)
+				present[name] = true
+				joins++
+			}
+		case KMassLeave:
+			want := 2 + rng.Intn(3)
+			for i := 0; i < want; i++ {
+				name, ok := pickLeaver()
+				if !ok {
+					break
+				}
+				op.Terms = append(op.Terms, name)
+			}
+			if len(op.Terms) == 0 {
+				continue
+			}
 		case KLoss:
 			op.Loss = 0.05 + 0.2*rng.Float64()
 			if rng.Intn(4) == 0 {
@@ -207,9 +279,12 @@ type opOut struct {
 func (h *harness) effective(op Op) bool {
 	switch op.Kind {
 	case KShare:
-		return !h.shared[op.Doc]
+		return !h.shared[op.Doc] && h.nodeExists(op.Peer)
 	case KUnshare:
 		return h.shared[op.Doc]
+	case KSearch, KSearchExpanded, KInsertQuery:
+		// The origin peer may have left the network gracefully.
+		return h.nodeExists(op.Peer)
 	case KFail:
 		if h.failed[op.Peer] || !h.nodeExists(op.Peer) {
 			return false
@@ -222,10 +297,33 @@ func (h *harness) effective(op Op) bool {
 		return h.failed[op.Peer]
 	case KJoin:
 		return !h.nodeExists(op.Peer)
+	case KLeave:
+		return h.leavable(op.Peer)
+	case KMassJoin:
+		for _, name := range op.Terms {
+			if !h.nodeExists(name) {
+				return true
+			}
+		}
+		return false
+	case KMassLeave:
+		for _, name := range op.Terms {
+			if h.leavable(name) {
+				return true
+			}
+		}
+		return false
 	case KDrop:
 		return h.nodeExists(op.Peer)
 	}
 	return true
+}
+
+// leavable reports whether name can depart gracefully right now: it exists,
+// is alive (a failed peer cannot run the handoff protocol), and its departure
+// keeps MinAlive peers up.
+func (h *harness) leavable(name string) bool {
+	return h.nodeExists(name) && !h.failed[name] && h.aliveCount()-1 >= h.cfg.MinAlive
 }
 
 func (h *harness) nodeExists(name string) bool {
@@ -246,16 +344,29 @@ func (h *harness) updateModel(op Op, ok bool) {
 	case KShare:
 		if ok {
 			h.shared[op.Doc] = true
+			h.docOwner[op.Doc] = op.Peer
 		}
 	case KUnshare:
 		delete(h.shared, op.Doc)
+		delete(h.docOwner, op.Doc)
 	case KFail:
 		h.failed[op.Peer] = true
 		h.churned = true
 	case KRecover:
 		delete(h.failed, op.Peer)
 		h.churned = true
-	case KJoin:
+	case KJoin, KMassJoin:
+		h.churned = true
+	case KLeave, KMassLeave:
+		// A graceful leave withdraws every document the departing peer owned;
+		// drop them from the share model. apply already removed the peers from
+		// d.nodes, so departed owners are exactly those that no longer exist.
+		for doc, owner := range h.docOwner {
+			if !h.nodeExists(owner) {
+				delete(h.shared, doc)
+				delete(h.docOwner, doc)
+			}
+		}
 		h.churned = true
 	case KLoss:
 		h.loss = op.Loss
@@ -310,6 +421,31 @@ func (h *harness) apply(d *deployment, op Op) opOut {
 		return opOut{}
 	case KJoin:
 		return opOut{err: h.join(d, op.Peer)}
+	case KLeave:
+		return opOut{err: h.leave(d, op.Peer)}
+	case KMassJoin:
+		for _, name := range op.Terms {
+			if _, ok := d.nodes[simnet.Addr(name)]; ok {
+				continue
+			}
+			if err := h.join(d, name); err != nil {
+				return opOut{err: err}
+			}
+		}
+		return opOut{}
+	case KMassLeave:
+		for _, name := range op.Terms {
+			// Re-check per victim against this deployment: each departure
+			// shrinks the ring, and the MinAlive floor must hold throughout.
+			if _, ok := d.nodes[simnet.Addr(name)]; !ok || h.failed[name] ||
+				len(d.nodes)-len(h.failed)-1 < h.cfg.MinAlive {
+				continue
+			}
+			if err := h.leave(d, name); err != nil {
+				return opOut{err: err}
+			}
+		}
+		return opOut{}
 	case KLoss:
 		d.sim.SetPacketLoss(op.Loss)
 		return opOut{}
@@ -328,20 +464,32 @@ func (h *harness) join(d *deployment, name string) error {
 		return err
 	}
 	d.net.Adopt(node)
+	// Bootstrap off any alive member — base peers may have left gracefully,
+	// so fall back to the sorted membership when none remain.
 	var boot simnet.Addr
 	for i := 0; i < h.cfg.Peers; i++ {
 		cand := simnet.Addr(fmt.Sprintf("c%d", i))
-		if !h.failed[string(cand)] {
+		if _, ok := d.nodes[cand]; ok && !h.failed[string(cand)] {
 			boot = cand
 			break
 		}
 	}
 	if boot == "" {
-		return fmt.Errorf("chaos: no alive bootstrap for join")
+		names := make([]string, 0, len(d.nodes))
+		for a := range d.nodes {
+			names = append(names, string(a))
+		}
+		sort.Strings(names)
+		for _, nm := range names {
+			if !h.failed[nm] {
+				boot = simnet.Addr(nm)
+				break
+			}
+		}
 	}
 	bootNode, ok := d.nodes[boot]
 	if !ok {
-		return fmt.Errorf("chaos: bootstrap node %s missing", boot)
+		return fmt.Errorf("chaos: no alive bootstrap for join")
 	}
 	if err := node.Join(bootNode); err != nil {
 		return err
@@ -353,10 +501,33 @@ func (h *harness) join(d *deployment, name string) error {
 	return nil
 }
 
+// leave departs name gracefully from one deployment. Entries whose owners
+// could not be told about the handoff enter the deployment's fault ledger:
+// they live at the leave-time successor with owner records that will only
+// re-anchor once the owner is reachable again (FlushStaleAll's reclaim).
+func (h *harness) leave(d *deployment, name string) error {
+	rep, err := d.net.Leave(simnet.Addr(name))
+	if err != nil {
+		return err
+	}
+	for _, e := range rep.Unrelocated {
+		d.tolerated[entryKey{peer: e.Peer, term: e.Term, doc: e.Posting.Doc}] = true
+	}
+	delete(d.nodes, simnet.Addr(name))
+	d.ring.StabilizeLists(stabilizeRounds)
+	d.ring.RepairFingers()
+	d.net.InvalidateCaches()
+	return nil
+}
+
 // heal is the recover-everything super-op: revive all failed peers, clear all
-// injected faults, repair the ring, and migrate every index entry back to its
-// oracle owner. It is also the first stage of the final sweep, so a heal must
-// always converge — failure to do so is itself a violation.
+// injected faults, repair the ring, and run the peer-driven maintenance sweep
+// — misplaced entries shed to their arc owners, replica sets reconcile via
+// anti-entropy, and owners flush stale withdrawals and reclaim records
+// orphaned by departures. No owner refresh sweep is involved: placement after
+// a heal is entirely the repair subsystem's doing. heal is also the first
+// stage of the final sweep, so it must always converge — failure to do so is
+// itself a violation.
 func (h *harness) heal() *Violation {
 	names := make([]string, 0, len(h.failed))
 	for n := range h.failed {
@@ -379,10 +550,9 @@ func (h *harness) heal() *Violation {
 				return
 			}
 			d.net.InvalidateCaches()
-			if _, err := d.net.RefreshAll(); err != nil {
-				v = &Violation{Invariant: "heal",
-					Msg: fmt.Sprintf("%s: refresh on healed network: %v", d.label, err)}
-			}
+			d.net.FlushStaleAll()
+			d.net.Repair()
+			d.net.FlushStaleAll()
 		})
 		if v != nil {
 			return v

@@ -73,6 +73,7 @@ type nodeMetrics struct {
 	hops          *telemetry.Histogram
 	stabilizes    *telemetry.Counter
 	fingerRepairs *telemetry.Counter
+	succDepth     *telemetry.Gauge
 }
 
 func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
@@ -82,6 +83,7 @@ func newNodeMetrics(reg *telemetry.Registry) nodeMetrics {
 		hops:          reg.Histogram("chord.lookup.hops"),
 		stabilizes:    reg.Counter("chord.stabilize.rounds"),
 		fingerRepairs: reg.Counter("chord.finger.repairs"),
+		succDepth:     reg.Gauge("chord.successors.depth"),
 	}
 }
 
@@ -138,7 +140,8 @@ type Node struct {
 	fingers []Ref // fingers[i] ~ successor(id + 2^(Bits-FingerBits+i))
 	nextFix int   // round-robin finger refresh cursor
 
-	app simnet.Handler // application handler for non-chord messages
+	app      simnet.Handler     // application handler for non-chord messages
+	predHook func(old, new Ref) // arc-change notification, see SetPredChangeHook
 }
 
 // NewNode creates a node named name (its ring ID is MD5(name)) and registers
@@ -174,6 +177,18 @@ func (n *Node) SetAppHandler(h simnet.Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.app = h
+}
+
+// SetPredChangeHook installs a callback invoked whenever notify installs a
+// different predecessor — the moment this node's ownership arc changes. old
+// is the previous predecessor (zero when none was known). The hook runs
+// outside the node's lock, so it may call back into the overlay or the
+// network; the application layer uses it to hand index entries to a joiner
+// the instant stabilization adopts it.
+func (n *Node) SetPredChangeHook(fn func(old, new Ref)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.predHook = fn
 }
 
 // Successor returns the node's current immediate successor.
@@ -310,12 +325,22 @@ func (n *Node) closestPrecedingLocked(key chordid.ID, excluded map[chordid.ID]bo
 // notify implements Chord's notify: cand believes it may be our predecessor.
 func (n *Node) notify(cand Ref) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if cand.ID == n.ref.ID {
+		n.mu.Unlock()
 		return
 	}
+	var old Ref
+	changed := false
 	if n.pred.IsZero() || cand.ID.Between(n.pred.ID, n.ref.ID) || !n.net.Alive(n.pred.Addr) {
+		if n.pred.ID != cand.ID {
+			old, changed = n.pred, true
+		}
 		n.pred = cand
+	}
+	hook := n.predHook
+	n.mu.Unlock()
+	if changed && hook != nil {
+		hook(old, cand)
 	}
 }
 
@@ -471,6 +496,7 @@ func (n *Node) stabilize() {
 		n.mu.Lock()
 		n.succs = []Ref{self}
 		n.mu.Unlock()
+		n.met.succDepth.Set(1)
 		return
 	}
 
@@ -479,10 +505,18 @@ func (n *Node) stabilize() {
 		if err == nil {
 			st := reply.Payload.(stateResp)
 			if !st.Pred.IsZero() && st.Pred.ID.Between(self.ID, succ.ID) && n.net.Alive(st.Pred.Addr) {
-				succ = st.Pred
-				// Re-fetch state from the better successor.
-				if reply2, err2 := n.net.Call(self.Addr, succ.Addr, simnet.Message{Type: msgGetState, Size: 1}); err2 == nil {
-					st = reply2.Payload.(stateResp)
+				// Re-fetch state from the better successor — but re-check
+				// liveness before installing it: the candidate can die
+				// between the two getState calls, and promoting a corpse
+				// would wedge succs[0] on a node that notify can never
+				// reach. A failed re-fetch from a still-alive candidate is
+				// message loss: promote anyway and pick its list up next
+				// round.
+				cand := st.Pred
+				if reply2, err2 := n.net.Call(self.Addr, cand.Addr, simnet.Message{Type: msgGetState, Size: 1}); err2 == nil {
+					succ, st = cand, reply2.Payload.(stateResp)
+				} else if n.net.Alive(cand.Addr) {
+					succ = cand
 				}
 			}
 			newSuccs := make([]Ref, 0, r)
@@ -499,6 +533,7 @@ func (n *Node) stabilize() {
 			n.mu.Lock()
 			n.succs = newSuccs
 			n.mu.Unlock()
+			n.met.succDepth.Set(int64(len(newSuccs)))
 			n.net.Call(self.Addr, succ.Addr, simnet.Message{Type: msgNotify, Payload: self, Size: refSize})
 		} else if !n.net.Alive(succ.Addr) {
 			// Successor died between the liveness check and the call; drop it.
@@ -579,6 +614,33 @@ func (n *Node) JoinRemote(bootstrap simnet.Addr) error {
 	}
 	n.adoptSuccessor(succ)
 	return nil
+}
+
+// dropPeer scrubs a departed peer from this node's overlay state: successor
+// list, predecessor, and fingers. Used by Ring.Leave to splice a graceful
+// departure out of the ring without waiting for stabilization to time the
+// corpse out.
+func (n *Node) dropPeer(gone Ref) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.succs[:0]
+	for _, s := range n.succs {
+		if s.ID != gone.ID {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, n.ref)
+	}
+	n.succs = kept
+	if n.pred.ID == gone.ID {
+		n.pred = Ref{}
+	}
+	for i, f := range n.fingers {
+		if f.ID == gone.ID {
+			n.fingers[i] = Ref{}
+		}
+	}
 }
 
 func (n *Node) adoptSuccessor(succ Ref) {

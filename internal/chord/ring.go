@@ -299,10 +299,51 @@ func (r *Ring) Recover(n *Node) {
 	}
 }
 
-// Leave removes a node gracefully: it is unregistered from the network and
-// forgotten by the manager; stabilization repairs the ring around it.
+// Leave removes a node gracefully: before unregistering it, the departing
+// node's live predecessor and successor are spliced together — the successor
+// adopts the leaver's predecessor (firing its arc-change hook, which is how
+// the application layer learns the arc merged) and the predecessor's
+// successor list skips the leaver — so routing never dips through the gap
+// while stabilization catches up. The node is then unregistered and
+// forgotten by the manager.
 func (r *Ring) Leave(n *Node) {
+	r.splice(n)
 	r.net.Unregister(n.Addr())
 	delete(r.nodes, n.ID())
 	r.dirty = true
+}
+
+// splice rewires the departing node's alive ring neighbors around it.
+func (r *Ring) splice(n *Node) {
+	alive := r.aliveNodes()
+	if len(alive) <= 1 {
+		return
+	}
+	idx := -1
+	for i, node := range alive {
+		if node == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // leaver is itself failed; stabilization handles the rest
+	}
+	pred := alive[(idx+len(alive)-1)%len(alive)]
+	succ := alive[(idx+1)%len(alive)]
+	if pred == n || succ == n {
+		return
+	}
+	// The successor drops the leaver from its state and adopts the leaver's
+	// predecessor through notify, so the application arc-change hook fires
+	// exactly as it would for protocol-driven adoption.
+	succ.dropPeer(n.Ref())
+	succ.notify(pred.Ref())
+	// Every other alive node just forgets the leaver; stabilize rebuilds the
+	// lists from live state.
+	for _, node := range alive {
+		if node != n && node != succ {
+			node.dropPeer(n.Ref())
+		}
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"github.com/spritedht/sprite/internal/fanout"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/repair"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/telemetry"
 	"github.com/spritedht/sprite/internal/vtime"
@@ -93,52 +94,58 @@ type Config struct {
 // netMetrics caches the SPRITE-level instrument handles; all nil (inert)
 // when no registry is configured.
 type netMetrics struct {
-	searches        *telemetry.Counter
-	termsSkipped    *telemetry.Counter
-	postingsServed  *telemetry.Counter
-	primaryHits     *telemetry.Counter
-	replicaHits     *telemetry.Counter
-	misses          *telemetry.Counter
-	queriesCached   *telemetry.Counter
-	pollsServed     *telemetry.Counter
-	pollQueries     *telemetry.Counter
-	learnRounds     *telemetry.Counter
-	learnChanges    *telemetry.Counter
-	termsPublished  *telemetry.Counter
-	termsRetired    *telemetry.Counter
-	expansionRounds *telemetry.Counter
-	retries         *telemetry.Counter
-	failovers       *telemetry.Counter
-	hedges          *telemetry.Counter
-	partials        *telemetry.Counter
-	recordErrors    *telemetry.Counter
-	fetchAttempts   *telemetry.Histogram
-	queryLatency    *telemetry.Histogram
+	searches         *telemetry.Counter
+	termsSkipped     *telemetry.Counter
+	postingsServed   *telemetry.Counter
+	primaryHits      *telemetry.Counter
+	replicaHits      *telemetry.Counter
+	misses           *telemetry.Counter
+	queriesCached    *telemetry.Counter
+	pollsServed      *telemetry.Counter
+	pollQueries      *telemetry.Counter
+	learnRounds      *telemetry.Counter
+	learnChanges     *telemetry.Counter
+	termsPublished   *telemetry.Counter
+	termsRetired     *telemetry.Counter
+	expansionRounds  *telemetry.Counter
+	retries          *telemetry.Counter
+	failovers        *telemetry.Counter
+	hedges           *telemetry.Counter
+	partials         *telemetry.Counter
+	recordErrors     *telemetry.Counter
+	repairHandoffs   *telemetry.Counter
+	repairReconciles *telemetry.Counter
+	repairDivergent  *telemetry.Counter
+	fetchAttempts    *telemetry.Histogram
+	queryLatency     *telemetry.Histogram
 }
 
 func newNetMetrics(reg *telemetry.Registry) netMetrics {
 	return netMetrics{
-		searches:        reg.Counter("sprite.searches"),
-		termsSkipped:    reg.Counter("sprite.search.terms_skipped"),
-		postingsServed:  reg.Counter("sprite.postings.served"),
-		primaryHits:     reg.Counter("sprite.postings.primary_hits"),
-		replicaHits:     reg.Counter("sprite.postings.replica_hits"),
-		misses:          reg.Counter("sprite.postings.misses"),
-		queriesCached:   reg.Counter("sprite.queries.cached"),
-		pollsServed:     reg.Counter("sprite.polls.served"),
-		pollQueries:     reg.Counter("sprite.polls.queries_returned"),
-		learnRounds:     reg.Counter("sprite.learn.rounds"),
-		learnChanges:    reg.Counter("sprite.learn.index_changes"),
-		termsPublished:  reg.Counter("sprite.index.terms_published"),
-		termsRetired:    reg.Counter("sprite.index.terms_retired"),
-		expansionRounds: reg.Counter("sprite.search.expansions"),
-		retries:         reg.Counter("sprite.resilience.retries"),
-		failovers:       reg.Counter("sprite.resilience.failovers"),
-		hedges:          reg.Counter("sprite.resilience.hedges"),
-		partials:        reg.Counter("sprite.resilience.partials"),
-		recordErrors:    reg.Counter("sprite.fanout.record_errors"),
-		fetchAttempts:   reg.Histogram("sprite.resilience.fetch_attempts"),
-		queryLatency:    reg.Histogram("sprite.query.latency_us"),
+		searches:         reg.Counter("sprite.searches"),
+		termsSkipped:     reg.Counter("sprite.search.terms_skipped"),
+		postingsServed:   reg.Counter("sprite.postings.served"),
+		primaryHits:      reg.Counter("sprite.postings.primary_hits"),
+		replicaHits:      reg.Counter("sprite.postings.replica_hits"),
+		misses:           reg.Counter("sprite.postings.misses"),
+		queriesCached:    reg.Counter("sprite.queries.cached"),
+		pollsServed:      reg.Counter("sprite.polls.served"),
+		pollQueries:      reg.Counter("sprite.polls.queries_returned"),
+		learnRounds:      reg.Counter("sprite.learn.rounds"),
+		learnChanges:     reg.Counter("sprite.learn.index_changes"),
+		termsPublished:   reg.Counter("sprite.index.terms_published"),
+		termsRetired:     reg.Counter("sprite.index.terms_retired"),
+		expansionRounds:  reg.Counter("sprite.search.expansions"),
+		retries:          reg.Counter("sprite.resilience.retries"),
+		failovers:        reg.Counter("sprite.resilience.failovers"),
+		hedges:           reg.Counter("sprite.resilience.hedges"),
+		partials:         reg.Counter("sprite.resilience.partials"),
+		recordErrors:     reg.Counter("sprite.fanout.record_errors"),
+		repairHandoffs:   reg.Counter(repair.MetricHandoffs),
+		repairReconciles: reg.Counter(repair.MetricReconciles),
+		repairDivergent:  reg.Counter(repair.MetricDivergentTerms),
+		fetchAttempts:    reg.Histogram("sprite.resilience.fetch_attempts"),
+		queryLatency:     reg.Histogram("sprite.query.latency_us"),
 	}
 }
 
@@ -281,6 +288,7 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 		n.peers[node.Addr()] = p
 		n.order = append(n.order, p)
 		node.SetAppHandler(p)
+		n.attachRepair(p)
 	}
 	sort.Slice(n.order, func(i, j int) bool { return n.order[i].Addr() < n.order[j].Addr() })
 	return n, nil
@@ -332,6 +340,7 @@ func (n *Network) Adopt(node *chord.Node) *Peer {
 	n.order = append(n.order, p)
 	sort.Slice(n.order, func(i, j int) bool { return n.order[i].Addr() < n.order[j].Addr() })
 	node.SetAppHandler(p)
+	n.attachRepair(p)
 	return p
 }
 

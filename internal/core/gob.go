@@ -19,5 +19,14 @@ func init() {
 		replicaDropReq{},
 		docTermsReq{},
 		docTermsResp{},
+		handoffReq{},
+		handoffResp{},
+		handoffDropReq{},
+		relocateReq{},
+		relocateResp{},
+		repairDigestReq{},
+		repairDigestResp{},
+		repairPushReq{},
+		replicaRetireReq{},
 	)
 }

@@ -181,6 +181,57 @@ func (n *Network) ReplicaLocsAt(addr simnet.Addr, term string, doc index.DocID) 
 	return append([]simnet.Addr(nil), p.indexing.replicaLocs[term][doc]...)
 }
 
+// RelocatePrimaryEntry forcibly moves one primary entry from one indexing
+// peer to another and rewrites the document owner's holder-of-record to
+// match — a placement corruption that is invisible to the ledger checker
+// (the owner's record and the entry still agree) but strands the entry on a
+// peer the overlay never routes the term to. It is a fault-injection hook
+// for correctness testing: the chaos harness's mutation tests use it to
+// verify the stranded-entry invariant actually bites. Returns whether the
+// entry existed and was moved.
+func (n *Network) RelocatePrimaryEntry(from, to simnet.Addr, term string, doc index.DocID) bool {
+	src, ok := n.peer(from)
+	if !ok {
+		return false
+	}
+	dst, ok := n.peer(to)
+	if !ok {
+		return false
+	}
+	var moved *index.Posting
+	src.indexing.mu.Lock()
+	for posting := range src.indexing.ix.All(term) {
+		if posting.Doc == doc {
+			p := posting
+			moved = &p
+			src.indexing.ix.Remove(term, doc)
+			break
+		}
+	}
+	src.indexing.mu.Unlock()
+	if moved == nil {
+		return false
+	}
+	dst.indexing.mu.Lock()
+	dst.indexing.ix.Add(term, *moved)
+	dst.indexing.mu.Unlock()
+	// Keep the owner's ledger consistent with the corrupted placement so
+	// only the placement invariant can catch it.
+	if owner, ok := n.peer(simnet.Addr(moved.Owner)); ok {
+		owner.mu.Lock()
+		st := owner.owned[doc]
+		owner.mu.Unlock()
+		if st != nil {
+			st.mu.Lock()
+			if st.publishedAt[term] == from {
+				st.publishedAt[term] = to
+			}
+			st.mu.Unlock()
+		}
+	}
+	return true
+}
+
 // DropReplicaEntry silently removes one replica entry at addr, simulating
 // replica loss the holder never reports (bit rot, a crash that outlives the
 // process's state). It is a fault-injection hook for correctness testing —

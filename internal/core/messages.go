@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/repair"
 	"github.com/spritedht/sprite/internal/simnet"
 )
 
@@ -29,6 +30,31 @@ const (
 	msgReplica = "sprite.replica"
 	// msgReplicaDrop removes a replicated entry.
 	msgReplicaDrop = "sprite.replica_drop"
+
+	// msgHandoff batch-installs primary index entries at a peer whose arc now
+	// covers them — the first round of the join/leave handoff protocol (see
+	// internal/core/repair.go). The receiver serves them immediately but the
+	// sender remains their holder of record until relocation commits.
+	msgHandoff = "sprite.repair.handoff"
+	// msgHandoffDrop reverts one entry of an aborted handoff: the owner could
+	// not be told about the move, so the receiver's copy must go before the
+	// sender deletes nothing.
+	msgHandoffDrop = "sprite.repair.handoff_drop"
+	// msgRelocate asks a document's owner to rewrite its holder-of-record
+	// (publishedAt) for one term, compare-and-swap style: the flip commits
+	// only if the owner still believes the entry lives at the sender.
+	msgRelocate = "sprite.relocate"
+	// msgRepairDigest opens an anti-entropy exchange: the primary holder of
+	// an arc sends its compact Merkle summary; the replica holder answers
+	// with the per-term digests of the divergent buckets (or "in sync").
+	msgRepairDigest = "sprite.repair.digest"
+	// msgRepairPush closes an anti-entropy exchange: the primary replaces the
+	// divergent terms' replica lists wholesale.
+	msgRepairPush = "sprite.repair.push"
+	// msgReplicaRetire tells a primary holder that a gracefully departing
+	// peer no longer holds the replicas recorded against it, so future
+	// withdrawals stop addressing a peer that left for good.
+	msgReplicaRetire = "sprite.repair.retire"
 )
 
 type publishReq struct {
@@ -108,6 +134,96 @@ type replicaReq struct {
 type replicaDropReq struct {
 	Term string
 	Doc  index.DocID
+}
+
+// handoffEntry is one primary index entry in flight during a join/leave
+// handoff: the posting plus the sender's recorded replica locations, which
+// transfer with the entry so the new holder's withdrawals keep reaching
+// every copy ever pushed.
+type handoffEntry struct {
+	Term        string
+	Posting     index.Posting
+	ReplicaLocs []simnet.Addr
+}
+
+type handoffReq struct {
+	Entries []handoffEntry
+}
+
+// handoffResp reports, per entry of the request, whether the receiver's
+// primary index already held the (term, doc) before the install. A
+// pre-existing entry means the install merged with state the receiver owned
+// in its own right — typically a copy re-anchored there by orphan reclaim
+// while the sender still held a zombie duplicate. If the relocation CAS is
+// then refused, the sender must NOT revert the install: the drop would
+// destroy the receiver's legitimate entry, not the sender's transfer.
+type handoffResp struct {
+	Existing []bool
+}
+
+type handoffDropReq struct {
+	Term string
+	Doc  index.DocID
+}
+
+type relocateReq struct {
+	Term string
+	Doc  index.DocID
+	// From is the holder the sender believes the owner has on record; the
+	// owner refuses the flip if its record disagrees (the entry migrated
+	// some other way in the meantime).
+	From simnet.Addr
+	// To is the entry's new holder.
+	To simnet.Addr
+}
+
+type relocateResp struct {
+	OK bool
+}
+
+type repairDigestReq struct {
+	// Arc restricts the exchange to the sender's owner arc: the replica
+	// holder keeps copies for many primaries, and only the sender's slice of
+	// the key space is the sender's to reconcile.
+	Arc chordid.Arc
+	// Summary is the two-level Merkle digest of the sender's primary entries
+	// in Arc (see internal/repair).
+	Summary repair.Summary
+}
+
+type repairDigestResp struct {
+	// InSync reports digest equality — the common case, costing this one
+	// round trip of a few dozen bytes.
+	InSync bool
+	// Buckets are the summary buckets that disagreed.
+	Buckets []int
+	// Local holds the replica holder's per-term digests within the divergent
+	// buckets (restricted to the request arc), from which the primary
+	// computes exactly which term lists to push.
+	Local map[string]uint64
+}
+
+// termPostings is one term's full authoritative posting list in a repair
+// push.
+type termPostings struct {
+	Term     string
+	Postings []index.Posting
+}
+
+type repairPushReq struct {
+	Arc chordid.Arc
+	// Set replaces each term's replica list wholesale. A term belongs to
+	// exactly one primary, so every copy of it within the arc is the
+	// sender's to overwrite.
+	Set []termPostings
+}
+
+type replicaRetireReq struct {
+	// Holder is the departing replica holder to erase from the receiver's
+	// replica-location records.
+	Holder simnet.Addr
+	Term   string
+	Docs   []index.DocID
 }
 
 // wire-size helpers (rough but consistent, for bandwidth accounting).

@@ -132,6 +132,42 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 		req := msg.Payload.(docTermsReq)
 		resp := p.handleDocTerms(req)
 		return simnet.Message{Type: msg.Type, Payload: resp, Size: 8 * len(resp.TF)}, nil
+
+	case msgHandoff:
+		req := msg.Payload.(handoffReq)
+		resp := handoffResp{Existing: make([]bool, len(req.Entries))}
+		for i, e := range req.Entries {
+			resp.Existing[i] = p.indexing.publishReporting(e.Term, e.Posting)
+			p.indexing.recordReplicaLocs(e.Term, e.Posting.Doc, e.ReplicaLocs)
+		}
+		p.net.caches.invalidate()
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: 1 + len(resp.Existing)}, nil
+
+	case msgHandoffDrop:
+		req := msg.Payload.(handoffDropReq)
+		p.indexing.unpublish(req.Term, req.Doc)
+		p.indexing.takeReplicaLocs(req.Term, req.Doc)
+		p.net.caches.invalidate()
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgRelocate:
+		req := msg.Payload.(relocateReq)
+		return simnet.Message{Type: msg.Type, Payload: p.handleRelocate(req), Size: 1}, nil
+
+	case msgRepairDigest:
+		req := msg.Payload.(repairDigestReq)
+		resp := p.handleRepairDigest(req)
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: 1 + 8*len(resp.Buckets) + 16*len(resp.Local)}, nil
+
+	case msgRepairPush:
+		req := msg.Payload.(repairPushReq)
+		p.handleRepairPush(req)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgReplicaRetire:
+		req := msg.Payload.(replicaRetireReq)
+		p.handleReplicaRetire(req)
+		return simnet.Message{Type: msg.Type, Size: 1}, nil
 	}
 	return simnet.Message{}, fmt.Errorf("core: peer %s: unknown message type %q", p.Addr(), msg.Type)
 }
@@ -281,6 +317,24 @@ func (s *indexingState) publish(term string, p index.Posting) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ix.Add(term, p)
+}
+
+// publishReporting installs a primary entry and reports whether the index
+// already held a posting for (term, doc). Handoff installs need the
+// distinction: merging with an entry the peer owned in its own right must
+// not be reverted when the relocation later aborts.
+func (s *indexingState) publishReporting(term string, p index.Posting) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existed := false
+	for got := range s.ix.All(term) {
+		if got.Doc == p.Doc {
+			existed = true
+			break
+		}
+	}
+	s.ix.Add(term, p)
+	return existed
 }
 
 func (s *indexingState) unpublish(term string, doc index.DocID) {

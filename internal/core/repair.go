@@ -1,0 +1,586 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/chord"
+	"github.com/spritedht/sprite/internal/chordid"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/repair"
+	"github.com/spritedht/sprite/internal/simnet"
+)
+
+// This file implements peer-driven data placement: the peers holding index
+// entries keep them placed, instead of waiting for the owners' periodic
+// refresh sweep to re-publish everything.
+//
+// Three mechanisms cooperate:
+//
+//   - Join handoff: when stabilization makes a node adopt a new predecessor,
+//     its owner arc shrinks, and the entries that fell outside it are handed
+//     to the adopted peer immediately (the arc-change hook below).
+//   - Graceful leave: Network.Leave hands the departing peer's primary
+//     entries to its ring successor and retires its replica-holder records
+//     at the primaries before unregistering it.
+//   - Anti-entropy: primary holders periodically exchange compact Merkle
+//     summaries of their arc with their §7 replica holders and push only the
+//     divergent term lists (Network.Repair).
+//
+// The handoff protocol must preserve the owner-ledger invariant — if an
+// owner records term t as published at X, then X holds the entry — at every
+// quiescent point, so moves are staged:
+//
+//  1. install the entries at the new holder (both peers now serve them;
+//     the owner's record still points at the sender, which still holds them);
+//  2. per entry, ask the owner to relocate its record (compare-and-swap on
+//     the current holder);
+//  3. on a confirmed flip, delete the sender's copy; on a refused or
+//     unreachable owner, revert the installed copy instead.
+//
+// Entries whose owner cannot confirm thus stay exactly where the owner
+// believes they are.
+
+// attachRepair subscribes a peer to its node's arc changes. The hook fires
+// the moment notify (or a graceful-leave splice) installs a new predecessor,
+// which is exactly when the peer's owner arc changes shape.
+func (n *Network) attachRepair(p *Peer) {
+	p.node.SetPredChangeHook(func(_, _ chord.Ref) {
+		p.shedToPred()
+	})
+}
+
+// shedToPred hands every primary entry outside this peer's current owner arc
+// to its predecessor. The predecessor's arc need not cover all of them — a
+// mass join inserts several peers at once — but each receiver's own arc
+// changes (or the next Repair sweep) forward misplaced entries again, so the
+// population converges with each entry traveling counter-clockwise at most
+// once per hop. Returns the number of entries moved.
+func (p *Peer) shedToPred() int {
+	pred := p.node.Predecessor()
+	if pred.Addr == "" || pred.Addr == p.Addr() {
+		return 0 // no predecessor known (or singleton ring): whole space is ours
+	}
+	arc := chordid.OwnerArc(pred.ID, p.node.ID())
+	entries := p.collectOutsideArc(arc)
+	if len(entries) == 0 {
+		return 0
+	}
+	moved, _ := p.handoffEntries(pred.Addr, entries, false)
+	return moved
+}
+
+// collectOutsideArc snapshots the primary entries whose term keys fall
+// outside arc, with their recorded replica locations.
+func (p *Peer) collectOutsideArc(arc chordid.Arc) []handoffEntry {
+	p.indexing.mu.Lock()
+	defer p.indexing.mu.Unlock()
+	var out []handoffEntry
+	for _, term := range p.indexing.ix.Terms() {
+		if arc.ContainsKey(term) {
+			continue
+		}
+		for posting := range p.indexing.ix.All(term) {
+			locs := append([]simnet.Addr(nil), p.indexing.replicaLocs[term][posting.Doc]...)
+			out = append(out, handoffEntry{Term: term, Posting: posting, ReplicaLocs: locs})
+		}
+	}
+	return out
+}
+
+// allPrimaryEntries snapshots every primary entry (graceful leave hands the
+// whole index over, not just a misplaced subset).
+func (p *Peer) allPrimaryEntries() []handoffEntry {
+	p.indexing.mu.Lock()
+	defer p.indexing.mu.Unlock()
+	var out []handoffEntry
+	for _, term := range p.indexing.ix.Terms() {
+		for posting := range p.indexing.ix.All(term) {
+			locs := append([]simnet.Addr(nil), p.indexing.replicaLocs[term][posting.Doc]...)
+			out = append(out, handoffEntry{Term: term, Posting: posting, ReplicaLocs: locs})
+		}
+	}
+	return out
+}
+
+// handoffEntries runs the staged handoff protocol against target. With force
+// set (graceful leave — the sender is departing no matter what), entries
+// whose owner could not confirm the move are left installed at the target
+// anyway and returned as failed, their owner records now stale; without it
+// they are reverted at the target and stay with the sender. Returns the
+// count of cleanly relocated entries.
+func (p *Peer) handoffEntries(target simnet.Addr, entries []handoffEntry, force bool) (moved int, failed []handoffEntry) {
+	size := 0
+	for _, e := range entries {
+		size += len(e.Term) + e.Posting.WireSize() + 8*len(e.ReplicaLocs)
+	}
+	reply, err := p.net.ring.Net().Call(p.Addr(), target, simnet.Message{
+		Type:    msgHandoff,
+		Payload: handoffReq{Entries: entries},
+		Size:    size,
+	})
+	if err != nil {
+		// Target unreachable: nothing was installed, nothing moves. Under
+		// force the caller is departing and these entries die with it.
+		if force {
+			return 0, entries
+		}
+		return 0, nil
+	}
+	var existing []bool
+	if resp, ok := reply.Payload.(handoffResp); ok {
+		existing = resp.Existing
+	}
+	for i, e := range entries {
+		ok := p.relocateEntry(e, target)
+		switch {
+		case ok:
+			p.indexing.unpublish(e.Term, e.Posting.Doc)
+			p.indexing.takeReplicaLocs(e.Term, e.Posting.Doc) // transferred with the entry
+			moved++
+		case force:
+			// The owner is unreachable (or disagrees); its record now points
+			// at a peer that is leaving. The copy at the target is the one
+			// that keeps the term findable — queries route there — and the
+			// owner's next stale-withdrawal or refresh reconciles the record.
+			p.indexing.unpublish(e.Term, e.Posting.Doc)
+			p.indexing.takeReplicaLocs(e.Term, e.Posting.Doc)
+			failed = append(failed, e)
+		case i < len(existing) && existing[i]:
+			// The target already held this (term, doc) before the install —
+			// the batch merged with an entry the target owns in its own
+			// right (e.g. re-anchored there by orphan reclaim while this
+			// peer still held a stale duplicate). Reverting would destroy
+			// the target's legitimate entry, so the install stands and the
+			// sender keeps its copy for the owner's record to reconcile.
+		default:
+			// Revert round 1 so the entry exists only where the owner says.
+			// A failed revert means the target died mid-protocol — its state
+			// is gone (or will be rebuilt by its own repair), so the extra
+			// copy cannot linger.
+			p.net.ring.Net().Call(p.Addr(), target, simnet.Message{ //nolint:errcheck
+				Type:    msgHandoffDrop,
+				Payload: handoffDropReq{Term: e.Term, Doc: e.Posting.Doc},
+				Size:    len(e.Term) + len(e.Posting.Doc),
+			})
+		}
+	}
+	if moved > 0 || len(failed) > 0 {
+		p.net.caches.invalidate()
+	}
+	p.net.met.repairHandoffs.Add(int64(moved))
+	return moved, failed
+}
+
+// relocateEntry asks the entry's document owner to flip its holder-of-record
+// from this peer to target.
+func (p *Peer) relocateEntry(e handoffEntry, target simnet.Addr) bool {
+	owner := simnet.Addr(e.Posting.Owner)
+	reply, err := p.net.ring.Net().Call(p.Addr(), owner, simnet.Message{
+		Type:    msgRelocate,
+		Payload: relocateReq{Term: e.Term, Doc: e.Posting.Doc, From: p.Addr(), To: target},
+		Size:    len(e.Term) + len(e.Posting.Doc) + 16,
+	})
+	if err != nil {
+		return false
+	}
+	resp, ok := reply.Payload.(relocateResp)
+	return ok && resp.OK
+}
+
+// handleRelocate is the owner side of the holder-of-record flip. The
+// compare-and-swap on From makes concurrent movers safe: whichever relocate
+// reaches the owner first wins, and the loser reverts its installed copy.
+func (p *Peer) handleRelocate(req relocateReq) relocateResp {
+	p.mu.Lock()
+	st := p.owned[req.Doc]
+	p.mu.Unlock()
+	if st == nil {
+		return relocateResp{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.indexed[req.Term] || st.publishedAt[req.Term] != req.From {
+		return relocateResp{}
+	}
+	st.publishedAt[req.Term] = req.To
+	return relocateResp{OK: true}
+}
+
+// antiEntropy reconciles this peer's primary entries (restricted to its
+// owner arc) with each of its §7 replica holders: one summary round trip
+// when in sync, plus one push of exactly the divergent term lists when not.
+// Terms the replica holder has but the primary does not are left alone — a
+// primary that just absorbed a dead predecessor's arc has not absorbed its
+// entries, and those replicas may be the only live copies failover can
+// serve. Deletions propagate through the withdrawal path instead, which
+// knows every recorded copy.
+func (p *Peer) antiEntropy() (reconciles, divergent int) {
+	pred := p.node.Predecessor()
+	if pred.Addr == "" {
+		return 0, 0
+	}
+	arc := chordid.OwnerArc(pred.ID, p.node.ID())
+	p.indexing.mu.Lock()
+	digests := p.indexing.ix.ArcDigests(arc)
+	p.indexing.mu.Unlock()
+	sum := repair.Fold(digests)
+	for _, target := range p.replicaTargets() {
+		reply, err := p.net.ring.Net().Call(p.Addr(), target, simnet.Message{
+			Type:    msgRepairDigest,
+			Payload: repairDigestReq{Arc: arc, Summary: sum},
+			Size:    2*chordid.Bytes + 8*(1+repair.Buckets),
+		})
+		if err != nil {
+			continue
+		}
+		reconciles++
+		p.net.met.repairReconciles.Inc()
+		resp, ok := reply.Payload.(repairDigestResp)
+		if !ok || resp.InSync {
+			continue
+		}
+		need, _ := repair.DiffTerms(repair.InBuckets(digests, resp.Buckets), resp.Local)
+		if len(need) == 0 {
+			continue
+		}
+		divergent += len(need)
+		p.net.met.repairDivergent.Add(int64(len(need)))
+		set := make([]termPostings, 0, len(need))
+		size := 0
+		p.indexing.mu.Lock()
+		for _, t := range need {
+			posts := p.indexing.ix.PostingsSlice(t)
+			set = append(set, termPostings{Term: t, Postings: posts})
+			size += len(t)
+			for _, post := range posts {
+				size += post.WireSize()
+			}
+		}
+		p.indexing.mu.Unlock()
+		if _, err := p.net.ring.Net().Call(p.Addr(), target, simnet.Message{
+			Type:    msgRepairPush,
+			Payload: repairPushReq{Arc: arc, Set: set},
+			Size:    size,
+		}); err != nil {
+			continue
+		}
+		// The push created copies at target; record them so withdrawals
+		// reach this holder like any replicateOut target.
+		for _, tp := range set {
+			for _, post := range tp.Postings {
+				p.indexing.recordReplicaLocs(tp.Term, post.Doc, []simnet.Addr{target})
+			}
+		}
+	}
+	return reconciles, divergent
+}
+
+// handleRepairDigest is the replica holder's side of the summary exchange.
+func (p *Peer) handleRepairDigest(req repairDigestReq) repairDigestResp {
+	p.indexing.mu.Lock()
+	local := p.indexing.replicas.ArcDigests(req.Arc)
+	p.indexing.mu.Unlock()
+	div := repair.Divergent(req.Summary, repair.Fold(local))
+	if div == nil {
+		return repairDigestResp{InSync: true}
+	}
+	return repairDigestResp{Buckets: div, Local: repair.InBuckets(local, div)}
+}
+
+// handleRepairPush replaces the pushed terms' replica lists wholesale.
+func (p *Peer) handleRepairPush(req repairPushReq) {
+	p.indexing.mu.Lock()
+	for _, tp := range req.Set {
+		for _, post := range p.indexing.replicas.PostingsSlice(tp.Term) {
+			p.indexing.replicas.Remove(tp.Term, post.Doc)
+		}
+		for _, post := range tp.Postings {
+			p.indexing.replicas.Add(tp.Term, post)
+		}
+	}
+	p.indexing.mu.Unlock()
+	p.net.caches.invalidate()
+}
+
+// handleReplicaRetire erases a departing holder from the replica-location
+// records of the listed entries.
+func (p *Peer) handleReplicaRetire(req replicaRetireReq) int {
+	p.indexing.mu.Lock()
+	defer p.indexing.mu.Unlock()
+	cleared := 0
+	byDoc := p.indexing.replicaLocs[req.Term]
+	for _, doc := range req.Docs {
+		locs := byDoc[doc]
+		kept := locs[:0]
+		for _, a := range locs {
+			if a == req.Holder {
+				cleared++
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		switch {
+		case len(kept) == 0 && len(locs) > 0:
+			delete(byDoc, doc)
+		case len(kept) < len(locs):
+			byDoc[doc] = kept
+		}
+	}
+	if len(byDoc) == 0 {
+		delete(p.indexing.replicaLocs, req.Term)
+	}
+	return cleared
+}
+
+// RepairStats summarizes one Network.Repair sweep.
+type RepairStats struct {
+	// Moved is the number of primary entries relocated to their arc owner.
+	Moved int
+	// Rounds is the number of shed rounds until no entry moved.
+	Rounds int
+	// Reconciles is the number of anti-entropy digest exchanges performed.
+	Reconciles int
+	// Divergent is the number of term lists those exchanges had to push.
+	Divergent int
+}
+
+// Repair runs one peer-driven maintenance sweep: every alive peer sheds
+// misplaced primary entries to its predecessor (repeated until a fixpoint,
+// so chains of misplacement drain), then every primary reconciles its arc
+// with its replica holders. Unlike RefreshAll it involves no owners and no
+// per-term lookups — its message cost is proportional to what actually
+// diverged, not to the index size.
+func (n *Network) Repair() RepairStats {
+	var st RepairStats
+	// A misplaced entry moves at least one hop counter-clockwise per round,
+	// and each hop is final or strictly closer to its owner, so the fixpoint
+	// arrives in at most one round per peer; the cap only guards pathology.
+	for round := 0; round < len(n.Peers())+1; round++ {
+		moved := 0
+		for _, p := range n.Peers() {
+			if !n.ring.Net().Alive(p.Addr()) {
+				continue
+			}
+			moved += p.shedToPred()
+		}
+		st.Rounds++
+		st.Moved += moved
+		if moved == 0 {
+			break
+		}
+	}
+	if n.cfg.ReplicationFactor > 0 {
+		for _, p := range n.Peers() {
+			if !n.ring.Net().Alive(p.Addr()) {
+				continue
+			}
+			r, d := p.antiEntropy()
+			st.Reconciles += r
+			st.Divergent += d
+		}
+	}
+	return st
+}
+
+// FlushStaleAll retries every owner's pending stale withdrawals and repairs
+// records orphaned by graceful departures — the cheap owner-side half of the
+// old refresh sweep (it sends only the overdue unpublishes and the orphaned
+// re-publishes, not a re-publication of every term). Heal sequences run it
+// after Repair so recovered holders shed withdrawn copies and owners whose
+// recorded holder left the network re-anchor those terms.
+func (n *Network) FlushStaleAll() {
+	n.mu.RLock()
+	docs := make([]index.DocID, len(n.docOrder))
+	copy(docs, n.docOrder)
+	owners := make([]*Peer, len(docs))
+	for i, id := range docs {
+		owners[i] = n.ownerOf[id]
+	}
+	n.mu.RUnlock()
+	for i, id := range docs {
+		p := owners[i]
+		if p == nil || !n.ring.Net().Alive(p.Addr()) {
+			continue
+		}
+		p.mu.Lock()
+		st := p.owned[id]
+		p.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		n.dropDepartedStale(st)
+		p.flushStale(st)
+		p.reclaimOrphans(st)
+		st.mu.Unlock()
+	}
+}
+
+// dropDepartedStale removes stale-withdrawal targets that no longer exist: a
+// gracefully departed peer never comes back, so the retry can never land —
+// its copies died with it (or were handed off and are ledgered elsewhere).
+// Caller holds st.mu.
+func (n *Network) dropDepartedStale(st *docState) {
+	for term, addrs := range st.stale {
+		kept := addrs[:0]
+		for _, a := range addrs {
+			if _, ok := n.Peer(a); ok {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.stale, term)
+		} else {
+			st.stale[term] = kept
+		}
+	}
+}
+
+// reclaimOrphans re-publishes indexed terms whose recorded holder no longer
+// exists. A graceful leave with an unreachable owner leaves the record
+// pointing at the departed peer (the entry itself went to the leave-time
+// successor); once the owner is reachable again this re-anchors the record —
+// and the entry — at the term's current indexing peer. Cost is proportional
+// to the orphaned records, not the index. Caller holds st.mu.
+func (p *Peer) reclaimOrphans(st *docState) int {
+	reclaimed := 0
+	for _, term := range sortedIndexedTerms(st) {
+		at, ok := st.publishedAt[term]
+		if !ok {
+			continue
+		}
+		if _, exists := p.net.Peer(at); exists {
+			continue
+		}
+		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if err != nil {
+			continue
+		}
+		if err := p.publishTermTo(context.Background(), st, term, ref.Addr); err != nil {
+			continue
+		}
+		reclaimed++
+	}
+	return reclaimed
+}
+
+// LeaveReport summarizes a graceful departure.
+type LeaveReport struct {
+	// Docs is the number of documents the peer owned and withdrew on the way
+	// out (a document's owner role leaves with it).
+	Docs int
+	// Handoffs is the number of primary entries cleanly handed to the
+	// successor (owner records relocated).
+	Handoffs int
+	// Unrelocated lists entries installed at the successor whose owners
+	// could not be told about the move — their records point at the departed
+	// peer until their own stale-handling catches up.
+	Unrelocated []IndexEntry
+	// Retired is the number of replica-location records cleared at primary
+	// holders.
+	Retired int
+}
+
+// Leave removes a peer gracefully. Before the node is spliced out of the
+// ring and unregistered, the peer (1) unshares every document it owns,
+// (2) hands its primary index entries to its ring successor through the
+// staged handoff protocol, and (3) retires itself from the replica-location
+// records of the primaries it held copies for. The departed peer is
+// forgotten by the network; the address cannot be revived.
+func (n *Network) Leave(addr simnet.Addr) (LeaveReport, error) {
+	n.mu.RLock()
+	p, ok := n.peers[addr]
+	n.mu.RUnlock()
+	var rep LeaveReport
+	if !ok {
+		return rep, fmt.Errorf("%w: %q", ErrNoSuchPeer, addr)
+	}
+	if !n.ring.Net().Alive(addr) {
+		return rep, fmt.Errorf("core: peer %q cannot leave gracefully while failed", addr)
+	}
+
+	// Owner role: the documents leave with their owner.
+	n.mu.RLock()
+	var docs []index.DocID
+	for _, id := range n.docOrder {
+		if n.ownerOf[id] == p {
+			docs = append(docs, id)
+		}
+	}
+	n.mu.RUnlock()
+	for _, id := range docs {
+		n.Unshare(id) //nolint:errcheck // best-effort: unreachable holders keep copies until they die
+		rep.Docs++
+	}
+
+	// Indexing role: hand every primary entry to the first alive successor.
+	var succ simnet.Addr
+	for _, ref := range p.node.SuccessorList() {
+		if ref.Addr != addr && n.ring.Net().Alive(ref.Addr) {
+			succ = ref.Addr
+			break
+		}
+	}
+	if succ != "" {
+		moved, failed := p.handoffEntries(succ, p.allPrimaryEntries(), true)
+		rep.Handoffs = moved
+		for _, e := range failed {
+			rep.Unrelocated = append(rep.Unrelocated, IndexEntry{Peer: succ, Term: e.Term, Posting: e.Posting})
+		}
+		sortEntries(rep.Unrelocated)
+	}
+
+	// Replica role: tell each term's primary this holder is going away, so
+	// recorded withdrawal targets do not chase a permanently absent peer.
+	p.indexing.mu.Lock()
+	heldTerms := p.indexing.replicas.Terms()
+	held := make(map[string][]index.DocID, len(heldTerms))
+	for _, term := range heldTerms {
+		for posting := range p.indexing.replicas.All(term) {
+			held[term] = append(held[term], posting.Doc)
+		}
+	}
+	p.indexing.mu.Unlock()
+	for _, term := range heldTerms {
+		ref, _, err := p.node.Lookup(chordid.HashKey(term))
+		if err != nil || ref.Addr == addr {
+			continue
+		}
+		if _, err := n.ring.Net().Call(addr, ref.Addr, simnet.Message{
+			Type:    msgReplicaRetire,
+			Payload: replicaRetireReq{Holder: addr, Term: term, Docs: held[term]},
+			Size:    len(term) + 8*len(held[term]),
+		}); err == nil {
+			rep.Retired += len(held[term])
+		}
+	}
+
+	// Depart: forget the peer, then splice the node out of the ring (which
+	// fires the successor's arc-change hook — its arc grows, so nothing
+	// sheds) and unregister it.
+	n.mu.Lock()
+	delete(n.peers, addr)
+	for i, q := range n.order {
+		if q == p {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+	n.mu.Unlock()
+	n.ring.Leave(p.node)
+	n.caches.invalidate()
+	return rep, nil
+}
+
+// sortEntries orders index entries for deterministic reporting.
+func sortEntries(entries []IndexEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Term != b.Term {
+			return a.Term < b.Term
+		}
+		return a.Posting.Doc < b.Posting.Doc
+	})
+}

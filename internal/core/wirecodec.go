@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/spritedht/sprite/internal/chordid"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
 	"github.com/spritedht/sprite/internal/wire"
@@ -180,6 +181,210 @@ func init() {
 	wire.RegisterBinary(wire.KindCoreBase+10, docTermsReq{},
 		func(e *wire.Encoder, v any) { e.String(string(v.(docTermsReq).Doc)) },
 		func(d *wire.Decoder) any { return docTermsReq{Doc: index.DocID(d.String())} })
+
+	wire.RegisterBinary(wire.KindCoreBase+12, handoffReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(handoffReq)
+			e.Uint(uint64(len(r.Entries)))
+			for _, ent := range r.Entries {
+				e.String(ent.Term)
+				encodePosting(e, ent.Posting)
+				e.Uint(uint64(len(ent.ReplicaLocs)))
+				for _, a := range ent.ReplicaLocs {
+					e.String(string(a))
+				}
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r handoffReq
+			if n := d.Count(3); n > 0 {
+				r.Entries = make([]handoffEntry, n)
+				for i := range r.Entries {
+					r.Entries[i].Term = d.String()
+					r.Entries[i].Posting = decodePosting(d)
+					if m := d.Count(1); m > 0 {
+						r.Entries[i].ReplicaLocs = make([]simnet.Addr, m)
+						for j := range r.Entries[i].ReplicaLocs {
+							r.Entries[i].ReplicaLocs[j] = simnet.Addr(d.String())
+						}
+					}
+					if d.Err() != nil {
+						break
+					}
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+20, handoffResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(handoffResp)
+			e.Uint(uint64(len(r.Existing)))
+			for _, b := range r.Existing {
+				e.Bool(b)
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r handoffResp
+			if n := d.Count(1); n > 0 {
+				r.Existing = make([]bool, n)
+				for i := range r.Existing {
+					r.Existing[i] = d.Bool()
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+13, handoffDropReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(handoffDropReq)
+			e.String(r.Term)
+			e.String(string(r.Doc))
+		},
+		func(d *wire.Decoder) any {
+			var r handoffDropReq
+			r.Term = d.String()
+			r.Doc = index.DocID(d.String())
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+14, relocateReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(relocateReq)
+			e.String(r.Term)
+			e.String(string(r.Doc))
+			e.String(string(r.From))
+			e.String(string(r.To))
+		},
+		func(d *wire.Decoder) any {
+			var r relocateReq
+			r.Term = d.String()
+			r.Doc = index.DocID(d.String())
+			r.From = simnet.Addr(d.String())
+			r.To = simnet.Addr(d.String())
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+15, relocateResp{},
+		func(e *wire.Encoder, v any) { e.Bool(v.(relocateResp).OK) },
+		func(d *wire.Decoder) any { return relocateResp{OK: d.Bool()} })
+
+	wire.RegisterBinary(wire.KindCoreBase+16, repairDigestReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(repairDigestReq)
+			e.Raw(r.Arc.From[:])
+			e.Raw(r.Arc.To[:])
+			e.Uint(r.Summary.Root)
+			for _, b := range r.Summary.Buckets {
+				e.Uint(b)
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r repairDigestReq
+			copy(r.Arc.From[:], d.Raw(chordid.Bytes))
+			copy(r.Arc.To[:], d.Raw(chordid.Bytes))
+			r.Summary.Root = d.Uint()
+			for i := range r.Summary.Buckets {
+				r.Summary.Buckets[i] = d.Uint()
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+17, repairDigestResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(repairDigestResp)
+			e.Bool(r.InSync)
+			e.Uint(uint64(len(r.Buckets)))
+			for _, b := range r.Buckets {
+				e.Int(int64(b))
+			}
+			e.Uint(uint64(len(r.Local)))
+			for t, dg := range r.Local {
+				e.String(t)
+				e.Uint(dg)
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r repairDigestResp
+			r.InSync = d.Bool()
+			if n := d.Count(1); n > 0 {
+				r.Buckets = make([]int, n)
+				for i := range r.Buckets {
+					r.Buckets[i] = int(d.Int())
+				}
+			}
+			if n := d.Count(2); n > 0 {
+				r.Local = make(map[string]uint64, n)
+				for i := 0; i < n; i++ {
+					t := d.String()
+					dg := d.Uint()
+					if d.Err() != nil {
+						break
+					}
+					r.Local[t] = dg
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+18, repairPushReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(repairPushReq)
+			e.Raw(r.Arc.From[:])
+			e.Raw(r.Arc.To[:])
+			e.Uint(uint64(len(r.Set)))
+			for _, tp := range r.Set {
+				e.String(tp.Term)
+				e.Uint(uint64(len(tp.Postings)))
+				for _, p := range tp.Postings {
+					encodePosting(e, p)
+				}
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r repairPushReq
+			copy(r.Arc.From[:], d.Raw(chordid.Bytes))
+			copy(r.Arc.To[:], d.Raw(chordid.Bytes))
+			if n := d.Count(2); n > 0 {
+				r.Set = make([]termPostings, n)
+				for i := range r.Set {
+					r.Set[i].Term = d.String()
+					if m := d.Count(4); m > 0 {
+						r.Set[i].Postings = make([]index.Posting, m)
+						for j := range r.Set[i].Postings {
+							r.Set[i].Postings[j] = decodePosting(d)
+						}
+					}
+					if d.Err() != nil {
+						break
+					}
+				}
+			}
+			return r
+		})
+
+	wire.RegisterBinary(wire.KindCoreBase+19, replicaRetireReq{},
+		func(e *wire.Encoder, v any) {
+			r := v.(replicaRetireReq)
+			e.String(string(r.Holder))
+			e.String(r.Term)
+			e.Uint(uint64(len(r.Docs)))
+			for _, doc := range r.Docs {
+				e.String(string(doc))
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r replicaRetireReq
+			r.Holder = simnet.Addr(d.String())
+			r.Term = d.String()
+			if n := d.Count(1); n > 0 {
+				r.Docs = make([]index.DocID, n)
+				for i := range r.Docs {
+					r.Docs[i] = index.DocID(d.String())
+				}
+			}
+			return r
+		})
 
 	wire.RegisterBinary(wire.KindCoreBase+11, docTermsResp{},
 		func(e *wire.Encoder, v any) {

@@ -312,6 +312,39 @@ func TestRunChurn(t *testing.T) {
 	if res.Off != (ResilienceCounters{Partials: res.Off.Partials}) {
 		t.Errorf("failover-off arm retried or failed over: %+v", res.Off)
 	}
+	// Mass-join/mass-leave arms: recall must recover to the healthy baseline
+	// with no owner refresh sweep — placement recovery is peer-driven.
+	if res.JoinedPeers < 1 {
+		t.Fatalf("no peers joined in the mass-join arm")
+	}
+	if res.AfterMassJoin.Recall+1e-9 < res.Baseline.Recall {
+		t.Errorf("recall after mass join %.3f below healthy %.3f despite repair",
+			res.AfterMassJoin.Recall, res.Baseline.Recall)
+	}
+	if res.AfterMassLeave.Recall+1e-9 < res.Baseline.Recall {
+		t.Errorf("recall after mass leave %.3f below healthy %.3f despite repair",
+			res.AfterMassLeave.Recall, res.Baseline.Recall)
+	}
+	// Repair cost is O(entries in the changed arcs), not O(index): each wave
+	// must move a strict minority of the index, where a refresh sweep would
+	// republish all of it.
+	if res.IndexPostings == 0 {
+		t.Fatal("no index postings counted in the placement arms")
+	}
+	if res.JoinMoved == 0 {
+		t.Error("mass join moved no entries: the join handoff did not run")
+	}
+	if res.JoinMoved*2 >= res.IndexPostings {
+		t.Errorf("mass join moved %d of %d postings, want a strict minority",
+			res.JoinMoved, res.IndexPostings)
+	}
+	if res.LeaveMoved == 0 {
+		t.Error("mass leave moved no entries: the leave handoff did not run")
+	}
+	if res.LeaveMoved*2 >= res.IndexPostings {
+		t.Errorf("mass leave moved %d of %d postings, want a strict minority",
+			res.LeaveMoved, res.IndexPostings)
+	}
 	if _, err := RunChurn(cfg, 1.5, 2); err == nil {
 		t.Fatal("failFraction > 1 accepted")
 	}
@@ -547,9 +580,9 @@ func TestCSVRendering(t *testing.T) {
 	checkCSV("ablation", abl.CSV(), 1, 3)
 
 	ch := &ChurnResult{Replicas: 2}
-	checkCSV("churn", ch.CSV(), 5, 7)
-	if !strings.Contains(ch.CSV(), "retries,failovers,hedges,partials") {
-		t.Fatal("churn CSV missing resilience counter columns")
+	checkCSV("churn", ch.CSV(), 8, 9)
+	if !strings.Contains(ch.CSV(), "retries,failovers,hedges,partials,moved,repair_msgs") {
+		t.Fatal("churn CSV missing resilience counter or repair cost columns")
 	}
 
 	m := &MaintenanceResult{Replicas: 2}

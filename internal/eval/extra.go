@@ -260,6 +260,27 @@ type ChurnResult struct {
 	FailoverOn  ir.Metrics // retries + failover to replica holders
 	Off         ResilienceCounters
 	On          ResilienceCounters
+
+	// Peer-driven placement arms: the ring grows by JoinedPeers fresh peers,
+	// then those same peers retire gracefully. No owner refresh sweep runs in
+	// either arm — placement recovery is entirely the repair subsystem's
+	// doing (join-time handoff via arc-change hooks, graceful-leave handoff,
+	// Merkle anti-entropy), so AfterMassJoin / AfterMassLeave holding the
+	// healthy baseline is the tentpole's recall-recovery claim.
+	AfterMassJoin  ir.Metrics
+	AfterMassLeave ir.Metrics
+	JoinedPeers    int
+	// JoinMoved / LeaveMoved count primary entries relocated per wave, and
+	// IndexPostings the total primary postings before the waves: moved over
+	// total is the repair-cost ratio, O(arc moved) rather than O(index) as an
+	// owner refresh sweep would be.
+	JoinMoved     int
+	LeaveMoved    int
+	IndexPostings int
+	// JoinRepairMsgs / LeaveRepairMsgs count repair-protocol calls (handoff,
+	// relocate, digest, push, retire) issued during each wave.
+	JoinRepairMsgs  int64
+	LeaveRepairMsgs int64
 }
 
 // RunChurn builds identical deployments, trains and learns, injects faults
@@ -415,6 +436,83 @@ func RunChurn(cfg Config, failFraction float64, replicas int) (*ChurnResult, err
 	if err != nil {
 		return nil, err
 	}
+
+	// Peer-driven placement arms: a fresh, healthy deployment grows by a wave
+	// of joining peers and later shrinks back as the same peers retire
+	// gracefully. Recovery is the repair subsystem's alone — arc-change
+	// handoffs fire during stabilization, Repair() finishes leftovers and
+	// reconciles replica sets — with no owner refresh sweep in either arm.
+	place, err := build(withReplication)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range place.Net.Peers() {
+		res.IndexPostings += p.Index().NumPostings()
+	}
+	repairMsgs := func() int64 {
+		var n int64
+		for typ, c := range place.Sim.Stats().CallsByType {
+			if strings.HasPrefix(typ, "sprite.repair.") || typ == "sprite.relocate" {
+				n += c
+			}
+		}
+		return n
+	}
+	holders := func() map[string]simnet.Addr {
+		m := make(map[string]simnet.Addr, res.IndexPostings)
+		for _, e := range place.Net.PrimarySnapshot() {
+			m[e.Term+"\x00"+string(e.Posting.Doc)] = e.Peer
+		}
+		return m
+	}
+	movedBetween := func(before, after map[string]simnet.Addr) int {
+		n := 0
+		for k, was := range before {
+			if now, ok := after[k]; ok && now != was {
+				n++
+			}
+		}
+		return n
+	}
+	res.JoinedPeers = int(failFraction * float64(cfg.Peers))
+	if res.JoinedPeers < 1 {
+		res.JoinedPeers = 1
+	}
+	boot := place.Ring.Nodes()[0]
+	preJoin, preMsgs := holders(), repairMsgs()
+	for i := 0; i < res.JoinedPeers; i++ {
+		node, err := place.Ring.AddNode(fmt.Sprintf("x%d", i))
+		if err != nil {
+			return nil, err
+		}
+		place.Net.Adopt(node)
+		if err := node.Join(boot); err != nil {
+			return nil, err
+		}
+		place.Ring.StabilizeLists(64)
+		place.Ring.RepairFingers()
+		place.Net.InvalidateCaches()
+	}
+	place.Net.Repair()
+	place.Net.FlushStaleAll()
+	res.JoinMoved = movedBetween(preJoin, holders())
+	res.JoinRepairMsgs = repairMsgs() - preMsgs
+	res.AfterMassJoin = ir.Ratio(Measure(place.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
+
+	preLeave, preMsgs2 := holders(), repairMsgs()
+	for i := 0; i < res.JoinedPeers; i++ {
+		if _, err := place.Net.Leave(simnet.Addr(fmt.Sprintf("x%d", i))); err != nil {
+			return nil, err
+		}
+		place.Ring.StabilizeLists(64)
+		place.Ring.RepairFingers()
+		place.Net.InvalidateCaches()
+	}
+	place.Net.Repair()
+	place.Net.FlushStaleAll()
+	res.LeaveMoved = movedBetween(preLeave, holders())
+	res.LeaveRepairMsgs = repairMsgs() - preMsgs2
+	res.AfterMassLeave = ir.Ratio(Measure(place.SpriteSearcher(), env.Test, cfg.TopK), centralAbs)
 	return res, nil
 }
 
@@ -436,5 +534,13 @@ func (r *ChurnResult) Table() string {
 	row(fmt.Sprintf("dead, %d replicas", r.Replicas), r.Replicated, nil)
 	row("transient, failover off", r.FailoverOff, &r.Off)
 	row("transient, failover on", r.FailoverOn, &r.On)
+	row(fmt.Sprintf("mass join +%d, repair only", r.JoinedPeers), r.AfterMassJoin, nil)
+	row(fmt.Sprintf("mass leave -%d, repair only", r.JoinedPeers), r.AfterMassLeave, nil)
+	if r.IndexPostings > 0 {
+		fmt.Fprintf(&b, "repair moved %d/%d entries on join (%.1f%%), %d/%d on leave (%.1f%%); %d + %d repair msgs\n",
+			r.JoinMoved, r.IndexPostings, 100*float64(r.JoinMoved)/float64(r.IndexPostings),
+			r.LeaveMoved, r.IndexPostings, 100*float64(r.LeaveMoved)/float64(r.IndexPostings),
+			r.JoinRepairMsgs, r.LeaveRepairMsgs)
+	}
 	return b.String()
 }

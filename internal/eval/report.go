@@ -97,19 +97,28 @@ func (r *AblationResult) CSV() string {
 }
 
 // CSV renders the churn experiment, including the per-arm resilience
-// counters (sprite.resilience.*) so they surface in spritebench -json.
+// counters (sprite.resilience.*) and the repair-cost columns of the
+// mass-join/mass-leave arms, so they surface in spritebench -json. The moved
+// column counts primary entries that changed holder during the wave against
+// total_postings, the whole index an owner refresh sweep would republish.
 func (r *ChurnResult) CSV() string {
-	row := func(state string, m ir.Metrics, c ResilienceCounters) []string {
+	row := func(state string, m ir.Metrics, c ResilienceCounters, moved, msgs int64) []string {
 		return []string{state, f4(m.Precision), f4(m.Recall),
 			strconv.FormatInt(c.Retries, 10), strconv.FormatInt(c.Failovers, 10),
-			strconv.FormatInt(c.Hedges, 10), strconv.FormatInt(c.Partials, 10)}
+			strconv.FormatInt(c.Hedges, 10), strconv.FormatInt(c.Partials, 10),
+			strconv.FormatInt(moved, 10), strconv.FormatInt(msgs, 10)}
 	}
-	return csvRows("state,precision,recall,retries,failovers,hedges,partials", [][]string{
-		row("healthy", r.Baseline, ResilienceCounters{}),
-		row("dead_no_replication", r.NoReplication, ResilienceCounters{}),
-		row(fmt.Sprintf("dead_%d_replicas", r.Replicas), r.Replicated, ResilienceCounters{}),
-		row("transient_failover_off", r.FailoverOff, r.Off),
-		row("transient_failover_on", r.FailoverOn, r.On),
+	return csvRows("state,precision,recall,retries,failovers,hedges,partials,moved,repair_msgs", [][]string{
+		row("healthy", r.Baseline, ResilienceCounters{}, 0, 0),
+		row("dead_no_replication", r.NoReplication, ResilienceCounters{}, 0, 0),
+		row(fmt.Sprintf("dead_%d_replicas", r.Replicas), r.Replicated, ResilienceCounters{}, 0, 0),
+		row("transient_failover_off", r.FailoverOff, r.Off, 0, 0),
+		row("transient_failover_on", r.FailoverOn, r.On, 0, 0),
+		row(fmt.Sprintf("mass_join_%d_repair", r.JoinedPeers), r.AfterMassJoin,
+			ResilienceCounters{}, int64(r.JoinMoved), r.JoinRepairMsgs),
+		row(fmt.Sprintf("mass_leave_%d_repair", r.JoinedPeers), r.AfterMassLeave,
+			ResilienceCounters{}, int64(r.LeaveMoved), r.LeaveRepairMsgs),
+		row("index_total", ir.Metrics{}, ResilienceCounters{}, int64(r.IndexPostings), 0),
 	})
 }
 

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/spritedht/sprite/internal/chordid"
+)
+
+func TestTermsInArc(t *testing.T) {
+	ix := NewInverted()
+	terms := []string{"alpha", "beta", "gamma", "delta"}
+	for _, term := range terms {
+		ix.Add(term, Posting{Doc: "d1", Freq: 1, DocLen: 10})
+	}
+	full := chordid.OwnerArc(chordid.HashKey("alpha"), chordid.HashKey("alpha"))
+	if got := ix.TermsInArc(full); len(got) != len(terms) {
+		t.Fatalf("full arc returned %v, want all %d terms", got, len(terms))
+	}
+	// A tight arc ending exactly at one term's key holds that term alone
+	// (unless another term hashes into the two-point range, which these
+	// fixed strings do not).
+	h := chordid.HashKey("beta")
+	tight := chordid.OwnerArc(h.Sub(chordid.FromUint64(1)), h)
+	if got := ix.TermsInArc(tight); !reflect.DeepEqual(got, []string{"beta"}) {
+		t.Fatalf("tight arc = %v, want [beta]", got)
+	}
+}
+
+func TestTermDigest(t *testing.T) {
+	a, b := NewInverted(), NewInverted()
+	for _, ix := range []*Inverted{a, b} {
+		ix.Add("x", Posting{Doc: "d1", Owner: "p0", Freq: 2, DocLen: 9})
+		ix.Add("x", Posting{Doc: "d2", Owner: "p1", Freq: 1, DocLen: 4})
+	}
+	if a.TermDigest("x") != b.TermDigest("x") {
+		t.Fatal("identical lists digest differently")
+	}
+	if a.TermDigest("absent") != 0 {
+		t.Fatal("absent term digests nonzero")
+	}
+	b.Remove("x", "d2")
+	if a.TermDigest("x") == b.TermDigest("x") {
+		t.Fatal("diverged lists share a digest")
+	}
+	b.Add("x", Posting{Doc: "d2", Owner: "p1", Freq: 1, DocLen: 4})
+	if a.TermDigest("x") != b.TermDigest("x") {
+		t.Fatal("re-converged lists digest differently")
+	}
+	b.Add("x", Posting{Doc: "d3", Owner: "p2", Freq: 3, DocLen: 7})
+	if a.TermDigest("x") == b.TermDigest("x") {
+		t.Fatal("extra posting not reflected in digest")
+	}
+}
+
+func TestArcDigests(t *testing.T) {
+	ix := NewInverted()
+	ix.Add("alpha", Posting{Doc: "d1", Freq: 1, DocLen: 3})
+	ix.Add("beta", Posting{Doc: "d2", Freq: 2, DocLen: 5})
+	full := chordid.OwnerArc(chordid.FromUint64(7), chordid.FromUint64(7))
+	got := ix.ArcDigests(full)
+	if len(got) != 2 || got["alpha"] == 0 || got["beta"] == 0 {
+		t.Fatalf("ArcDigests = %v, want both terms with nonzero digests", got)
+	}
+	if got["alpha"] != ix.TermDigest("alpha") {
+		t.Fatal("ArcDigests disagrees with TermDigest")
+	}
+}

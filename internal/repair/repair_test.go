@@ -1,0 +1,114 @@
+package repair
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func pop(n int) map[string]uint64 {
+	out := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		out[fmt.Sprintf("term%03d", i)] = mix(uint64(i) + 1)
+	}
+	return out
+}
+
+func TestFoldEqualPopulations(t *testing.T) {
+	a, b := pop(50), pop(50)
+	sa, sb := Fold(a), Fold(b)
+	if sa != sb {
+		t.Fatalf("identical populations fold to different summaries:\n%+v\n%+v", sa, sb)
+	}
+	if d := Divergent(sa, sb); d != nil {
+		t.Fatalf("Divergent on equal summaries = %v, want nil", d)
+	}
+}
+
+func TestFoldLocalizesDivergence(t *testing.T) {
+	a, b := pop(60), pop(60)
+	victim := "term007"
+	b[victim] ^= 1 // one term's list diverged
+	sa, sb := Fold(a), Fold(b)
+	if sa.Root == sb.Root {
+		t.Fatal("divergent populations share a root")
+	}
+	div := Divergent(sa, sb)
+	if len(div) != 1 || div[0] != BucketOf(victim) {
+		t.Fatalf("Divergent = %v, want exactly bucket %d", div, BucketOf(victim))
+	}
+}
+
+func TestFoldMissingTerm(t *testing.T) {
+	a := pop(40)
+	b := pop(40)
+	delete(b, "term011")
+	div := Divergent(Fold(a), Fold(b))
+	if len(div) != 1 || div[0] != BucketOf("term011") {
+		t.Fatalf("missing term not localized: %v", div)
+	}
+}
+
+func TestBucketsSpread(t *testing.T) {
+	// The spreading hash must not pile a realistic term set into one bucket.
+	seen := make(map[int]int)
+	for t := range pop(200) {
+		seen[BucketOf(t)]++
+	}
+	if len(seen) < Buckets/2 {
+		t.Fatalf("200 terms landed in only %d of %d buckets", len(seen), Buckets)
+	}
+	for b, n := range seen {
+		if n > 200/2 {
+			t.Fatalf("bucket %d holds %d of 200 terms", b, n)
+		}
+	}
+}
+
+func TestInBuckets(t *testing.T) {
+	p := pop(30)
+	buckets := []int{BucketOf("term000"), BucketOf("term001")}
+	got := InBuckets(p, buckets)
+	for term := range got {
+		ok := false
+		for _, b := range buckets {
+			if BucketOf(term) == b {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("term %q in result but not in buckets %v", term, buckets)
+		}
+	}
+	if _, ok := got["term000"]; !ok {
+		t.Fatal("term000 filtered out of its own bucket")
+	}
+}
+
+func TestDiffTerms(t *testing.T) {
+	auth := map[string]uint64{"a": 1, "b": 2, "c": 3}
+	local := map[string]uint64{"b": 2, "c": 9, "d": 4}
+	need, drop := DiffTerms(auth, local)
+	if want := []string{"a", "c"}; !reflect.DeepEqual(need, want) {
+		t.Errorf("need = %v, want %v", need, want)
+	}
+	if want := []string{"d"}; !reflect.DeepEqual(drop, want) {
+		t.Errorf("drop = %v, want %v", drop, want)
+	}
+	need, drop = DiffTerms(auth, map[string]uint64{"a": 1, "b": 2, "c": 3})
+	if need != nil || drop != nil {
+		t.Errorf("synchronized diff = need %v drop %v, want empty", need, drop)
+	}
+}
+
+func TestFoldOrderInsensitive(t *testing.T) {
+	// Fold iterates a map, so two folds of one population already exercise
+	// random orders; make the property explicit across many iterations.
+	p := pop(25)
+	want := Fold(p)
+	for i := 0; i < 10; i++ {
+		if got := Fold(p); got != want {
+			t.Fatalf("fold %d differs: %+v vs %+v", i, got, want)
+		}
+	}
+}

@@ -606,8 +606,92 @@ func (n *Network) Unshare(docID string) error {
 // responsible for a term may have changed; Refresh migrates entries to the
 // current owners, restoring findability. It returns the number of entries
 // that moved.
+//
+// Refresh is the owner-driven O(index) sweep; ring membership changes no
+// longer need it — JoinPeer and LeavePeer hand the affected arc's entries
+// off peer-to-peer, and Repair reconciles any remainder.
 func (n *Network) Refresh() (int, error) {
 	return n.core.RefreshAll()
+}
+
+// JoinPeer adds a fresh peer to the running network: the node joins the
+// Chord ring through an existing member, stabilization splices it in, and
+// the join-time handoff migrates the index entries of its new arc from its
+// successor — peer-driven, no owner refresh sweep involved. The name must
+// not collide with an existing peer; in TCP mode it must be a bindable
+// "host:port" address.
+func (n *Network) JoinPeer(peer string) error {
+	if _, ok := n.core.Peer(simnet.Addr(peer)); ok {
+		return fmt.Errorf("sprite: peer %q already exists", peer)
+	}
+	var boot *chord.Node
+	for _, nd := range n.ring.Nodes() {
+		if n.sim == nil || n.sim.Alive(nd.Addr()) {
+			boot = nd
+			break
+		}
+	}
+	if boot == nil {
+		return fmt.Errorf("sprite: no alive peer to bootstrap %q", peer)
+	}
+	node, err := n.ring.AddNode(peer)
+	if err != nil {
+		return fmt.Errorf("sprite: %w", err)
+	}
+	n.core.Adopt(node)
+	if err := node.Join(boot); err != nil {
+		return fmt.Errorf("sprite: %w", err)
+	}
+	n.ring.StabilizeLists(64)
+	n.ring.RepairFingers()
+	n.core.InvalidateCaches()
+	n.refreshPeerList()
+	return nil
+}
+
+// LeavePeer departs the named peer gracefully: its shared documents are
+// withdrawn (documents leave with their owner), its primary index entries
+// hand off to its successor with the owners' records rewritten to match,
+// and replica holders are told to retire its copies. It returns the number
+// of index entries handed off. A failed peer cannot leave gracefully —
+// recover it first or let repair reclaim its arc.
+func (n *Network) LeavePeer(peer string) (handoffs int, err error) {
+	rep, err := n.core.Leave(simnet.Addr(peer))
+	if err != nil {
+		return 0, fmt.Errorf("sprite: %w", err)
+	}
+	n.ring.StabilizeLists(64)
+	n.ring.RepairFingers()
+	n.core.InvalidateCaches()
+	n.refreshPeerList()
+	return rep.Handoffs, nil
+}
+
+// RepairStats reports one peer-driven maintenance sweep; see Repair.
+type RepairStats struct {
+	Moved      int // primary entries relocated to their arc owner
+	Rounds     int // shed rounds until no entry moved
+	Reconciles int // anti-entropy digest exchanges performed
+	Divergent  int // terms whose replica lists were repaired
+}
+
+// Repair runs one peer-driven maintenance sweep: every peer sheds primary
+// entries outside its arc back toward their owner, and (with Replicas > 0)
+// reconciles its replica holders through compact Merkle digests, pushing
+// only the divergent term lists. This is the churn-repair path the paper's
+// owner refresh sweep used to cover, at O(entries in changed arcs) instead
+// of O(index).
+func (n *Network) Repair() RepairStats {
+	st := n.core.Repair()
+	n.core.FlushStaleAll()
+	return RepairStats{Moved: st.Moved, Rounds: st.Rounds, Reconciles: st.Reconciles, Divergent: st.Divergent}
+}
+
+func (n *Network) refreshPeerList() {
+	n.peers = n.peers[:0]
+	for _, p := range n.core.Peers() {
+		n.peers = append(n.peers, string(p.Addr()))
+	}
 }
 
 // Expansion tunes SearchExpanded.

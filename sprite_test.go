@@ -289,6 +289,84 @@ func TestRefreshFacadeHealsAfterFailure(t *testing.T) {
 	}
 }
 
+func TestJoinLeaveFacade(t *testing.T) {
+	n := newNet(t, Options{Peers: 8, Seed: 21, Replicas: 2})
+	docs := map[string]string{
+		"dht":  "distributed hash tables route lookups in logarithmic hops",
+		"ir":   "inverted indexes rank documents by term frequency statistics",
+		"p2p":  "peer to peer overlays survive churn through replication",
+		"text": "stemming and stop word removal normalize document text",
+	}
+	for id, body := range docs {
+		if err := n.Share("peer0", id, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(n.Peers())
+	if err := n.JoinPeer("newcomer"); err != nil {
+		t.Fatalf("JoinPeer: %v", err)
+	}
+	if got := len(n.Peers()); got != before+1 {
+		t.Fatalf("peer count after join = %d, want %d", got, before+1)
+	}
+	if err := n.JoinPeer("newcomer"); err == nil {
+		t.Fatal("joining an existing peer succeeded")
+	}
+	// Every document stays findable with no refresh sweep: the join-time
+	// handoff moved the newcomer's arc to it.
+	for id := range docs {
+		res, err := n.SearchTerms("peer1", termsOf(t, n, id), 5)
+		if err != nil {
+			t.Fatalf("search after join: %v", err)
+		}
+		if !containsDoc(res, id) {
+			t.Fatalf("doc %s lost after join: %v", id, res)
+		}
+	}
+	handoffs, err := n.LeavePeer("newcomer")
+	if err != nil {
+		t.Fatalf("LeavePeer: %v", err)
+	}
+	if got := len(n.Peers()); got != before {
+		t.Fatalf("peer count after leave = %d, want %d", got, before)
+	}
+	_ = handoffs // may be zero if the newcomer's arc held no entries
+	if _, err := n.LeavePeer("newcomer"); err == nil {
+		t.Fatal("leaving a departed peer succeeded")
+	}
+	st := n.Repair()
+	if st.Rounds == 0 {
+		t.Fatal("Repair ran no shed rounds")
+	}
+	for id := range docs {
+		res, err := n.SearchTerms("peer1", termsOf(t, n, id), 5)
+		if err != nil {
+			t.Fatalf("search after leave: %v", err)
+		}
+		if !containsDoc(res, id) {
+			t.Fatalf("doc %s lost after leave: %v", id, res)
+		}
+	}
+}
+
+func termsOf(t *testing.T, n *Network, docID string) []string {
+	t.Helper()
+	terms, err := n.IndexedTerms(docID)
+	if err != nil || len(terms) == 0 {
+		t.Fatalf("IndexedTerms(%s): %v (%d terms)", docID, err, len(terms))
+	}
+	return terms[:1]
+}
+
+func containsDoc(res []Result, id string) bool {
+	for _, r := range res {
+		if r.DocID == id {
+			return true
+		}
+	}
+	return false
+}
+
 func TestSearchExpandedFacade(t *testing.T) {
 	n := newNet(t, Options{Peers: 10, Seed: 14})
 	n.Share("peer0", "go-doc", "goroutines channels scheduler preemption garbage collector runtime")
