@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale smoke-postings smoke-repair chaos-smoke fuzz-smoke vulncheck
+.PHONY: check vet build test race bench cover coverage-gate smoke-churn smoke-parallel smoke-tcp smoke-scale smoke-postings smoke-repair smoke-similarity chaos-smoke fuzz-smoke vulncheck
 
 check: vet build race
 
@@ -72,6 +72,15 @@ smoke-repair:
 	$(GO) test -race -run 'JoinLeave' . ./cmd/spritesim/
 	$(GO) test -run 'MassChurnSoak|StrandedEntry' ./internal/chaos/
 
+# Similarity-retrieval smoke: the sketch package's property suite (projection
+# determinism, quantized-cosine bounds, codec round-trip), the end-to-end
+# similarity search and twin determinism tests, and a small-tier run of the
+# similarity benchmark comparing sketch-routed search against flooding.
+smoke-similarity:
+	$(GO) test -race ./internal/sketch/
+	$(GO) test -race -run 'Similar' ./internal/core/ ./internal/ir/ ./internal/eval/ .
+	$(GO) run ./cmd/spritebench -similarity-tiers 1000 -similarity-peers 128 -similarity-queries 20 similarity
+
 # Deterministic whole-system smoke: the chaos harness on its fixed seed set.
 # Violations print a shrunk repro and a `-chaos.seed=N` replay recipe (see
 # DESIGN.md § Correctness tooling). Kept under a minute for CI.
@@ -87,11 +96,13 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCodec -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzBinaryProtocol -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzPostingsBlock -fuzztime=10s ./internal/index
+	$(GO) test -run=NONE -fuzz='FuzzSketch$$' -fuzztime=10s ./internal/sketch
+	$(GO) test -run=NONE -fuzz=FuzzSketchCodec -fuzztime=10s ./internal/sketch
 
 # Coverage floor on the invariant-bearing packages. The threshold guards the
 # correctness tooling itself: chaos checkers or core introspection that rot
 # uncovered would silently stop guarding everything else.
-COVER_PKGS = ./internal/core ./internal/ir ./internal/index ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime ./internal/repair
+COVER_PKGS = ./internal/core ./internal/ir ./internal/index ./internal/chaos ./internal/transport ./internal/wire ./internal/vtime ./internal/repair ./internal/sketch
 COVER_MIN  = 70
 
 coverage-gate:

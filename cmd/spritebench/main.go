@@ -7,11 +7,12 @@
 //	spritebench [flags] <experiment>...
 //
 // Experiments: fig4a fig4b fig4c chord cost ablation churn cache parallel
-// scale postings tcp chaos config all ("chaos" is the correctness smoke gate,
-// "tcp" the real-socket transport benchmark, "scale" the virtual-time
-// ring-size sweep, and "postings" the compressed-storage benchmark, not
-// figures; all four are excluded from "all"). -virtual-time moves the
-// parallel and chaos experiments onto the deterministic event clock.
+// scale postings similarity tcp chaos config all ("chaos" is the correctness
+// smoke gate, "tcp" the real-socket transport benchmark, "scale" the
+// virtual-time ring-size sweep, "postings" the compressed-storage benchmark,
+// and "similarity" the sketch-retrieval benchmark, not figures; all five are
+// excluded from "all"). -virtual-time moves the parallel and chaos
+// experiments onto the deterministic event clock.
 //
 // Flags scale the setup; the defaults are the paper's configuration at the
 // laptop scale documented in DESIGN.md.
@@ -63,10 +64,13 @@ func main() {
 		postTiers = flag.String("postings-tiers", "", "comma-separated corpus sizes for the postings experiment (default 10000,100000,1000000)")
 		postVol   = flag.Int("postings-queries", 0, "measured queries per tier in the postings experiment (default 2000)")
 		postPlain = flag.Int("postings-plain-max", 0, "largest tier the uncompressed arm is built at (default 100000)")
+		simTiers  = flag.String("similarity-tiers", "", "comma-separated corpus sizes for the similarity experiment (default 2000,10000)")
+		simPeers  = flag.Int("similarity-peers", 0, "DHT peers in the similarity experiment (default 512)")
+		simVol    = flag.Int("similarity-queries", 0, "sampled query documents per tier in the similarity experiment (default 100)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spritebench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel scale postings tcp chaos config all\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4a fig4a-replicated fig4b fig4c chord cost ablation churn expansion maintenance load learncost cache parallel scale postings similarity tcp chaos config all\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -142,6 +146,9 @@ func main() {
 		postTiers:  parseRings(*postTiers),
 		postVol:    *postVol,
 		postPlain:  *postPlain,
+		simTiers:   parseRings(*simTiers),
+		simPeers:   *simPeers,
+		simVol:     *simVol,
 	}
 	out := &output{asCSV: *asCSV, asJSON: *asJSON, timeMode: timeMode}
 	for _, exp := range args {
@@ -260,6 +267,9 @@ type runOpts struct {
 	postTiers  []int
 	postVol    int
 	postPlain  int
+	simTiers   []int
+	simPeers   int
+	simVol     int
 }
 
 // parseRings decodes a comma-separated ring-size list; empty means defaults.
@@ -383,6 +393,12 @@ func run(exp string, cfg eval.Config, o runOpts, out *output) error {
 		out.emit(res)
 	case "postings":
 		res, err := eval.RunPostings(o.postTiers, o.postVol, o.postPlain, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		out.emit(res)
+	case "similarity":
+		res, err := eval.RunSimilarity(cfg, o.simTiers, o.simPeers, o.simVol)
 		if err != nil {
 			return err
 		}

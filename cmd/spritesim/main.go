@@ -8,12 +8,13 @@
 //	spritesim [-peers N] [-replicas R] [-seed S] [-script file]
 //	          [-telemetry] [-telemetry-http addr] [-parallel P]
 //	          [-cache] [-cache-result-ttl D] [-cache-postings N]
-//	          [-virtual-time]
+//	          [-virtual-time] [-sketch]
 //
 // Commands (also shown by "help"):
 //
 //	share <peer> <docID> <text...>      share a document
 //	search <peer> <k> <query...>        keyword search, top-k
+//	similar <peer> <k> <docID>          sketch-cosine neighbors (-sketch)
 //	learn                               run one learning iteration
 //	terms <docID>                       show a document's index terms
 //	fail <peer> / recover <peer>        crash / revive a peer
@@ -50,6 +51,7 @@ func main() {
 		cacheTTL  = flag.Duration("cache-result-ttl", 0, "result cache TTL (0 = default 2s; implies -cache)")
 		cacheSize = flag.Int("cache-postings", 0, "postings cache capacity in terms (0 = default 4096; implies -cache)")
 		parallel  = flag.Int("parallel", 0, "query fan-out parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		sketches  = flag.Bool("sketch", false, "sketch shared documents, enabling the similar command")
 		virtual   = flag.Bool("virtual-time", false, "run the simulation on the deterministic event clock (internal/vtime); cache TTLs and timeouts advance with simulated, not wall, time")
 	)
 	flag.Parse()
@@ -63,7 +65,7 @@ func main() {
 		ResultTTL:       *cacheTTL,
 		PostingsEntries: *cacheSize,
 	}
-	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache, Parallelism: *parallel, VirtualTime: *virtual})
+	net, err := sprite.New(sprite.Options{Peers: *peers, Replicas: *replicas, Seed: *seed, Telemetry: tel, Cache: cache, Parallelism: *parallel, VirtualTime: *virtual, Sketch: sprite.SketchOptions{Enabled: *sketches}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)
@@ -177,6 +179,28 @@ func execute(net *sprite.Network, tel *sprite.Telemetry, line string) bool {
 		}
 		for i, r := range results {
 			fmt.Printf("%2d. %-20s score=%.4f owner=%s\n", i+1, r.DocID, r.Score, r.Owner)
+		}
+	case "similar":
+		if len(args) != 3 {
+			fail("usage: similar <peer> <k> <docID>")
+			return false
+		}
+		k, err := strconv.Atoi(args[1])
+		if err != nil || k < 1 {
+			fail("bad k %q", args[1])
+			return false
+		}
+		results, err := net.SearchSimilar(args[0], args[2], k)
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		if len(results) == 0 {
+			fmt.Println("no similar documents")
+			return false
+		}
+		for i, r := range results {
+			fmt.Printf("%2d. %-20s cosine=%.4f owner=%s\n", i+1, r.DocID, r.Score, r.Owner)
 		}
 	case "unshare":
 		if len(args) != 1 {
@@ -359,6 +383,7 @@ const helpText = `commands:
   unshare <docID>                  withdraw a document
   search <peer> <k> <query...>     keyword search, top-k results
   expand <peer> <k> <query...>     search with query expansion
+  similar <peer> <k> <docID>       find documents similar to one (-sketch)
   refresh                          re-publish all index entries (heal churn)
   learn                            run one learning iteration over all docs
   terms <docID>                    show a document's current index terms

@@ -97,6 +97,37 @@ func TestExecuteUnshareRefreshExpand(t *testing.T) {
 	}
 }
 
+func TestExecuteSimilar(t *testing.T) {
+	net, err := sprite.New(sprite.Options{Peers: 8, Seed: 4, Sketch: sprite.SketchOptions{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture(t, net, "share peer0 d1 chord scalable lookup protocol distributed hash tables")
+	capture(t, net, "share peer1 d2 pastry scalable overlay routing protocol distributed systems")
+	capture(t, net, "share peer2 d3 porter stemmer suffix stripping english words")
+	out, done := capture(t, net, "similar peer3 2 d1")
+	if done || !strings.Contains(out, "d2") || !strings.Contains(out, "cosine=") {
+		t.Fatalf("similar output: %q", out)
+	}
+	if strings.Contains(out, "d1") {
+		t.Fatalf("query doc listed among its own neighbors: %q", out)
+	}
+	for _, bad := range []string{"similar peer3 2", "similar peer3 zero d1", "similar peer3 2 ghost"} {
+		out, _ := capture(t, net, bad)
+		if !strings.Contains(out, "error") {
+			t.Fatalf("%q did not report an error: %q", bad, out)
+		}
+	}
+
+	// Without -sketch the command must fail cleanly, not panic.
+	plain := testNet(t)
+	capture(t, plain, "share peer0 d1 some text")
+	out, _ = capture(t, plain, "similar peer1 2 d1")
+	if !strings.Contains(out, "error") || !strings.Contains(out, "sketch") {
+		t.Fatalf("sketch-disabled similar output: %q", out)
+	}
+}
+
 func TestExecuteFailRecoverStabilize(t *testing.T) {
 	net := testNet(t)
 	out, _ := capture(t, net, "fail peer3")

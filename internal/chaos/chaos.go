@@ -38,6 +38,7 @@ import (
 	"github.com/spritedht/sprite/internal/corpus"
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/sketch"
 	"github.com/spritedht/sprite/internal/vtime"
 )
 
@@ -243,6 +244,10 @@ func (c Config) newDeployment(label string, cacheOn bool) (*deployment, error) {
 		ReplicationFactor: c.ReplicationFactor,
 		HotTermDF:         c.HotTermDF,
 		Parallelism:       c.Parallelism,
+		// Sketching is always on so the similar op is live on every run.
+		// Refine stays 0: the sketch-only ranking is what the oracle check
+		// recomputes from introspected postings.
+		Sketch: sketch.Config{Enabled: true, Dims: 32, RouteTerms: 3, Seed: uint64(c.Seed)},
 	}
 	if cacheOn {
 		coreCfg.Cache = core.CacheConfig{Enabled: true}

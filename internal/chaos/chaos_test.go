@@ -199,6 +199,46 @@ func TestChaosMassChurnSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSimilarSeedReplay pins the similarity read op end to end: a fixed
+// seed whose generated sequence contains similar ops runs violation-free on
+// the virtual clock — oracle agreement and cache transparency included — and
+// the whole execution replays to a bit-identical state digest, so any future
+// similarity regression shows up as either a violation or a digest drift.
+func TestChaosSimilarSeedReplay(t *testing.T) {
+	cfg := Config{
+		Seed:              7,
+		Steps:             steps(120),
+		Parallelism:       4,
+		Cache:             true,
+		Twin:              true,
+		FaultOps:          true,
+		ReplicationFactor: 2,
+		HotTermDF:         6,
+		VirtualTime:       true,
+	}
+	ops := Generate(cfg)
+	similar := 0
+	for _, op := range ops {
+		if op.Kind == KSimilar {
+			similar++
+		}
+	}
+	if similar == 0 {
+		t.Fatalf("seed %d generated no similar ops in %d steps", cfg.Seed, len(ops))
+	}
+	v1, d1 := ExecuteDigest(cfg, ops)
+	if v1 != nil {
+		t.Fatalf("similar seed run violated an invariant: %v", v1)
+	}
+	v2, d2 := ExecuteDigest(cfg, ops)
+	if v2 != nil {
+		t.Fatalf("replay violated an invariant: %v", v2)
+	}
+	if d1 != d2 {
+		t.Fatalf("similar seed not bit-reproducible: digests %#x vs %#x", d1, d2)
+	}
+}
+
 // TestChaosMutationCatchesStrandedEntry injects the failure mode the handoff
 // protocol exists to prevent: a primary entry teleported to a peer the
 // overlay never routes its term to, with the owner's record rewritten to

@@ -413,6 +413,45 @@ func oracleSearch(d *deployment, terms []string, k int, skip map[string]bool) ir
 	return acc.Ranked().Top(k)
 }
 
+// oracleSimilar recomputes a similarity query's expected ranking from
+// introspected ground truth: the query document's sketch and routing terms
+// from its owner's state, candidate postings from what each routing term's
+// indexing peer would serve right now, folded in routing-term order through
+// the same SketchRanker the real path uses — bit-exact agreement, not
+// approximate. Terms in skip (reported lost by the search) are excluded.
+// Valid for Refine = 0 configurations, which is what chaos deployments run.
+func oracleSimilar(d *deployment, doc index.DocID, k int, skip map[string]bool) ir.RankedList {
+	qsketch, ok := d.net.DocSketch(doc)
+	if !ok {
+		return nil
+	}
+	route, err := d.net.SimilarRouteTerms(doc)
+	if err != nil {
+		return nil
+	}
+	r := ir.NewSketchRanker([]byte(qsketch), k)
+	for _, term := range route {
+		if skip[term] {
+			continue
+		}
+		node, ok := d.ring.Owner(chordid.HashKey(term))
+		if !ok {
+			continue
+		}
+		ps, _, ok := d.net.ServedPostings(node.Addr(), term)
+		if !ok {
+			continue
+		}
+		for _, p := range ps {
+			if p.Doc == doc {
+				continue
+			}
+			r.Offer([]byte(p.Doc), []byte(p.Sketch))
+		}
+	}
+	return r.Ranked()
+}
+
 // rankEqual compares two ranked lists for bit-exact equality.
 func rankEqual(a, b ir.RankedList) bool {
 	if len(a) != len(b) {
@@ -472,6 +511,18 @@ func (h *harness) checkOpOutcome(op Op, outs []opOut, faultCtx bool) *Violation 
 				return &Violation{Invariant: "oracle",
 					Msg: fmt.Sprintf("%s: search %q k=%d returned %s, oracle says %s",
 						d.label, op.Terms, op.K, describeRank(out.rl), describeRank(want))}
+			}
+		}
+		if op.Kind == KSimilar && !h.taint {
+			skip := failedTerms(out.err)
+			if out.err != nil && skip == nil {
+				continue // non-partial error in fault context: no ranking to check
+			}
+			want := oracleSimilar(d, index.DocID(op.Doc), op.K, skip)
+			if !rankEqual(out.rl, want) {
+				return &Violation{Invariant: "oracle",
+					Msg: fmt.Sprintf("%s: similar %s k=%d returned %s, oracle says %s",
+						d.label, op.Doc, op.K, describeRank(out.rl), describeRank(want))}
 			}
 		}
 	}

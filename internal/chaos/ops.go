@@ -33,6 +33,7 @@ const (
 	KLeave
 	KMassJoin
 	KMassLeave
+	KSimilar
 )
 
 var kindNames = map[Kind]string{
@@ -41,12 +42,13 @@ var kindNames = map[Kind]string{
 	KLearn: "learn", KRefresh: "refresh", KFail: "fail", KRecover: "recover",
 	KJoin: "join", KLoss: "loss", KDrop: "drop", KHeal: "heal",
 	KLeave: "leave", KMassJoin: "mass_join", KMassLeave: "mass_leave",
+	KSimilar: "similar",
 }
 
 // read reports whether the op only reads index state (it may append to query
 // histories); read runs execute concurrently under Parallelism > 1.
 func (k Kind) read() bool {
-	return k == KSearch || k == KSearchExpanded || k == KInsertQuery
+	return k == KSearch || k == KSearchExpanded || k == KInsertQuery || k == KSimilar
 }
 
 // Op is one concrete, self-contained operation. Every field is fixed at
@@ -75,6 +77,8 @@ func (o Op) String() string {
 		}
 	case KSearch, KSearchExpanded, KInsertQuery:
 		fmt.Fprintf(&b, " %q from %s k=%d", strings.Join(o.Terms, " "), o.Peer, o.K)
+	case KSimilar:
+		fmt.Fprintf(&b, " %s from %s k=%d", o.Doc, o.Peer, o.K)
 	case KFail, KRecover, KJoin, KLeave:
 		fmt.Fprintf(&b, " %s", o.Peer)
 	case KMassJoin, KMassLeave:
@@ -105,7 +109,7 @@ func Generate(cfg Config) []Op {
 	}
 	table := []wk{
 		{KShare, 14}, {KUnshare, 5}, {KSearch, 28}, {KSearchExpanded, 5},
-		{KInsertQuery, 8}, {KLearn, 8}, {KRefresh, 5},
+		{KSimilar, 6}, {KInsertQuery, 8}, {KLearn, 8}, {KRefresh, 5},
 	}
 	if cfg.FaultOps {
 		table = append(table, wk{KFail, 6}, wk{KRecover, 5}, wk{KJoin, 2}, wk{KHeal, 4},
@@ -197,6 +201,18 @@ func Generate(cfg Config) []Op {
 			delete(shared, op.Doc)
 		case KSearch, KSearchExpanded, KInsertQuery:
 			op.Peer, op.Terms, op.K = basePeer(), pickTerms(), 3+rng.Intn(8)
+		case KSimilar:
+			op.Peer, op.K = basePeer(), 3+rng.Intn(8)
+			op.Doc = pickDoc()
+			if len(shared) > 0 && !shared[op.Doc] {
+				// Bias toward an actually shared doc (sorted for determinism).
+				ids := make([]string, 0, len(shared))
+				for id := range shared {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				op.Doc = ids[rng.Intn(len(ids))]
+			}
 		case KFail:
 			op.Peer = basePeer()
 			if present[op.Peer] {
@@ -283,8 +299,14 @@ func (h *harness) effective(op Op) bool {
 	case KUnshare:
 		return h.shared[op.Doc]
 	case KSearch, KSearchExpanded, KInsertQuery:
-		// The origin peer may have left the network gracefully.
-		return h.nodeExists(op.Peer)
+		// The origin peer may have left gracefully or be crashed. A crashed
+		// peer cannot originate queries — and its routing tables go stale the
+		// moment membership changes behind it, so a query issued "from" it
+		// would be measuring a nonsensical scenario, not a system property.
+		return h.nodeExists(op.Peer) && !h.failed[op.Peer]
+	case KSimilar:
+		// A similarity query needs a shared query document and a live origin.
+		return h.shared[op.Doc] && h.nodeExists(op.Peer) && !h.failed[op.Peer]
 	case KFail:
 		if h.failed[op.Peer] || !h.nodeExists(op.Peer) {
 			return false
@@ -395,6 +417,9 @@ func (h *harness) apply(d *deployment, op Op) opOut {
 		return opOut{err: d.net.Unshare(index.DocID(op.Doc))}
 	case KSearch:
 		rl, err := d.net.SearchCtx(context.Background(), simnet.Addr(op.Peer), op.Terms, op.K)
+		return opOut{rl: rl, err: err}
+	case KSimilar:
+		rl, err := d.net.SearchSimilarCtx(context.Background(), simnet.Addr(op.Peer), index.DocID(op.Doc), op.K)
 		return opOut{rl: rl, err: err}
 	case KSearchExpanded:
 		rl, exp, err := d.net.SearchExpanded(simnet.Addr(op.Peer), op.Terms, op.K, core.ExpandOptions{})

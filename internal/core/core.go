@@ -31,6 +31,7 @@ import (
 	"github.com/spritedht/sprite/internal/ir"
 	"github.com/spritedht/sprite/internal/repair"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/sketch"
 	"github.com/spritedht/sprite/internal/telemetry"
 	"github.com/spritedht/sprite/internal/vtime"
 )
@@ -83,6 +84,13 @@ type Config struct {
 	// from GOMAXPROCS; 1 is the legacy sequential path. Results are
 	// bit-identical across settings (see internal/fanout).
 	Parallelism int
+	// Sketch configures per-document feature sketches and the similarity
+	// query path (SearchSimilar). When enabled, every published posting
+	// carries the owning document's serialized sketch, costing
+	// ~Dims+2 bytes per posting on the wire and in indexing-peer storage.
+	// The zero value disables sketching; SearchSimilar then fails with
+	// ErrSketchDisabled.
+	Sketch sketch.Config
 	// Clock drives every time-dependent mechanism in the core: fan-out
 	// worker registration, resilience backoff/timeouts/hedging, cache TTLs,
 	// and query-latency observation. Nil is the wall clock (production
@@ -108,6 +116,9 @@ type netMetrics struct {
 	termsPublished   *telemetry.Counter
 	termsRetired     *telemetry.Counter
 	expansionRounds  *telemetry.Counter
+	simSearches      *telemetry.Counter
+	simFloods        *telemetry.Counter
+	simCandidates    *telemetry.Counter
 	retries          *telemetry.Counter
 	failovers        *telemetry.Counter
 	hedges           *telemetry.Counter
@@ -136,6 +147,9 @@ func newNetMetrics(reg *telemetry.Registry) netMetrics {
 		termsPublished:   reg.Counter("sprite.index.terms_published"),
 		termsRetired:     reg.Counter("sprite.index.terms_retired"),
 		expansionRounds:  reg.Counter("sprite.search.expansions"),
+		simSearches:      reg.Counter("sprite.similar.searches"),
+		simFloods:        reg.Counter("sprite.similar.floods"),
+		simCandidates:    reg.Counter("sprite.similar.candidates"),
 		retries:          reg.Counter("sprite.resilience.retries"),
 		failovers:        reg.Counter("sprite.resilience.failovers"),
 		hedges:           reg.Counter("sprite.resilience.hedges"),
@@ -202,6 +216,7 @@ func (c Config) FillDefaults() Config {
 		c.SurrogateN = ir.LargeN
 	}
 	c.Cache = c.Cache.fillDefaults()
+	c.Sketch = c.Sketch.FillDefaults()
 	return c
 }
 
@@ -228,6 +243,9 @@ func (c Config) Validate() error {
 	if err := c.Cache.validate(); err != nil {
 		return err
 	}
+	if err := c.Sketch.Validate(); err != nil {
+		return err
+	}
 	return c.Resilience.validate()
 }
 
@@ -241,6 +259,9 @@ type Network struct {
 	met    netMetrics
 	caches netCaches
 	resil  resil
+	// sketcher projects shared documents into feature sketches; nil when
+	// Config.Sketch is disabled.
+	sketcher *sketch.Sketcher
 	// exec is the query execution engine's fan-out executor. Per-term
 	// pipelines (searchCtx, insertQuery, expansion) and owner sweeps
 	// (LearnAll, RefreshAll, replication) all share its concurrency bound.
@@ -272,16 +293,24 @@ func NewNetwork(ring *chord.Ring, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	clk := vtime.Default(cfg.Clock)
+	var sk *sketch.Sketcher
+	if cfg.Sketch.Enabled {
+		var err error
+		if sk, err = sketch.New(cfg.Sketch); err != nil {
+			return nil, err
+		}
+	}
 	n := &Network{
-		cfg:     cfg,
-		ring:    ring,
-		clock:   clk,
-		met:     newNetMetrics(cfg.Telemetry),
-		caches:  newNetCaches(cfg.Cache, cfg.Telemetry, clk),
-		resil:   newResil(cfg.Resilience, clk),
-		exec:    fanout.NewClocked(cfg.Parallelism, cfg.Telemetry, clk),
-		peers:   make(map[simnet.Addr]*Peer),
-		ownerOf: make(map[index.DocID]*Peer),
+		cfg:      cfg,
+		ring:     ring,
+		clock:    clk,
+		sketcher: sk,
+		met:      newNetMetrics(cfg.Telemetry),
+		caches:   newNetCaches(cfg.Cache, cfg.Telemetry, clk),
+		resil:    newResil(cfg.Resilience, clk),
+		exec:     fanout.NewClocked(cfg.Parallelism, cfg.Telemetry, clk),
+		peers:    make(map[simnet.Addr]*Peer),
+		ownerOf:  make(map[index.DocID]*Peer),
 	}
 	for _, node := range ring.Nodes() {
 		p := newPeer(n, node)

@@ -33,6 +33,10 @@ type docState struct {
 	// is trivially acyclic.
 	mu  sync.Mutex
 	doc *corpus.Document
+	// sketch is the document's serialized feature sketch, computed once at
+	// share time ("" when sketching is disabled) and immutable afterwards —
+	// readers outside mu (publish fan-outs, the flooding scan) rely on that.
+	sketch string
 	// indexed is the current set of global index terms.
 	indexed map[string]bool
 	// stats holds QF and max-qScore per document term that appeared in any
@@ -103,6 +107,7 @@ func qScore(queryTerms []string, doc *corpus.Document) float64 {
 func (p *Peer) share(ctx context.Context, doc *corpus.Document) error {
 	st := &docState{
 		doc:     doc,
+		sketch:  p.net.docSketchFor(doc),
 		indexed: make(map[string]bool),
 		stats:   make(map[string]*termStat),
 		since:   make(map[string]uint64),
@@ -160,6 +165,7 @@ func (p *Peer) sendPublish(ctx context.Context, st *docState, term string, targe
 		Owner:  string(p.Addr()),
 		Freq:   st.doc.TF[term],
 		DocLen: st.doc.Length,
+		Sketch: st.sketch,
 	}
 	_, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), target, simnet.Message{
 		Type:    msgPublish,

@@ -168,6 +168,10 @@ func (p *Peer) HandleMessage(from simnet.Addr, msg simnet.Message) (simnet.Messa
 		req := msg.Payload.(replicaRetireReq)
 		p.handleReplicaRetire(req)
 		return simnet.Message{Type: msg.Type, Size: 1}, nil
+
+	case msgSketchScan:
+		resp := p.handleSketchScan()
+		return simnet.Message{Type: msg.Type, Payload: resp, Size: sketchScanSize(resp)}, nil
 	}
 	return simnet.Message{}, fmt.Errorf("core: peer %s: unknown message type %q", p.Addr(), msg.Type)
 }

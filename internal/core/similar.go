@@ -1,0 +1,486 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/spritedht/sprite/internal/corpus"
+	"github.com/spritedht/sprite/internal/fanout"
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/ir"
+	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/wire"
+)
+
+// This file implements the vector-similarity query path over the SPRITE
+// overlay. A similarity query is query-by-document: "find the shared
+// documents most similar to document X". Instead of a second routing
+// structure for vectors, the path reuses the keyword overlay twice over:
+//
+//  1. Candidate retrieval routes through X's learned representative terms —
+//     its current global index terms (the ones SPRITE's learning selected as
+//     most descriptive), the most frequent first, capped at
+//     Config.Sketch.RouteTerms. Each routing term costs the same Chord
+//     lookup + postings fetch a keyword query pays, so the message count is
+//     O(RouteTerms · log N) regardless of corpus size.
+//  2. Re-ranking scores every candidate posting by the cosine of its carried
+//     sketch against X's sketch, streamed through ir.SketchRanker straight
+//     off the compressed blocks.
+//
+// The flooding baseline (FloodSimilar) asks every peer for the sketches of
+// the documents it owns — one message per peer — and ranks them all. It is
+// exact over reachable owners and exists as the measurement control: the
+// spritebench similarity experiment compares its message bill against the
+// term-routed path's at matched recall.
+
+// ErrSketchDisabled reports a similarity query against a network whose
+// Config.Sketch is disabled.
+var ErrSketchDisabled = errors.New("core: sketching disabled (enable Config.Sketch)")
+
+// msgSketchScan asks a peer for the (doc ID, sketch) pairs of every document
+// it owns — the flooding baseline's per-peer read.
+const msgSketchScan = "sprite.sketch_scan"
+
+type sketchScanReq struct{}
+
+// docSketch is one owned document's identity and serialized sketch.
+type docSketch struct {
+	Doc    index.DocID
+	Sketch string
+}
+
+type sketchScanResp struct {
+	// Docs lists the peer's owned documents in ascending doc-ID order.
+	Docs []docSketch
+}
+
+func init() {
+	wire.RegisterBinary(wire.KindCoreBase+21, sketchScanReq{},
+		func(e *wire.Encoder, v any) {},
+		func(d *wire.Decoder) any { return sketchScanReq{} })
+
+	wire.RegisterBinary(wire.KindCoreBase+22, sketchScanResp{},
+		func(e *wire.Encoder, v any) {
+			r := v.(sketchScanResp)
+			e.Uint(uint64(len(r.Docs)))
+			for _, ds := range r.Docs {
+				e.String(string(ds.Doc))
+				e.String(ds.Sketch)
+			}
+		},
+		func(d *wire.Decoder) any {
+			var r sketchScanResp
+			if n := d.Count(2); n > 0 {
+				r.Docs = make([]docSketch, n)
+				for i := range r.Docs {
+					r.Docs[i].Doc = index.DocID(d.String())
+					r.Docs[i].Sketch = d.String()
+				}
+			}
+			return r
+		})
+}
+
+// docSketchFor serializes doc's sketch under the network configuration (""
+// when sketching is disabled).
+func (n *Network) docSketchFor(doc *corpus.Document) string {
+	if n.sketcher == nil {
+		return ""
+	}
+	return string(n.sketcher.SketchBytes(doc.TF))
+}
+
+// DocSketch returns the serialized sketch of a shared document. It reports
+// false for unshared documents; a shared document under a sketch-disabled
+// configuration returns "". Experiments and invariant oracles use it to
+// recompute expected rankings.
+func (n *Network) DocSketch(doc index.DocID) (string, bool) {
+	n.mu.RLock()
+	owner := n.ownerOf[doc]
+	n.mu.RUnlock()
+	if owner == nil {
+		return "", false
+	}
+	owner.mu.Lock()
+	st := owner.owned[doc]
+	owner.mu.Unlock()
+	if st == nil {
+		return "", false
+	}
+	return st.sketch, true
+}
+
+// routeTermsLocked selects the query document's routing terms: its learned
+// global index terms ranked by document frequency (ties by term), capped at
+// k. st.mu must be held.
+func routeTermsLocked(st *docState, k int) []string {
+	terms := make([]string, 0, len(st.indexed))
+	for t := range st.indexed {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		fi, fj := st.doc.TF[terms[i]], st.doc.TF[terms[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return terms[i] < terms[j]
+	})
+	if k > 0 && len(terms) > k {
+		terms = terms[:k]
+	}
+	return terms
+}
+
+// SimilarRouteTerms returns the routing terms a similarity query for doc
+// would fetch candidates through right now — the document's learned
+// representative terms, most frequent first. Tests and experiments use it to
+// reason about coverage; it changes as learning re-tunes the index.
+func (n *Network) SimilarRouteTerms(doc index.DocID) ([]string, error) {
+	_, route, _, err := n.similarQuery(doc)
+	return route, err
+}
+
+// similarQuery resolves the query document's sketch, routing terms, and term
+// vector from its owner's state. The TF copy feeds the optional exact
+// re-ranking stage (Config.Sketch.Refine).
+func (n *Network) similarQuery(doc index.DocID) (qsketch string, route []string, qtf map[string]int, err error) {
+	if n.sketcher == nil {
+		return "", nil, nil, ErrSketchDisabled
+	}
+	n.mu.RLock()
+	owner := n.ownerOf[doc]
+	n.mu.RUnlock()
+	if owner == nil {
+		return "", nil, nil, fmt.Errorf("%w: %q", ErrNoSuchDoc, doc)
+	}
+	owner.mu.Lock()
+	st := owner.owned[doc]
+	owner.mu.Unlock()
+	if st == nil {
+		return "", nil, nil, fmt.Errorf("%w: %q", ErrNoSuchDoc, doc)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	qtf = make(map[string]int, len(st.doc.TF))
+	for t, f := range st.doc.TF {
+		qtf[t] = f
+	}
+	return st.sketch, routeTermsLocked(st, n.cfg.Sketch.RouteTerms), qtf, nil
+}
+
+// SearchSimilar finds the k shared documents most similar to doc, ranked by
+// sketch cosine (descending; ties ascending by doc ID). The query document
+// itself is excluded. Like Search, it degrades silently on unreachable
+// routing terms; use SearchSimilarCtx to observe ErrPartialResults. The
+// routing terms are recorded as a query in the contacted indexing peers'
+// histories, so similarity traffic feeds learning like keyword traffic does.
+func (n *Network) SearchSimilar(from simnet.Addr, doc index.DocID, k int) (ir.RankedList, error) {
+	rl, err := n.SearchSimilarCtx(context.Background(), from, doc, k)
+	return rl, stripPartial(err)
+}
+
+// SearchSimilarCtx is SearchSimilar with the full error contract: a done
+// context aborts the query; routing terms lost to unreachable holders return
+// the ranking over the remaining candidates plus a *PartialError. An
+// unshared doc wraps ErrNoSuchDoc; a sketch-disabled network returns
+// ErrSketchDisabled.
+func (n *Network) SearchSimilarCtx(ctx context.Context, from simnet.Addr, doc index.DocID, k int) (ir.RankedList, error) {
+	return n.similarCtx(ctx, from, doc, k, true)
+}
+
+// ProbeSimilar is SearchSimilar without the history side effect, for
+// measurement runs that must not leak probe traffic into learning state.
+func (n *Network) ProbeSimilar(from simnet.Addr, doc index.DocID, k int) (ir.RankedList, error) {
+	rl, err := n.ProbeSimilarCtx(context.Background(), from, doc, k)
+	return rl, stripPartial(err)
+}
+
+// ProbeSimilarCtx is ProbeSimilar with the SearchSimilarCtx error contract.
+func (n *Network) ProbeSimilarCtx(ctx context.Context, from simnet.Addr, doc index.DocID, k int) (ir.RankedList, error) {
+	return n.similarCtx(ctx, from, doc, k, false)
+}
+
+func (n *Network) similarCtx(ctx context.Context, from simnet.Addr, doc index.DocID, k int, record bool) (ir.RankedList, error) {
+	qsketch, route, qtf, err := n.similarQuery(doc)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := n.peer(from)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, from)
+	}
+	return p.searchSimilarCtx(ctx, doc, qsketch, route, qtf, k, record)
+}
+
+// searchSimilarCtx executes the routed similarity query from the querying
+// peer: fetch each routing term's postings (through the postings cache when
+// enabled, under the resilience policy otherwise — the same paths searchCtx
+// uses), then fold the candidate streams in routing-term order into a
+// SketchRanker. The fold order plus the ranker's first-wins dedup make the
+// ranking a pure function of the fetched postings, so it is bit-identical
+// across Parallelism settings, cache on/off, and clock sources.
+//
+// With Config.Sketch.Refine > 0 the sketch ranking becomes a first-stage
+// filter: the top Refine candidates have their full term vectors fetched from
+// their owners (one msgDocTerms each) and are re-scored by exact weighted
+// cosine before the final top-k cut. An owner fetch that fails leaves that
+// candidate on its sketch score — degraded, never lost.
+//
+// The result cache is deliberately not consulted: a similarity result is
+// already one bounded ranked list per query document, and keeping the path
+// result-cache-free keeps its message accounting legible in experiments.
+func (p *Peer) searchSimilarCtx(ctx context.Context, qdoc index.DocID, qsketch string, route []string, qtf map[string]int, k int, record bool) (ir.RankedList, error) {
+	p.net.met.simSearches.Inc()
+	if p.net.cfg.Telemetry != nil {
+		start := p.net.clock.Now()
+		defer func() {
+			p.net.met.queryLatency.Observe(p.net.clock.Now().Sub(start).Microseconds())
+		}()
+	}
+
+	pc := p.net.caches.postings
+	outs, errs := fanout.Map(ctx, p.net.exec, "sim_fetch", len(route), func(ctx context.Context, i int) (getPostingsResp, error) {
+		term := route[i]
+		if pc != nil {
+			ent, _, err := p.fetchPostingsCached(ctx, term, nil)
+			if err != nil {
+				return getPostingsResp{}, err
+			}
+			if record {
+				p.recordQueryAt(ent.peer, route)
+			}
+			return ent.resp, nil
+		}
+		return fetchOnly(p.fetchTermPostings(ctx, term, route, record, nil))
+	})
+
+	// With refinement the ranker keeps the wider candidate pool; without it
+	// the sketch cosine is the final score and k suffices.
+	refine := p.net.cfg.Sketch.Refine
+	pool := k
+	if refine > pool {
+		pool = refine
+	}
+	r := ir.NewSketchRanker([]byte(qsketch), pool)
+	var owners map[index.DocID]simnet.Addr
+	if refine > 0 {
+		owners = make(map[index.DocID]simnet.Addr)
+	}
+	var failed []TermFailure
+	for i, term := range route {
+		if errs[i] != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("core: similar term %q: %w", term, errs[i])
+			}
+			p.net.met.termsSkipped.Inc()
+			failed = append(failed, TermFailure{Term: term, Err: errs[i]})
+			continue
+		}
+		cur := outs[i].Postings.Cursor()
+		if owners != nil {
+			for {
+				pst, ok := cur.Next()
+				if !ok {
+					break
+				}
+				if pst.Doc == qdoc {
+					continue
+				}
+				if _, seen := owners[pst.Doc]; !seen {
+					owners[pst.Doc] = simnet.Addr(pst.Owner)
+				}
+				r.Offer([]byte(pst.Doc), cur.SketchBytes())
+			}
+			continue
+		}
+		for {
+			docBytes, _, _, ok := cur.NextBytes()
+			if !ok {
+				break
+			}
+			if string(docBytes) == string(qdoc) {
+				continue
+			}
+			r.Offer(docBytes, cur.SketchBytes())
+		}
+	}
+	p.net.met.simCandidates.Add(int64(r.Candidates()))
+	rl := r.Ranked()
+	if refine > 0 {
+		rl = p.refineSimilar(ctx, rl, qtf, owners, k)
+	}
+	if len(failed) > 0 {
+		p.net.met.partials.Inc()
+		return rl, &PartialError{Failures: failed}
+	}
+	return rl, nil
+}
+
+// refineSimilar re-scores the sketch-ranked candidates by exact weighted
+// cosine: each candidate's term vector is fetched from its owner (the Owner
+// address its posting carried) and folded against the query vector with
+// 1+log₁₀(tf) weights. Candidates whose owner cannot be reached — or whose
+// owner no longer holds the document — keep their sketch score, so the refined
+// ranking degrades toward the first-stage one rather than dropping hits. The
+// final cut is top-k under the usual (score desc, doc asc) order.
+func (p *Peer) refineSimilar(ctx context.Context, cands ir.RankedList, qtf map[string]int, owners map[index.DocID]simnet.Addr, k int) ir.RankedList {
+	if len(cands) == 0 {
+		return cands
+	}
+	qw, qn := cosineWeights(qtf)
+	outs, errs := fanout.Map(ctx, p.net.exec, "sim_refine", len(cands), func(ctx context.Context, i int) (docTermsResp, error) {
+		owner, ok := owners[cands[i].Doc]
+		if !ok {
+			return docTermsResp{}, nil
+		}
+		reply, err := p.net.ring.Net().CallCtx(ctx, p.Addr(), owner, simnet.Message{
+			Type:    msgDocTerms,
+			Payload: docTermsReq{Doc: cands[i].Doc},
+			Size:    len(cands[i].Doc),
+		})
+		if err != nil {
+			return docTermsResp{}, err
+		}
+		return reply.Payload.(docTermsResp), nil
+	})
+	out := make(ir.RankedList, len(cands))
+	copy(out, cands)
+	for i := range out {
+		if errs[i] != nil || !outs[i].Found {
+			continue
+		}
+		out[i].Score = exactCosine(qw, qn, outs[i].TF)
+	}
+	out.Sort()
+	return out.Top(k)
+}
+
+// cosineWeights builds the 1+log₁₀(tf) weight vector and its L2 norm. Terms
+// fold in sorted order so the norm's float accumulation — like every other
+// fold on the query path — is a pure function of the map's contents.
+func cosineWeights(tf map[string]int) (map[string]float64, float64) {
+	terms := make([]string, 0, len(tf))
+	for t, f := range tf {
+		if f > 0 {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	w := make(map[string]float64, len(terms))
+	n2 := 0.0
+	for _, t := range terms {
+		v := 1 + math.Log10(float64(tf[t]))
+		w[t] = v
+		n2 += v * v
+	}
+	return w, math.Sqrt(n2)
+}
+
+// exactCosine scores a candidate term vector against precomputed query
+// weights, folding the candidate's terms in sorted order for bit-identical
+// results across runs.
+func exactCosine(qw map[string]float64, qn float64, tf map[string]int) float64 {
+	terms := make([]string, 0, len(tf))
+	for t, f := range tf {
+		if f > 0 {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	dot, n2 := 0.0, 0.0
+	for _, t := range terms {
+		v := 1 + math.Log10(float64(tf[t]))
+		n2 += v * v
+		if u, ok := qw[t]; ok {
+			dot += u * v
+		}
+	}
+	if qn == 0 || n2 == 0 {
+		return 0
+	}
+	return dot / (qn * math.Sqrt(n2))
+}
+
+// fetchOnly drops fetchTermPostings's peer address, which the similarity
+// path has no use for (history recording rides the fetch itself).
+func fetchOnly(resp getPostingsResp, _ simnet.Addr, err error) (getPostingsResp, error) {
+	return resp, err
+}
+
+// FloodSimilar is the flooding baseline: ask every peer for its owned
+// documents' sketches (one message per peer, the querying peer's own
+// documents included via a self-call) and rank all of them against doc's
+// sketch. Exact over reachable owners, at a message bill linear in network
+// size — the control arm of BENCH_similarity.json. Peers that cannot be
+// reached contribute nothing, mirroring the routed path's degraded mode.
+func (n *Network) FloodSimilar(from simnet.Addr, doc index.DocID, k int) (ir.RankedList, error) {
+	return n.FloodSimilarCtx(context.Background(), from, doc, k)
+}
+
+// FloodSimilarCtx is FloodSimilar honoring ctx.
+func (n *Network) FloodSimilarCtx(ctx context.Context, from simnet.Addr, doc index.DocID, k int) (ir.RankedList, error) {
+	qsketch, _, _, err := n.similarQuery(doc)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := n.peer(from)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, from)
+	}
+	n.met.simFloods.Inc()
+	peers := n.Peers()
+	outs, errs := fanout.Map(ctx, n.exec, "sim_flood", len(peers), func(ctx context.Context, i int) (sketchScanResp, error) {
+		reply, err := n.ring.Net().CallCtx(ctx, p.Addr(), peers[i].Addr(), simnet.Message{
+			Type:    msgSketchScan,
+			Payload: sketchScanReq{},
+			Size:    1,
+		})
+		if err != nil {
+			return sketchScanResp{}, err
+		}
+		return reply.Payload.(sketchScanResp), nil
+	})
+	r := ir.NewSketchRanker([]byte(qsketch), k)
+	for i := range peers {
+		if errs[i] != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("core: flood scan %s: %w", peers[i].Addr(), errs[i])
+			}
+			continue
+		}
+		for _, ds := range outs[i].Docs {
+			if ds.Doc == doc {
+				continue
+			}
+			r.Offer([]byte(ds.Doc), []byte(ds.Sketch))
+		}
+	}
+	return r.Ranked(), nil
+}
+
+// handleSketchScan answers the flooding baseline's per-peer read: the
+// sketches of every document this peer owns, in ascending doc-ID order.
+// docState.sketch is immutable after share, so only the membership lock is
+// needed.
+func (p *Peer) handleSketchScan() sketchScanResp {
+	p.mu.Lock()
+	docs := make([]docSketch, 0, len(p.owned))
+	for id, st := range p.owned {
+		docs = append(docs, docSketch{Doc: id, Sketch: st.sketch})
+	}
+	p.mu.Unlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Doc < docs[j].Doc })
+	return sketchScanResp{Docs: docs}
+}
+
+// sketchScanSize is the response's simulated wire size.
+func sketchScanSize(r sketchScanResp) int {
+	n := 1
+	for _, ds := range r.Docs {
+		n += len(ds.Doc) + len(ds.Sketch) + 2
+	}
+	return n
+}

@@ -422,6 +422,7 @@ func encodePosting(e *wire.Encoder, p index.Posting) {
 	e.String(p.Owner)
 	e.Int(int64(p.Freq))
 	e.Int(int64(p.DocLen))
+	e.String(p.Sketch)
 }
 
 func decodePosting(d *wire.Decoder) index.Posting {
@@ -430,5 +431,6 @@ func decodePosting(d *wire.Decoder) index.Posting {
 	p.Owner = d.String()
 	p.Freq = int(d.Int())
 	p.DocLen = int(d.Int())
+	p.Sketch = d.String()
 	return p
 }

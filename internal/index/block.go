@@ -25,6 +25,9 @@
 //	    uvarint ownerIdx    index into the owner dictionary (< m)
 //	    uvarint packed      zigzag(DocLen)<<5 | min(zigzag(Freq), 31)
 //	    [uvarint zigzag(Freq)]  present only when the packed low bits are 31
+//	    uvarint sketchLen, sketch bytes   the document's serialized feature
+//	        sketch (internal/sketch), empty when the deployment does not
+//	        sketch — one byte of overhead per posting then
 //
 // Blocks are immutable after encoding: every mutation decodes the one
 // affected block, rebuilds it, and installs a fresh block slice, so any
@@ -114,7 +117,7 @@ func encodeBlock(ps []Posting) *block {
 		size += len(o) + 2
 	}
 	for _, p := range ps {
-		size += len(p.Doc) + 6
+		size += len(p.Doc) + len(p.Sketch) + 8
 	}
 	buf := make([]byte, 0, size)
 	buf = binary.AppendUvarint(buf, uint64(len(ps)))
@@ -143,6 +146,8 @@ func encodeBlock(ps []Posting) *block {
 			buf = binary.AppendUvarint(buf, zl<<5|freqEscape)
 			buf = binary.AppendUvarint(buf, zf)
 		}
+		buf = binary.AppendUvarint(buf, uint64(len(p.Sketch)))
+		buf = append(buf, p.Sketch...)
 		prev = doc
 	}
 	return &block{data: buf, n: len(ps), first: ps[0].Doc, last: ps[len(ps)-1].Doc}
@@ -183,8 +188,9 @@ type Cursor struct {
 	owners    []string // materialized on first Next; NextBytes leaves it nil
 	lastOwner int      // owner index of the posting NextBytes just returned
 
-	doc []byte // scratch: the previous posting's doc bytes
-	err error
+	doc    []byte // scratch: the previous posting's doc bytes
+	sketch []byte // the last posting's sketch bytes, aliasing the block data
+	err    error
 }
 
 // Err returns the first decode error the cursor hit, if any. A truncated or
@@ -383,10 +389,38 @@ func (c *Cursor) NextBytes() (doc []byte, freq, docLen int, ok bool) {
 		}
 		off = c.off
 	}
+
+	var slen uint64
+	if off < len(data) && data[off] < 0x80 {
+		slen, off = uint64(data[off]), off+1
+	} else {
+		c.off = off
+		if slen, ok = c.uvarint(); !ok {
+			return nil, 0, 0, false
+		}
+		off = c.off
+	}
+	if slen > uint64(len(data)-off) {
+		c.fail("sketch length %d exceeds %d remaining bytes", slen, len(data)-off)
+		return nil, 0, 0, false
+	}
+	if slen == 0 {
+		c.sketch = nil
+	} else {
+		c.sketch = data[off : off+int(slen) : off+int(slen)]
+		off += int(slen)
+	}
+
 	c.off = off
 	c.left--
-	return c.doc, int(unzigzag(zf)), int(unzigzag(packed>>5)), true
+	return c.doc, int(unzigzag(zf)), int(unzigzag(packed >> 5)), true
 }
+
+// SketchBytes returns the serialized feature sketch of the posting the last
+// NextBytes/Next call produced, or nil when the posting carries none. The
+// slice aliases the immutable block data, so unlike the doc bytes it stays
+// valid across further cursor advances.
+func (c *Cursor) SketchBytes() []byte { return c.sketch }
 
 // Next decodes the next posting, owner included. It reports false at the end
 // of the postings or on malformed input (check Err to tell the two apart).
@@ -398,7 +432,7 @@ func (c *Cursor) Next() (Posting, bool) {
 	if c.owners == nil && !c.materializeOwners() {
 		return Posting{}, false
 	}
-	return Posting{Doc: DocID(doc), Owner: c.owners[c.lastOwner], Freq: freq, DocLen: docLen}, true
+	return Posting{Doc: DocID(doc), Owner: c.owners[c.lastOwner], Freq: freq, DocLen: docLen, Sketch: string(c.sketch)}, true
 }
 
 // Encoded is an immutable snapshot of one term's block-compressed postings.
@@ -564,5 +598,5 @@ func (b *block) validate() error {
 // per-posting cost the block representation is measured against in
 // BENCH_postings.json.
 func (p Posting) MemSize() int {
-	return int(unsafe.Sizeof(Posting{})) + len(p.Doc) + len(p.Owner)
+	return int(unsafe.Sizeof(Posting{})) + len(p.Doc) + len(p.Owner) + len(p.Sketch)
 }

@@ -23,6 +23,13 @@ func drive(seed int64, steps int, a, b Store) {
 				Freq:   rng.Intn(40) + 1,
 				DocLen: rng.Intn(200) + 1,
 			}
+			// Roughly half the postings carry a sketch, so the twin and
+			// round-trip properties cover mixed sketched/unsketched blocks.
+			if rng.Intn(2) == 0 {
+				sk := make([]byte, rng.Intn(24)+1)
+				rng.Read(sk)
+				p.Sketch = string(sk)
+			}
 			a.Add(term, p)
 			b.Add(term, p)
 		case op < 9:
@@ -186,6 +193,62 @@ func TestCursorNextBytes(t *testing.T) {
 		if DocID(doc) != w.Doc || freq != w.Freq || docLen != w.DocLen {
 			t.Fatalf("posting %d: (%s,%d,%d), want %+v", i, doc, freq, docLen, w)
 		}
+	}
+}
+
+// Sketches must survive the block codec byte-for-byte, via both the Posting
+// field and the cursor's zero-copy SketchBytes accessor, across block
+// boundaries and mixed sketched/unsketched postings.
+func TestBlockSketchRoundTrip(t *testing.T) {
+	ix := NewInverted()
+	rng := rand.New(rand.NewSource(17))
+	want := map[DocID]string{}
+	const n = 3 * blockMax
+	for i := 0; i < n; i++ {
+		p := post(fmt.Sprintf("doc%06d", i), i%9+1, 100)
+		if i%3 != 0 {
+			sk := make([]byte, rng.Intn(130)+1)
+			rng.Read(sk)
+			p.Sketch = string(sk)
+		}
+		want[p.Doc] = p.Sketch
+		ix.Add("t", p)
+	}
+	check := func(e Encoded, label string) {
+		t.Helper()
+		cur := e.Cursor()
+		count := 0
+		for p, ok := cur.Next(); ok; p, ok = cur.Next() {
+			if p.Sketch != want[p.Doc] {
+				t.Fatalf("%s: doc %q sketch diverged", label, p.Doc)
+			}
+			if string(cur.SketchBytes()) != p.Sketch {
+				t.Fatalf("%s: doc %q SketchBytes diverges from Posting.Sketch", label, p.Doc)
+			}
+			if p.Sketch == "" && cur.SketchBytes() != nil {
+				t.Fatalf("%s: doc %q empty sketch not nil from SketchBytes", label, p.Doc)
+			}
+			count++
+		}
+		if cur.Err() != nil || count != n {
+			t.Fatalf("%s: decoded %d of %d postings, err %v", label, count, n, cur.Err())
+		}
+	}
+	e := ix.Encoded("t")
+	check(e, "direct")
+	raw, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Encoded
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	check(back, "round-tripped")
+	// A republish that swaps the sketch must win, same as freq metadata.
+	ix.Add("t", Posting{Doc: "doc000001", Owner: "peer-doc000001", Freq: 1, DocLen: 100, Sketch: "fresh"})
+	if got := ix.PostingsSlice("t")[1].Sketch; got != "fresh" {
+		t.Fatalf("republish kept stale sketch %q", got)
 	}
 }
 

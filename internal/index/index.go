@@ -30,12 +30,18 @@ import (
 type DocID string
 
 // Posting is one inverted-list entry: term t occurs Freq times in document
-// Doc of length DocLen, owned by the peer at Owner.
+// Doc of length DocLen, owned by the peer at Owner. Sketch optionally carries
+// the document's serialized feature sketch (internal/sketch) so similarity
+// queries can re-rank candidates without a round trip to the owner; it is
+// empty when the deployment does not sketch. It is held as a string so
+// Posting stays comparable — the twin and invariant tests compare postings
+// wholesale.
 type Posting struct {
 	Doc    DocID
 	Owner  string // owner peer address ("IP address" in the paper)
 	Freq   int    // raw term frequency in the document
 	DocLen int    // total number of terms in the document
+	Sketch string // serialized sketch.Vector bytes, "" when absent
 }
 
 // NormFreq returns the length-normalized term frequency t_ik used in the
@@ -48,13 +54,14 @@ func (p Posting) NormFreq() float64 {
 }
 
 // WireSize is the encoded size of the posting in bytes under the wire
-// package's binary codec: two length-prefixed strings and two zig-zag
-// varints. Bandwidth telemetry and cache byte-accounting use it, so it must
-// agree with what internal/wire actually ships.
+// package's binary codec: three length-prefixed strings (doc, owner, sketch)
+// and two zig-zag varints. Bandwidth telemetry and cache byte-accounting use
+// it, so it must agree with what internal/wire actually ships.
 func (p Posting) WireSize() int {
 	return uvarintLen(uint64(len(p.Doc))) + len(p.Doc) +
 		uvarintLen(uint64(len(p.Owner))) + len(p.Owner) +
-		uvarintLen(zigzag(int64(p.Freq))) + uvarintLen(zigzag(int64(p.DocLen)))
+		uvarintLen(zigzag(int64(p.Freq))) + uvarintLen(zigzag(int64(p.DocLen))) +
+		uvarintLen(uint64(len(p.Sketch))) + len(p.Sketch)
 }
 
 // Store is the index API shared by the compressed production implementation

@@ -192,13 +192,15 @@ func TestNormFreq(t *testing.T) {
 }
 
 // WireSize must report exactly what the wire codec's posting layout ships:
-// two length-prefixed strings and two zig-zag varints.
+// three length-prefixed strings (doc, owner, sketch) and two zig-zag varints.
 func TestWireSizeVarintAccurate(t *testing.T) {
 	for _, p := range []Posting{
 		post("doc-1", 1, 10),
 		post("a-rather-long-document-identifier", 200, 100000),
 		{Doc: "", Owner: "", Freq: 0, DocLen: 0},
 		{Doc: "d", Owner: "o", Freq: -3, DocLen: -1},
+		{Doc: "d", Owner: "o", Freq: 2, DocLen: 9, Sketch: "\x01\x04abcd"},
+		{Doc: "d", Owner: "o", Freq: 2, DocLen: 9, Sketch: string(make([]byte, 300))},
 	} {
 		var b []byte
 		b = binary.AppendUvarint(b, uint64(len(p.Doc)))
@@ -207,6 +209,8 @@ func TestWireSizeVarintAccurate(t *testing.T) {
 		b = append(b, p.Owner...)
 		b = binary.AppendVarint(b, int64(p.Freq))
 		b = binary.AppendVarint(b, int64(p.DocLen))
+		b = binary.AppendUvarint(b, uint64(len(p.Sketch)))
+		b = append(b, p.Sketch...)
 		if got := p.WireSize(); got != len(b) {
 			t.Fatalf("WireSize(%+v) = %d, want %d", p, got, len(b))
 		}

@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/spritedht/sprite/internal/index"
+	"github.com/spritedht/sprite/internal/sketch"
+)
+
+// TestSketchRankerMatchesSort: the streaming selection must equal sorting
+// every candidate by (descending cosine, ascending doc), whatever order the
+// candidates arrive in and however often they repeat.
+func TestSketchRankerMatchesSort(t *testing.T) {
+	s, err := sketch.New(sketch.Config{Enabled: true, Dims: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	doc := func(i int) map[string]int {
+		tf := map[string]int{}
+		for j := 0; j < 15; j++ {
+			tf[fmt.Sprintf("t%02d", (i*7+j*3)%40)] = j%5 + 1
+		}
+		return tf
+	}
+	query := s.SketchBytes(doc(1000))
+
+	type cand struct {
+		id string
+		sk []byte
+	}
+	var cands []cand
+	for i := 0; i < 120; i++ {
+		cands = append(cands, cand{id: fmt.Sprintf("doc%03d", i), sk: s.SketchBytes(doc(i))})
+	}
+	// Every few candidates lack a sketch — they must rank by score 0.
+	for i := 0; i < len(cands); i += 9 {
+		cands[i].sk = nil
+	}
+
+	want := make(RankedList, 0, len(cands))
+	for _, c := range cands {
+		want = append(want, Hit{Doc: index.DocID(c.id), Score: sketch.CosineBytes(query, c.sk)})
+	}
+	want.Sort()
+
+	for _, k := range []int{0, 1, 10, len(cands), len(cands) + 5} {
+		r := NewSketchRanker(query, k)
+		order := rng.Perm(len(cands))
+		for _, i := range order {
+			r.Offer([]byte(cands[i].id), cands[i].sk)
+			// Duplicate offers must not double-count.
+			if i%3 == 0 {
+				r.Offer([]byte(cands[i].id), cands[i].sk)
+			}
+		}
+		if got := r.Candidates(); got != len(cands) && k > 0 {
+			t.Fatalf("k=%d: Candidates = %d, want %d", k, got, len(cands))
+		}
+		got := r.Ranked()
+		if !reflect.DeepEqual(got, want.Top(k)) {
+			t.Fatalf("k=%d: ranked list diverges from sorted reference\n got %v\nwant %v", k, got, want.Top(k))
+		}
+	}
+}
+
+// TestSketchRankerFirstWins: a document offered twice with different sketches
+// keeps its first score.
+func TestSketchRankerFirstWins(t *testing.T) {
+	s, _ := sketch.New(sketch.Config{Enabled: true, Dims: 32})
+	query := s.SketchBytes(map[string]int{"a": 2, "b": 1})
+	first := s.SketchBytes(map[string]int{"a": 2, "b": 1}) // cosine 1
+	second := s.SketchBytes(map[string]int{"z": 9})
+
+	r := NewSketchRanker(query, 5)
+	r.Offer([]byte("d1"), first)
+	r.Offer([]byte("d1"), second)
+	got := r.Ranked()
+	if len(got) != 1 || got[0].Score != 1 {
+		t.Fatalf("first-wins violated: %v", got)
+	}
+	if r.Candidates() != 1 {
+		t.Fatalf("Candidates = %d, want 1", r.Candidates())
+	}
+}
+
+// TestSketchRankerScratchAliasing: offering doc IDs through a reused scratch
+// buffer (the cursor contract) must not corrupt kept hits.
+func TestSketchRankerScratchAliasing(t *testing.T) {
+	s, _ := sketch.New(sketch.Config{Enabled: true, Dims: 16})
+	query := s.SketchBytes(map[string]int{"q": 1})
+	r := NewSketchRanker(query, 3)
+	scratch := make([]byte, 0, 16)
+	for i := 0; i < 10; i++ {
+		scratch = append(scratch[:0], fmt.Sprintf("doc%d", i)...)
+		r.Offer(scratch, s.SketchBytes(map[string]int{"q": 1, "x": i}))
+	}
+	for _, h := range r.Ranked() {
+		if len(h.Doc) < 4 || h.Doc[:3] != "doc" {
+			t.Fatalf("kept hit holds corrupted doc %q", h.Doc)
+		}
+	}
+}

@@ -36,6 +36,8 @@ const (
 	KindChordBase uint16 = 1
 	// KindCoreBase .. KindCoreBase+31 are reserved for internal/core.
 	KindCoreBase uint16 = 16
+	// KindSketchBase .. KindSketchBase+7 are reserved for internal/sketch.
+	KindSketchBase uint16 = 48
 	// KindTestBase and up are free for tests.
 	KindTestBase uint16 = 4096
 )

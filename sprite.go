@@ -37,6 +37,7 @@ import (
 	"github.com/spritedht/sprite/internal/index"
 	"github.com/spritedht/sprite/internal/nettransport"
 	"github.com/spritedht/sprite/internal/simnet"
+	"github.com/spritedht/sprite/internal/sketch"
 	"github.com/spritedht/sprite/internal/text"
 	"github.com/spritedht/sprite/internal/transport"
 	"github.com/spritedht/sprite/internal/vtime"
@@ -55,6 +56,9 @@ var (
 	// degraded mode made visible). Inspect the per-term causes with
 	// errors.As(err, *(*PartialError)).
 	ErrPartialResults = core.ErrPartialResults
+	// ErrSketchDisabled marks a similarity query against a network built
+	// without Options.Sketch.Enabled.
+	ErrSketchDisabled = core.ErrSketchDisabled
 )
 
 // PartialError reports which query terms a degraded search dropped and why.
@@ -137,6 +141,12 @@ type Options struct {
 	// query histories, and message accounting are bit-identical across
 	// settings — only wall-clock latency changes.
 	Parallelism int
+	// Sketch enables vector-similarity retrieval: every shared document
+	// carries a compact random-projection sketch of its term vector inside
+	// its postings, and SearchSimilar finds a document's nearest neighbors
+	// by routing through its learned index terms and re-ranking candidates
+	// by sketch cosine. Costs ~Dims+2 bytes per stored posting when on.
+	Sketch SketchOptions
 	// VirtualTime runs the deployment on a deterministic discrete-event
 	// clock (internal/vtime) instead of the wall clock: simulated link
 	// latency, retry backoff, hedging triggers, per-attempt timeouts, and
@@ -187,6 +197,30 @@ type CacheOptions struct {
 	ResultTTL time.Duration
 	// NoResults disables the result cache individually.
 	NoResults bool
+}
+
+// SketchOptions tunes vector-similarity retrieval; see Options.Sketch.
+// Networks comparing or exchanging sketches must agree on all three of
+// Dims, Seed, and the projection scheme — a sketch is only meaningful
+// against sketches from the same configuration.
+type SketchOptions struct {
+	// Enabled turns sketching on: documents are sketched at share time and
+	// SearchSimilar becomes available.
+	Enabled bool
+	// Dims is the sketch dimensionality (default 128). More dimensions
+	// tighten the cosine estimate at one byte per dimension per posting.
+	Dims int
+	// RouteTerms caps how many of the query document's learned index terms
+	// a similarity query routes through (default 6).
+	RouteTerms int
+	// Seed keys the projection directions (default 1). Distinct from
+	// Options.Seed so stored sketches can stay comparable across
+	// deployments that differ in simulation seed.
+	Seed int64
+	// Refine, when positive, re-scores the top Refine sketch candidates by
+	// exact weighted cosine, fetching each one's term vector from its owner
+	// (one extra message per candidate). Zero ranks by sketch cosine alone.
+	Refine int
 }
 
 // CacheStats reports one cache's counters; see Network.CacheStats.
@@ -329,6 +363,13 @@ func New(opts Options) (*Network, error) {
 			ResultTTL:       opts.Cache.ResultTTL,
 			DisableResults:  opts.Cache.NoResults,
 		},
+		Sketch: sketch.Config{
+			Enabled:    opts.Sketch.Enabled,
+			Dims:       opts.Sketch.Dims,
+			RouteTerms: opts.Sketch.RouteTerms,
+			Seed:       uint64(opts.Sketch.Seed),
+			Refine:     opts.Sketch.Refine,
+		},
 		Resilience: core.ResilienceConfig{
 			MaxRetries:         opts.Resilience.MaxRetries,
 			BaseBackoff:        opts.Resilience.BaseBackoff,
@@ -437,6 +478,39 @@ func (n *Network) SearchTermsCtx(ctx context.Context, peer string, terms []strin
 
 func (n *Network) searchTermsCtx(ctx context.Context, peer string, terms []string, k int) ([]Result, error) {
 	rl, err := n.core.SearchCtx(ctx, simnet.Addr(peer), terms, k)
+	if err != nil && !errors.Is(err, ErrPartialResults) {
+		return nil, err
+	}
+	out := make([]Result, 0, len(rl))
+	for _, h := range rl {
+		owner := ""
+		if p, ok := n.core.Owner(h.Doc); ok {
+			owner = string(p.Addr())
+		}
+		out = append(out, Result{DocID: string(h.Doc), Score: h.Score, Owner: owner})
+	}
+	return out, err
+}
+
+// SearchSimilar finds the k shared documents most similar to the named
+// document, ranked by the cosine similarity of their sketches (the query
+// document itself is excluded). Candidates are gathered by routing through
+// the document's learned index terms — the same message bill as a keyword
+// query over those terms — so it scales with the overlay, not the corpus.
+// Requires Options.Sketch.Enabled (ErrSketchDisabled otherwise); an unshared
+// document wraps ErrNoSuchDoc. Terms whose holders are unreachable are
+// silently dropped (use SearchSimilarCtx to observe them).
+func (n *Network) SearchSimilar(peer, docID string, k int) ([]Result, error) {
+	res, err := n.SearchSimilarCtx(context.Background(), peer, docID, k)
+	return res, stripPartial(err)
+}
+
+// SearchSimilarCtx is SearchSimilar under a context, with the SearchCtx
+// error contract: cancellation aborts the query, and routing terms lost to
+// unreachable holders surface as ErrPartialResults alongside the ranking
+// over the remaining candidates.
+func (n *Network) SearchSimilarCtx(ctx context.Context, peer, docID string, k int) ([]Result, error) {
+	rl, err := n.core.SearchSimilarCtx(ctx, simnet.Addr(peer), index.DocID(docID), k)
 	if err != nil && !errors.Is(err, ErrPartialResults) {
 		return nil, err
 	}
